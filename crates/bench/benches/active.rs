@@ -1,0 +1,76 @@
+//! Criterion micro-benchmarks: the active pipeline — the 1D recursive
+//! sampler in isolation (CPU cost per Lemma 9) and the end-to-end solver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mc_core::active::{weighted_sample_1d, OneDimParams};
+use mc_core::{ActiveParams, ActiveSolver, InMemoryOracle};
+use mc_data::controlled_width::{generate, ControlledWidthConfig};
+use mc_data::planted::{planted_1d, planted_sum_concept, PlantedConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_one_dim_sampler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("active/1d-sampler");
+    group.sample_size(10);
+    for n in [50_000usize, 200_000] {
+        let ds = planted_1d(n, n / 3, 0.05, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ds, |b, ds| {
+            b.iter(|| {
+                let mut oracle = InMemoryOracle::from_labeled(&ds.data);
+                let mut rng = StdRng::seed_from_u64(2);
+                let params = OneDimParams::new(1.0, 0.05);
+                weighted_sample_1d(&mut oracle, &params, &mut rng)
+                    .sigma
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("active/end-to-end");
+    group.sample_size(10);
+    for n in [250usize, 500, 1000] {
+        let ds = planted_sum_concept(&PlantedConfig::new(n, 2, 0.05, 3));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ds, |b, ds| {
+            b.iter(|| {
+                let mut oracle = InMemoryOracle::from_labeled(&ds.data);
+                ActiveSolver::with_epsilon(1.0)
+                    .solve(ds.data.points(), &mut oracle)
+                    .probes_used
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_with_known_chains(c: &mut Criterion) {
+    let mut group = c.benchmark_group("active/known-chains");
+    group.sample_size(10);
+    for n in [50_000usize, 100_000] {
+        let ds = generate(&ControlledWidthConfig {
+            n,
+            width: 4,
+            noise: 0.05,
+            seed: 4,
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ds, |b, ds| {
+            b.iter(|| {
+                let mut oracle = InMemoryOracle::from_labeled(&ds.data);
+                ActiveSolver::new(ActiveParams::new(1.0).with_delta(0.05))
+                    .solve_with_chains(ds.data.points(), &ds.chains, &mut oracle)
+                    .probes_used
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_one_dim_sampler,
+    bench_end_to_end,
+    bench_with_known_chains
+);
+criterion_main!(benches);

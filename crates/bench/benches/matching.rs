@@ -1,0 +1,67 @@
+//! Criterion micro-benchmarks: bipartite matching (Hopcroft–Karp vs
+//! Kuhn) on random graphs and on dominance split graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mc_matching::{BipartiteGraph, HopcroftKarp, Kuhn, MatchingAlgorithm};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_bipartite(n: usize, avg_degree: usize, seed: u64) -> BipartiteGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = BipartiteGraph::new(n, n);
+    for l in 0..n {
+        for _ in 0..avg_degree {
+            g.add_edge(l, rng.gen_range(0..n));
+        }
+    }
+    g
+}
+
+/// The split graph of a random 2D dominance DAG — the Lemma-6 workload.
+fn dominance_split_graph(n: usize, seed: u64) -> BipartiteGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let points: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)))
+        .collect();
+    let mut g = BipartiteGraph::new(n, n);
+    for (u, &(xu, yu)) in points.iter().enumerate() {
+        for (v, &(xv, yv)) in points.iter().enumerate() {
+            if u != v && xv >= xu && yv >= yu && (xv, yv) != (xu, yu) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+fn bench_random(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching/random");
+    for n in [200usize, 500, 1000] {
+        let g = random_bipartite(n, 5, 1);
+        group.bench_with_input(BenchmarkId::new("hopcroft-karp", n), &g, |b, g| {
+            b.iter(|| HopcroftKarp.solve(g).size())
+        });
+        group.bench_with_input(BenchmarkId::new("kuhn", n), &g, |b, g| {
+            b.iter(|| Kuhn.solve(g).size())
+        });
+    }
+    group.finish();
+}
+
+fn bench_dominance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching/dominance-split");
+    group.sample_size(20);
+    for n in [200usize, 400] {
+        let g = dominance_split_graph(n, 2);
+        group.bench_with_input(BenchmarkId::new("hopcroft-karp", n), &g, |b, g| {
+            b.iter(|| HopcroftKarp.solve(g).size())
+        });
+        group.bench_with_input(BenchmarkId::new("kuhn", n), &g, |b, g| {
+            b.iter(|| Kuhn.solve(g).size())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_random, bench_dominance);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion micro-benchmarks: the Theorem-4 passive solver — full
+//! pipeline and per-phase (contending scan vs flow), plus the 1D sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mc_core::passive::{solve_passive, solve_passive_1d, ContendingPoints};
+use mc_geom::{Label, WeightedSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn noisy_weighted(n: usize, dim: usize, noise: f64, seed: u64) -> WeightedSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ws = WeightedSet::empty(dim);
+    for _ in 0..n {
+        let coords: Vec<f64> = (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let clean = coords.iter().sum::<f64>() > dim as f64 / 2.0;
+        let flip = rng.gen_bool(noise);
+        ws.push(
+            &coords,
+            Label::from_bool(clean != flip),
+            rng.gen_range(1..10) as f64,
+        );
+    }
+    ws
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("passive/solve");
+    group.sample_size(20);
+    for n in [250usize, 500, 1000, 2000] {
+        let ws = noisy_weighted(n, 2, 0.1, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ws, |b, ws| {
+            b.iter(|| solve_passive(ws).weighted_error)
+        });
+    }
+    group.finish();
+}
+
+fn bench_contending(c: &mut Criterion) {
+    let mut group = c.benchmark_group("passive/contending-scan");
+    for n in [500usize, 1000, 2000] {
+        let ws = noisy_weighted(n, 4, 0.1, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ws, |b, ws| {
+            b.iter(|| ContendingPoints::compute(ws).len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_one_dim_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("passive/1d-sweep");
+    for n in [10_000usize, 100_000] {
+        let ws = noisy_weighted(n, 1, 0.1, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ws, |b, ws| {
+            b.iter(|| solve_passive_1d(ws).weighted_error)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver, bench_contending, bench_one_dim_sweep);
+criterion_main!(benches);

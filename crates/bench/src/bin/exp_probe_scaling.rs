@@ -1,0 +1,7 @@
+//! Experiment binary: see `mc_bench::experiments::probe_scaling`.
+//! Run with `--full` for the paper-scale sweep (default: quick).
+
+fn main() {
+    let quick = mc_bench::quick_from_args();
+    mc_bench::experiments::probe_scaling::run(quick);
+}

@@ -1,0 +1,7 @@
+//! Runs every experiment in sequence, printing each table.
+//! Run with `--full` for the paper-scale sweeps (default: quick).
+
+fn main() {
+    let quick = mc_bench::quick_from_args();
+    mc_bench::experiments::run_all(quick);
+}

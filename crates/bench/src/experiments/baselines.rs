@@ -1,0 +1,120 @@
+//! **E10.** Head-to-head on the entity-matching workload: the paper's
+//! active algorithm vs the three comparators of DESIGN.md.
+//!
+//! The shape to observe: `probe-all` is exactly optimal at full probing
+//! cost; the active algorithm tracks `(1+ε)·k*` at a fraction of the
+//! probes; `uniform-sample` needs a comparable budget but (being
+//! width-oblivious) degrades faster on wide data; `chain-binary-search`
+//! probes the least but offers no multiplicative error control under
+//! noise.
+
+use crate::report::{fmt_f64, Table};
+use mc_core::baselines::{cal_disagreement, chain_binary_search, probe_all, uniform_sample};
+use mc_core::passive::solve_passive;
+use mc_core::{ActiveParams, ActiveSolver, InMemoryOracle};
+use mc_data::entity_matching::{generate, EntityMatchingConfig};
+
+/// Runs E10.
+pub fn run(quick: bool) -> Vec<Table> {
+    let pairs = if quick { 800 } else { 3000 };
+    let trials = if quick { 2 } else { 5 };
+    let mut table = Table::new(
+        format!(
+            "E10: baselines on simulated entity matching [n = {pairs}, d = 3, reliability 0.85]"
+        ),
+        &["algorithm", "mean probes", "mean err", "mean k*", "err/k*"],
+    );
+
+    #[allow(clippy::type_complexity)] // (name, probes, errors, k*s) accumulators
+    let mut rows: Vec<(String, Vec<f64>, Vec<f64>, Vec<f64>)> = vec![
+        ("probe-all".into(), vec![], vec![], vec![]),
+        ("active(eps=0.5)".into(), vec![], vec![], vec![]),
+        ("active(eps=1.0)".into(), vec![], vec![], vec![]),
+        ("uniform-sample".into(), vec![], vec![], vec![]),
+        ("chain-binary-search".into(), vec![], vec![], vec![]),
+        ("cal-disagreement".into(), vec![], vec![], vec![]),
+    ];
+
+    for t in 0..trials {
+        let ds = generate(&EntityMatchingConfig {
+            pairs,
+            metrics: 3,
+            match_rate: 0.3,
+            reliability: 0.85,
+            seed: 0xE10 + t,
+        });
+        let k_star = solve_passive(&ds.data.with_unit_weights()).weighted_error;
+
+        // Active first, to learn its probe budget for the uniform baseline.
+        let mut active_probes = 0usize;
+        for (idx, eps) in [(1usize, 0.5), (2usize, 1.0)] {
+            let mut oracle = InMemoryOracle::from_labeled(&ds.data);
+            let solver = ActiveSolver::new(ActiveParams::new(eps).with_seed(t));
+            let sol = solver.solve(ds.data.points(), &mut oracle);
+            if eps == 0.5 {
+                active_probes = sol.probes_used;
+            }
+            rows[idx].1.push(sol.probes_used as f64);
+            rows[idx].2.push(sol.classifier.error_on(&ds.data) as f64);
+            rows[idx].3.push(k_star);
+        }
+        {
+            let mut oracle = InMemoryOracle::from_labeled(&ds.data);
+            let sol = probe_all(ds.data.points(), &mut oracle);
+            rows[0].1.push(sol.probes_used as f64);
+            rows[0].2.push(sol.classifier.error_on(&ds.data) as f64);
+            rows[0].3.push(k_star);
+        }
+        {
+            let mut oracle = InMemoryOracle::from_labeled(&ds.data);
+            let sol = uniform_sample(ds.data.points(), &mut oracle, active_probes.max(1), t);
+            rows[3].1.push(sol.probes_used as f64);
+            rows[3].2.push(sol.classifier.error_on(&ds.data) as f64);
+            rows[3].3.push(k_star);
+        }
+        {
+            let mut oracle = InMemoryOracle::from_labeled(&ds.data);
+            let sol = chain_binary_search(ds.data.points(), &mut oracle);
+            rows[4].1.push(sol.probes_used as f64);
+            rows[4].2.push(sol.classifier.error_on(&ds.data) as f64);
+            rows[4].3.push(k_star);
+        }
+        {
+            // CAL with the same probe cap as the eps = 0.5 active run.
+            let mut oracle = InMemoryOracle::from_labeled(&ds.data);
+            let sol = cal_disagreement(ds.data.points(), &mut oracle, active_probes.max(1), t);
+            rows[5].1.push(sol.probes_used as f64);
+            rows[5].2.push(sol.classifier.error_on(&ds.data) as f64);
+            rows[5].3.push(k_star);
+        }
+    }
+
+    for (name, probes, errs, k_stars) in rows {
+        let tf = probes.len() as f64;
+        let mean_probes = probes.iter().sum::<f64>() / tf;
+        let mean_err = errs.iter().sum::<f64>() / tf;
+        let mean_k = k_stars.iter().sum::<f64>() / tf;
+        table.add_row(vec![
+            name,
+            fmt_f64(mean_probes),
+            fmt_f64(mean_err),
+            fmt_f64(mean_k),
+            if mean_k > 0.0 {
+                format!("{:.2}", mean_err / mean_k)
+            } else {
+                "-".into()
+            },
+        ]);
+    }
+    println!("{table}");
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn quick_run_produces_five_rows() {
+        let tables = super::run(true);
+        assert_eq!(tables[0].num_rows(), 6);
+    }
+}

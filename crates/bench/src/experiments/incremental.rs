@@ -1,0 +1,75 @@
+//! **E13 (incremental maintenance).** The streaming extension: maintain
+//! the optimal weighted error under point insertions via warm-started
+//! flow augmentation, versus re-solving from scratch at every arrival.
+//!
+//! The numbers to watch: the incremental total is a small multiple of a
+//! *single* batch solve, while naive maintenance costs `n` batch solves.
+
+use crate::report::{fmt_duration, Table};
+use mc_core::passive::{solve_passive, IncrementalPassive};
+use mc_data::entity_matching::{generate, EntityMatchingConfig};
+use mc_geom::WeightedSet;
+use std::time::Instant;
+
+/// Runs E13.
+pub fn run(quick: bool) -> Vec<Table> {
+    let sizes: &[usize] = if quick {
+        &[500, 1000]
+    } else {
+        &[500, 1000, 2000, 4000]
+    };
+    let mut table = Table::new(
+        "E13: incremental vs batch maintenance of the passive optimum",
+        &[
+            "n",
+            "final k*",
+            "incremental total",
+            "one batch solve",
+            "naive estimate (n x batch)",
+        ],
+    );
+    for &n in sizes {
+        let ds = generate(&EntityMatchingConfig {
+            pairs: n,
+            metrics: 3,
+            match_rate: 0.3,
+            reliability: 0.85,
+            seed: 0xE13,
+        });
+        let mut inc = IncrementalPassive::new(ds.data.dim());
+        let t0 = Instant::now();
+        let mut err = 0.0;
+        for i in 0..n {
+            err = inc.insert(ds.data.points().point(i), ds.data.label(i), 1.0);
+        }
+        let inc_total = t0.elapsed();
+
+        let mut batch = WeightedSet::empty(ds.data.dim());
+        for i in 0..n {
+            batch.push(ds.data.points().point(i), ds.data.label(i), 1.0);
+        }
+        let t1 = Instant::now();
+        let batch_sol = solve_passive(&batch);
+        let batch_one = t1.elapsed();
+        assert!((err - batch_sol.weighted_error).abs() < 1e-9);
+
+        table.add_row(vec![
+            n.to_string(),
+            err.to_string(),
+            fmt_duration(inc_total),
+            fmt_duration(batch_one),
+            fmt_duration(batch_one * n as u32),
+        ]);
+    }
+    println!("{table}");
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn quick_run_produces_rows() {
+        let tables = super::run(true);
+        assert_eq!(tables[0].num_rows(), 2);
+    }
+}

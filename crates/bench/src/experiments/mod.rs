@@ -1,0 +1,54 @@
+//! Experiment implementations, one module per experiment id in
+//! DESIGN.md / EXPERIMENTS.md. Each `run(quick)` returns the tables it
+//! prints; `quick = true` shrinks the sweeps for CI-sized runs.
+
+pub mod ablation;
+pub mod active_cpu;
+pub mod approx_ratio;
+pub mod baselines;
+pub mod chains;
+pub mod flow;
+pub mod generalization;
+pub mod incremental;
+pub mod noise;
+pub mod one_dim;
+pub mod passive;
+pub mod probe_scaling;
+pub mod stress;
+pub mod theorem1;
+
+use crate::report::Table;
+
+/// Runs every experiment, printing all tables.
+pub fn run_all(quick: bool) -> Vec<Table> {
+    let mut tables = Vec::new();
+    for (name, f) in all_experiments() {
+        eprintln!("=== running {name} ===");
+        tables.extend(f(quick));
+    }
+    tables
+}
+
+/// The full experiment registry: `(id, runner)`.
+/// An experiment registry entry: `(id, runner)`.
+pub type ExperimentEntry = (&'static str, fn(bool) -> Vec<Table>);
+
+#[allow(clippy::type_complexity)]
+pub fn all_experiments() -> Vec<ExperimentEntry> {
+    vec![
+        ("E1-theorem1", theorem1::run),
+        ("E2-E4-probe-scaling", probe_scaling::run),
+        ("E5-approx-ratio", approx_ratio::run),
+        ("E6-passive", passive::run),
+        ("E7-active-cpu", active_cpu::run),
+        ("E8-chains", chains::run),
+        ("E9-flow", flow::run),
+        ("E10-baselines", baselines::run),
+        ("E11-generalization", generalization::run),
+        ("L9-one-dim", one_dim::run),
+        ("A1-A4-ablation", ablation::run),
+        ("E12-stress", stress::run),
+        ("E13-incremental", incremental::run),
+        ("E14-noise", noise::run),
+    ]
+}

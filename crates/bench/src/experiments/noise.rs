@@ -1,0 +1,75 @@
+//! **E14 (noise sensitivity).** How label noise moves the probing cost.
+//!
+//! The Section-3 recursion has two regimes, visible as a step in this
+//! sweep. At low noise the optimal error is small, so achieving a
+//! *relative* `(1+ε)` guarantee needs the `[α, β]` window machinery:
+//! several recursion levels, each paying a Lemma-5 sample — the more
+//! accurate regime costs *more* probes. Once `k*/n` clears the window
+//! threshold `1/4 − φ`, no boundary ever qualifies, the paper's
+//! "α and β do not exist" case fires at the top level, and a *single*
+//! sample suffices — because with a large `k*`, an additive `φ·n` error
+//! is already a relative `ε/4` one (eq. (19) of the paper). Probing
+//! drops to one sample while `err/k*` stays at ~1.00 throughout.
+
+use crate::report::Table;
+use mc_core::passive::solve_passive_1d;
+use mc_core::{ActiveParams, ActiveSolver, InMemoryOracle};
+use mc_data::controlled_width::{generate, ControlledWidthConfig};
+use mc_geom::WeightedSet;
+
+/// Runs E14.
+pub fn run(quick: bool) -> Vec<Table> {
+    let n = if quick { 60_000 } else { 200_000 };
+    let w = 4;
+    let eps = 1.0;
+    let noises: &[f64] = &[0.0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.4];
+    let mut table = Table::new(
+        format!("E14: probing cost vs label noise [n = {n}, w = {w}, eps = {eps}]"),
+        &["noise", "k*/n", "probes", "probes/n", "err/k*"],
+    );
+    for &noise in noises {
+        let ds = generate(&ControlledWidthConfig {
+            n,
+            width: w,
+            noise,
+            seed: 0xE14,
+        });
+        let k_star: f64 = ds
+            .chains
+            .iter()
+            .map(|chain| {
+                let mut ws = WeightedSet::empty(1);
+                for (pos, &idx) in chain.iter().enumerate() {
+                    ws.push(&[pos as f64], ds.data.label(idx), 1.0);
+                }
+                solve_passive_1d(&ws).weighted_error
+            })
+            .sum();
+        let mut oracle = InMemoryOracle::from_labeled(&ds.data);
+        let solver = ActiveSolver::new(ActiveParams::new(eps).with_seed(14).with_delta(0.05));
+        let sol = solver.solve_with_chains(ds.data.points(), &ds.chains, &mut oracle);
+        let err = sol.classifier.error_on(&ds.data) as f64;
+        table.add_row(vec![
+            format!("{noise:.2}"),
+            format!("{:.3}", k_star / n as f64),
+            sol.probes_used.to_string(),
+            format!("{:.3}", sol.probes_used as f64 / n as f64),
+            if k_star > 0.0 {
+                format!("{:.4}", err / k_star)
+            } else {
+                "-".into()
+            },
+        ]);
+    }
+    println!("{table}");
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn quick_run_produces_rows() {
+        let tables = super::run(true);
+        assert_eq!(tables[0].num_rows(), 8);
+    }
+}

@@ -1,0 +1,107 @@
+//! **E6 (Theorem 4).** The flow-based passive solver is optimal and
+//! polynomial.
+//!
+//! Part A cross-checks optimality against the exponential subset
+//! enumeration of Section 1.2 on many small random weighted inputs.
+//! Part B contrasts running times: the naive solver explodes around
+//! `n ≈ 20` while the min-cut solver handles thousands of points — the
+//! paper's "exponential vs polynomial" claim in table form.
+
+use crate::report::{fmt_duration, Table};
+use mc_core::passive::{solve_passive, solve_passive_brute_force};
+use mc_geom::{Label, WeightedSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+fn random_weighted(n: usize, dim: usize, rng: &mut StdRng) -> WeightedSet {
+    let mut ws = WeightedSet::empty(dim);
+    for _ in 0..n {
+        let coords: Vec<f64> = (0..dim).map(|_| rng.gen_range(0.0f64..8.0)).collect();
+        ws.push(
+            &coords,
+            Label::from_bool(rng.gen_bool(0.5)),
+            rng.gen_range(1..20) as f64,
+        );
+    }
+    ws
+}
+
+/// Runs E6.
+pub fn run(quick: bool) -> Vec<Table> {
+    // Part A: agreement with brute force.
+    let trials = if quick { 30 } else { 150 };
+    let mut rng = StdRng::seed_from_u64(0xE6);
+    let mut agree = 0usize;
+    for _ in 0..trials {
+        let n = rng.gen_range(1..15);
+        let dim = rng.gen_range(1..4);
+        let ws = random_weighted(n, dim, &mut rng);
+        let flow = solve_passive(&ws);
+        let brute = solve_passive_brute_force(&ws);
+        if (flow.weighted_error - brute.weighted_error).abs() < 1e-9 {
+            agree += 1;
+        }
+    }
+    let mut a = Table::new(
+        "E6a (Theorem 4): flow solver vs exponential enumeration (optimality)",
+        &["random weighted inputs", "agreements"],
+    );
+    a.add_row(vec![trials.to_string(), format!("{agree}/{trials}")]);
+    println!("{a}");
+    assert_eq!(agree, trials, "flow solver disagreed with brute force");
+
+    // Part B: running-time contrast.
+    let mut b = Table::new(
+        "E6b (Theorem 4): naive exponential vs min-cut polynomial runtime (2D)",
+        &["n", "naive (2^n)", "min-cut"],
+    );
+    let small: &[usize] = if quick {
+        &[10, 14, 18]
+    } else {
+        &[10, 14, 18, 21]
+    };
+    for &n in small {
+        let ws = random_weighted(n, 2, &mut rng);
+        let t0 = Instant::now();
+        let brute = solve_passive_brute_force(&ws);
+        let naive_t = t0.elapsed();
+        let t1 = Instant::now();
+        let flow = solve_passive(&ws);
+        let flow_t = t1.elapsed();
+        assert!((flow.weighted_error - brute.weighted_error).abs() < 1e-9);
+        b.add_row(vec![
+            n.to_string(),
+            fmt_duration(naive_t),
+            fmt_duration(flow_t),
+        ]);
+    }
+    let large: &[usize] = if quick {
+        &[200, 500, 1000]
+    } else {
+        &[200, 500, 1000, 2000, 4000]
+    };
+    for &n in large {
+        let ws = random_weighted(n, 2, &mut rng);
+        let t1 = Instant::now();
+        let _ = solve_passive(&ws);
+        let flow_t = t1.elapsed();
+        b.add_row(vec![
+            n.to_string(),
+            "(infeasible)".into(),
+            fmt_duration(flow_t),
+        ]);
+    }
+    println!("{b}");
+
+    vec![a, b]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn quick_run_produces_tables() {
+        let tables = super::run(true);
+        assert_eq!(tables.len(), 2);
+    }
+}

@@ -1,0 +1,134 @@
+//! **E2–E4 (Theorem 2).** Probing cost scales as
+//! `O((w/ε²)·log(n/w)·log n)`:
+//!
+//! * E2 — probes vs `n` at fixed width: growth is polylogarithmic per
+//!   unit width, so `probes/n` falls as `n` rises;
+//! * E3 — probes vs `w` at fixed `n`: growth is (sub-)linear in `w`
+//!   (larger `w` also means shorter chains, so the per-chain term
+//!   shrinks — the product `w·log(n/w)` is the prediction);
+//! * E4 — probes vs `ε`: `probes · ε²` should be roughly flat.
+//!
+//! The sweeps use [`ActiveSolver::solve_with_chains`] with the
+//! generator's known minimum decomposition so the `O(n²)` Lemma-6 phase
+//! does not cap the reachable `n`; the decomposition itself is validated
+//! in E8. Probing cost is fully determined by the sampling phase.
+
+use crate::report::{fmt_f64, mean_std, Table};
+use mc_core::{ActiveParams, ActiveSolver, InMemoryOracle};
+use mc_data::controlled_width::{generate, ControlledWidthConfig};
+
+fn probes_for(n: usize, width: usize, epsilon: f64, trials: u64) -> (f64, f64) {
+    let mut samples = Vec::new();
+    for t in 0..trials {
+        let ds = generate(&ControlledWidthConfig {
+            n,
+            width,
+            noise: 0.05,
+            seed: 0xE2E3 + t,
+        });
+        let mut oracle = InMemoryOracle::from_labeled(&ds.data);
+        let solver = ActiveSolver::new(
+            ActiveParams::new(epsilon)
+                .with_seed(100 + t)
+                // Fixed δ across the sweep so the Lemma-5 sample sizes
+                // compare like-for-like (the paper's 1/n² default would
+                // conflate the n-sweep with a shrinking δ).
+                .with_delta(0.01),
+        );
+        let (_sigma, probes) =
+            solver.collect_sigma_with_chains(ds.data.points(), &ds.chains, &mut oracle);
+        samples.push(probes as f64);
+    }
+    mean_std(&samples)
+}
+
+/// The Theorem-2 prediction `w·log₂(n/w)·log₂(n)` (up to the `1/ε²`
+/// factor), used as a reference column.
+fn prediction(n: usize, w: usize) -> f64 {
+    let n = n as f64;
+    let w_f = w as f64;
+    w_f * (n / w_f).log2().max(1.0) * n.log2()
+}
+
+/// Runs E2, E3 and E4.
+pub fn run(quick: bool) -> Vec<Table> {
+    let trials = if quick { 1 } else { 3 };
+
+    // E2: probes vs n, fixed w.
+    let w = 8;
+    let ns: &[usize] = if quick {
+        &[20_000, 40_000, 80_000]
+    } else {
+        &[20_000, 40_000, 80_000, 160_000, 320_000, 640_000]
+    };
+    let mut e2 = Table::new(
+        format!("E2 (Theorem 2): probes vs n   [w = {w}, eps = 1.0, noise 5%]"),
+        &["n", "mean probes", "probes/n", "probes/prediction"],
+    );
+    for &n in ns {
+        let (mean, _) = probes_for(n, w, 1.0, trials);
+        e2.add_row(vec![
+            n.to_string(),
+            fmt_f64(mean),
+            format!("{:.3}", mean / n as f64),
+            format!("{:.1}", mean / prediction(n, w)),
+        ]);
+    }
+    println!("{e2}");
+
+    // E3: probes vs w, fixed n.
+    let n = if quick { 80_000 } else { 320_000 };
+    let widths: &[usize] = &[1, 2, 4, 8, 16, 32];
+    let mut e3 = Table::new(
+        format!("E3 (Theorem 2): probes vs w   [n = {n}, eps = 1.0, noise 5%]"),
+        &[
+            "w",
+            "mean probes",
+            "probes/(w*log2(n/w))",
+            "probes/prediction",
+        ],
+    );
+    for &w in widths {
+        let (mean, _) = probes_for(n, w, 1.0, trials);
+        let per_chain_term = w as f64 * ((n / w) as f64).log2();
+        e3.add_row(vec![
+            w.to_string(),
+            fmt_f64(mean),
+            fmt_f64(mean / per_chain_term),
+            format!("{:.1}", mean / prediction(n, w)),
+        ]);
+    }
+    println!("{e3}");
+
+    // E4: probes vs eps, fixed n and w.
+    let n = if quick { 80_000 } else { 320_000 };
+    let w = 4;
+    let epsilons: &[f64] = &[0.25, 0.35, 0.5, 0.7, 1.0];
+    let mut e4 = Table::new(
+        format!("E4 (Theorem 2): probes vs eps [n = {n}, w = {w}, noise 5%]"),
+        &["eps", "mean probes", "probes*eps^2"],
+    );
+    for &eps in epsilons {
+        let (mean, _) = probes_for(n, w, eps, trials);
+        e4.add_row(vec![
+            format!("{eps:.2}"),
+            fmt_f64(mean),
+            fmt_f64(mean * eps * eps),
+        ]);
+    }
+    println!("{e4}");
+
+    vec![e2, e3, e4]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn quick_run_produces_three_tables() {
+        let tables = super::run(true);
+        assert_eq!(tables.len(), 3);
+        for t in &tables {
+            assert!(t.num_rows() >= 3);
+        }
+    }
+}

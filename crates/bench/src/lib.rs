@@ -1,0 +1,15 @@
+//! Benchmark harness and experiment support for the monotone-classification
+//! reproduction. The experiment binaries live in `src/bin/` (one per
+//! experiment id in DESIGN.md / EXPERIMENTS.md); Criterion
+//! micro-benchmarks live in `benches/`.
+
+pub mod experiments;
+pub mod report;
+
+pub use report::{fmt_duration, fmt_f64, mean_std, Table};
+
+/// Parses the conventional `--full` flag used by all experiment binaries:
+/// quick mode is the default, `--full` runs the paper-scale sweeps.
+pub fn quick_from_args() -> bool {
+    !std::env::args().any(|a| a == "--full")
+}

@@ -1,0 +1,88 @@
+//! Brute-force dominance width for tiny inputs, used to cross-validate the
+//! matching-based computation in tests (exponential: `O(2^n · n²)`).
+
+use mc_geom::PointSet;
+
+/// Maximum antichain size by subset enumeration.
+///
+/// # Panics
+///
+/// Panics if `points.len() > 24` — this is a test oracle, not a production
+/// path.
+#[allow(clippy::needless_range_loop)]
+pub fn brute_force_width(points: &PointSet) -> usize {
+    let n = points.len();
+    assert!(
+        n <= 24,
+        "brute_force_width is exponential; n = {n} too large"
+    );
+    // comparable[i] is a bitmask of the points comparable with i
+    // (including duplicates, which are tie-broken comparable).
+    let mut comparable = vec![0u32; n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && (points.dominates(i, j) || points.dominates(j, i)) {
+                comparable[i] |= 1 << j;
+            }
+        }
+    }
+    let mut best = 0usize;
+    for mask in 0u32..(1u32 << n) {
+        let size = mask.count_ones() as usize;
+        if size <= best {
+            continue;
+        }
+        let mut ok = true;
+        let mut m = mask;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            m &= m - 1;
+            if comparable[i] & mask != 0 {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            best = size;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomposition::dominance_width;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn agrees_with_matching_based_width() {
+        let mut rng = StdRng::seed_from_u64(0xD11);
+        for dim in [1usize, 2, 3] {
+            for _ in 0..15 {
+                let n = rng.gen_range(0..12);
+                let mut rows = Vec::new();
+                for _ in 0..n {
+                    rows.push((0..dim).map(|_| rng.gen_range(0.0..4.0)).collect());
+                }
+                let points = if n == 0 {
+                    PointSet::new(dim)
+                } else {
+                    PointSet::from_rows(dim, &rows)
+                };
+                assert_eq!(
+                    brute_force_width(&points),
+                    dominance_width(&points),
+                    "disagreement on {points:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_count_once() {
+        let points = PointSet::from_rows(2, &[vec![1.0, 1.0], vec![1.0, 1.0]]);
+        assert_eq!(brute_force_width(&points), 1);
+    }
+}

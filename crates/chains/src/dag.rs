@@ -1,0 +1,204 @@
+//! The dominance DAG of a point set.
+//!
+//! Following the proof of Lemma 6 (Appendix B of the paper): build an
+//! acyclic directed graph with one vertex per point and an edge `u -> v`
+//! whenever `v` strictly dominates `u` (so edges point "upward" and a
+//! directed path is a chain in ascending dominance order). The construction
+//! costs `O(d·n²)` time.
+//!
+//! Duplicate coordinate vectors — which the paper's set semantics excludes
+//! but real data contains — are handled by breaking ties on index: equal
+//! points are considered comparable (they can share a chain, and can never
+//! both sit in an antichain), oriented from the smaller index to the
+//! larger. This preserves both Dilworth duality and classifier semantics
+//! (a classifier necessarily assigns equal points the same label).
+
+use mc_geom::{Dominance, PointSet};
+
+/// The dominance DAG over a [`PointSet`]. Because dominance is transitive,
+/// this graph equals its own transitive closure, which is exactly what the
+/// path-cover reduction of Lemma 6 requires.
+#[derive(Debug, Clone)]
+pub struct DominanceDag {
+    n: usize,
+    /// `succ[u]` lists all `v` with `v ≻ u` (or `v == u`, `u < v`).
+    succ: Vec<Vec<u32>>,
+    num_edges: usize,
+}
+
+impl DominanceDag {
+    /// Builds the DAG in `O(d·n²)` time.
+    #[allow(clippy::needless_range_loop)] // paired i/j index scans
+    pub fn build(points: &PointSet) -> Self {
+        let n = points.len();
+        let mut succ = vec![Vec::new(); n];
+        let mut num_edges = 0;
+        for u in 0..n {
+            for v in 0..n {
+                if u == v {
+                    continue;
+                }
+                let comparable_up = match points.compare(u, v) {
+                    Dominance::DominatedBy => true,
+                    Dominance::Equal => u < v,
+                    _ => false,
+                };
+                if comparable_up {
+                    succ[u].push(v as u32);
+                    num_edges += 1;
+                }
+            }
+        }
+        Self { n, succ, num_edges }
+    }
+
+    /// Builds the DAG using all available cores: the `O(d·n²)` pair scan
+    /// is embarrassingly parallel over source vertices. Falls back to the
+    /// sequential path for small inputs where thread startup dominates.
+    pub fn build_parallel(points: &PointSet) -> Self {
+        let n = points.len();
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        if n < 2_000 || threads <= 1 {
+            return Self::build(points);
+        }
+        let chunk = n.div_ceil(threads);
+        let mut succ: Vec<Vec<u32>> = Vec::with_capacity(n);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(n);
+                    scope.spawn(move || {
+                        let mut local: Vec<Vec<u32>> = Vec::with_capacity(hi.saturating_sub(lo));
+                        for u in lo..hi {
+                            let mut row = Vec::new();
+                            for v in 0..n {
+                                if u == v {
+                                    continue;
+                                }
+                                let comparable_up = match points.compare(u, v) {
+                                    Dominance::DominatedBy => true,
+                                    Dominance::Equal => u < v,
+                                    _ => false,
+                                };
+                                if comparable_up {
+                                    row.push(v as u32);
+                                }
+                            }
+                            local.push(row);
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for handle in handles {
+                succ.extend(handle.join().expect("DAG build worker panicked"));
+            }
+        });
+        let num_edges = succ.iter().map(Vec::len).sum();
+        Self { n, succ, num_edges }
+    }
+
+    /// Number of vertices (= points).
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Vertices strictly above `u` in the (tie-broken) dominance order.
+    pub fn successors(&self, u: usize) -> &[u32] {
+        &self.succ[u]
+    }
+
+    /// `true` iff there is an edge `u -> v`.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.succ[u].contains(&(v as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_in_1d_is_total() {
+        let points = PointSet::from_values_1d(&[3.0, 1.0, 2.0]);
+        let dag = DominanceDag::build(&points);
+        // 1 < 2 < 3: edges 1->2, 1->0, 2->0 (indices: 0 is 3.0, 1 is 1.0, 2 is 2.0)
+        assert!(dag.has_edge(1, 2));
+        assert!(dag.has_edge(1, 0));
+        assert!(dag.has_edge(2, 0));
+        assert_eq!(dag.num_edges(), 3);
+    }
+
+    #[test]
+    fn antichain_has_no_edges() {
+        let points = PointSet::from_rows(2, &[vec![0.0, 2.0], vec![1.0, 1.0], vec![2.0, 0.0]]);
+        let dag = DominanceDag::build(&points);
+        assert_eq!(dag.num_edges(), 0);
+    }
+
+    #[test]
+    fn duplicates_are_comparable_once() {
+        let points = PointSet::from_rows(2, &[vec![1.0, 1.0], vec![1.0, 1.0]]);
+        let dag = DominanceDag::build(&points);
+        assert!(dag.has_edge(0, 1));
+        assert!(!dag.has_edge(1, 0));
+        assert_eq!(dag.num_edges(), 1);
+    }
+
+    #[test]
+    fn transitively_closed() {
+        let points = PointSet::from_values_1d(&[1.0, 2.0, 3.0]);
+        let dag = DominanceDag::build(&points);
+        assert!(dag.has_edge(0, 2), "direct edge for transitive pair");
+    }
+
+    #[test]
+    fn empty_set() {
+        let points = PointSet::new(2);
+        let dag = DominanceDag::build(&points);
+        assert_eq!(dag.num_nodes(), 0);
+        assert_eq!(dag.num_edges(), 0);
+    }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let mut rng = StdRng::seed_from_u64(0x9AA);
+        for &n in &[0usize, 1, 100, 2500] {
+            let rows: Vec<Vec<f64>> = (0..n)
+                .map(|_| {
+                    vec![
+                        rng.gen_range(0.0f64..50.0).round(),
+                        rng.gen_range(0.0f64..50.0).round(),
+                        rng.gen_range(0.0f64..50.0).round(),
+                    ]
+                })
+                .collect();
+            let points = if n == 0 {
+                PointSet::new(3)
+            } else {
+                PointSet::from_rows(3, &rows)
+            };
+            let seq = DominanceDag::build(&points);
+            let par = DominanceDag::build_parallel(&points);
+            assert_eq!(seq.num_edges(), par.num_edges(), "n = {n}");
+            for u in 0..n {
+                assert_eq!(seq.successors(u), par.successors(u), "n = {n}, u = {u}");
+            }
+        }
+    }
+}

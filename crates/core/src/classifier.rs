@@ -1,0 +1,335 @@
+//! Monotone classifiers.
+//!
+//! A classifier `h : R^d -> {0, 1}` is *monotone* if `h(p) >= h(q)`
+//! whenever `p` dominates `q` (Section 1.1 of the paper). Every monotone
+//! classifier is the indicator of an *up-set*; on finite data it is fully
+//! determined by the minimal points of its positive region. We therefore
+//! represent classifiers by a set of **anchors**: `h(x) = 1` iff `x`
+//! dominates (reflexively) at least one anchor. This makes monotonicity
+//! hold *by construction* — an invalid monotone classifier is
+//! unrepresentable.
+//!
+//! The paper's 1D threshold classifiers `h^τ` (equation (6)) map `p → 1`
+//! iff `p > τ`; [`MonotoneClassifier::threshold_1d`] realizes them with a
+//! single anchor just above `τ` (exact on any dataset whose values differ
+//! from the chosen anchor boundary; see the method docs).
+//!
+//! # Example
+//!
+//! ```
+//! use mc_core::MonotoneClassifier;
+//! use mc_geom::Label;
+//!
+//! let h = MonotoneClassifier::from_anchors(2, vec![vec![0.5, 0.5]]);
+//! assert_eq!(h.classify(&[0.6, 0.9]), Label::One);
+//! assert_eq!(h.classify(&[0.6, 0.4]), Label::Zero);
+//! ```
+
+use mc_geom::{dominates, Label, LabeledSet, PointSet, WeightedSet};
+
+/// A monotone classifier represented by the minimal points ("anchors") of
+/// its positive region.
+///
+/// Invariants maintained by construction:
+/// * all anchors share the classifier's dimensionality;
+/// * no anchor dominates another (redundant anchors are pruned).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonotoneClassifier {
+    dim: usize,
+    /// Minimal positive anchors, flat row-major storage.
+    anchors: Vec<Vec<f64>>,
+}
+
+impl MonotoneClassifier {
+    /// The all-zero classifier (`h ≡ 0`).
+    pub fn all_zero(dim: usize) -> Self {
+        assert!(dim > 0, "dimensionality must be at least 1");
+        Self {
+            dim,
+            anchors: Vec::new(),
+        }
+    }
+
+    /// The all-one classifier (`h ≡ 1`), anchored at `(-∞, …, -∞)`.
+    pub fn all_one(dim: usize) -> Self {
+        assert!(dim > 0, "dimensionality must be at least 1");
+        Self {
+            dim,
+            anchors: vec![vec![f64::NEG_INFINITY; dim]],
+        }
+    }
+
+    /// Builds a classifier from arbitrary anchors; dominated-redundant
+    /// anchors are pruned to restore minimality.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any anchor has the wrong dimensionality.
+    pub fn from_anchors(dim: usize, anchors: Vec<Vec<f64>>) -> Self {
+        assert!(dim > 0, "dimensionality must be at least 1");
+        for a in &anchors {
+            assert_eq!(a.len(), dim, "anchor dimensionality mismatch");
+        }
+        let mut minimal: Vec<Vec<f64>> = Vec::new();
+        'outer: for a in anchors {
+            // Skip `a` if an already-kept anchor is dominated by it
+            // (that anchor's up-set contains `a`'s).
+            let mut i = 0;
+            while i < minimal.len() {
+                if dominates(&a, &minimal[i]) {
+                    continue 'outer; // a is redundant
+                }
+                if dominates(&minimal[i], &a) {
+                    minimal.swap_remove(i); // kept anchor is redundant
+                } else {
+                    i += 1;
+                }
+            }
+            minimal.push(a);
+        }
+        Self {
+            dim,
+            anchors: minimal,
+        }
+    }
+
+    /// The paper's 1D threshold classifier `h^τ`: `h(p) = 1` iff `p > τ`
+    /// (equation (6)).
+    ///
+    /// The anchor is placed at the smallest `f64` strictly above `τ`, so
+    /// classification is exact for every representable input value.
+    pub fn threshold_1d(tau: f64) -> Self {
+        let anchor = if tau == f64::NEG_INFINITY {
+            f64::NEG_INFINITY // h^{-∞} ≡ 1 on all reals
+        } else {
+            next_up(tau)
+        };
+        Self {
+            dim: 1,
+            anchors: vec![vec![anchor]],
+        }
+    }
+
+    /// Builds the classifier whose positive region is the up-closure of
+    /// the points of `points` selected by `positive`.
+    ///
+    /// This is the canonical way to turn a per-point 0/1 assignment into a
+    /// full classifier: anchors are the minimal selected points. If the
+    /// assignment itself was monotone on `points` (no 0-point dominating a
+    /// 1-point), the classifier agrees with the assignment on every point
+    /// of `points`; otherwise the up-closure overrides some 0s to 1.
+    pub fn from_positive_points(points: &PointSet, positive: &[bool]) -> Self {
+        assert_eq!(points.len(), positive.len(), "assignment length mismatch");
+        let anchors = (0..points.len())
+            .filter(|&i| positive[i])
+            .map(|i| points.point(i).to_vec())
+            .collect();
+        Self::from_anchors(points.dim(), anchors)
+    }
+
+    /// Dimensionality `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The minimal anchors of the positive region.
+    pub fn anchors(&self) -> &[Vec<f64>] {
+        &self.anchors
+    }
+
+    /// Classifies a point: 1 iff it dominates some anchor.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) on dimensionality mismatch.
+    pub fn classify(&self, p: &[f64]) -> Label {
+        debug_assert_eq!(p.len(), self.dim, "point dimensionality mismatch");
+        Label::from_bool(self.anchors.iter().any(|a| dominates(p, a)))
+    }
+
+    /// `err_P(h)` — equation (1): the number of points of `data`
+    /// misclassified by this classifier.
+    pub fn error_on(&self, data: &LabeledSet) -> u64 {
+        data.error_of(|p| self.classify(p))
+    }
+
+    /// `w-err_P(h)` — equation (3): the weighted error on `data`.
+    pub fn weighted_error_on(&self, data: &WeightedSet) -> f64 {
+        data.weighted_error_of(|p| self.classify(p))
+    }
+
+    /// Evaluates the classifier on every point of a set.
+    pub fn classify_set(&self, points: &PointSet) -> Vec<Label> {
+        points.iter().map(|p| self.classify(p)).collect()
+    }
+}
+
+/// Checks that a per-point assignment is monotone *on the given points*:
+/// returns the first violating pair `(i, j)` with `points[i] ⪰ points[j]`
+/// but `assignment[i] < assignment[j]`, if any.
+#[allow(clippy::needless_range_loop)]
+pub fn find_monotonicity_violation(
+    points: &PointSet,
+    assignment: &[Label],
+) -> Option<(usize, usize)> {
+    assert_eq!(points.len(), assignment.len(), "assignment length mismatch");
+    for i in 0..points.len() {
+        if assignment[i].is_one() {
+            continue;
+        }
+        for j in 0..points.len() {
+            if assignment[j].is_one() && i != j && points.dominates(i, j) {
+                return Some((i, j));
+            }
+        }
+    }
+    None
+}
+
+/// Smallest `f64` strictly greater than `x` (stable replacement for the
+/// unstable-at-MSRV `f64::next_up`).
+fn next_up(x: f64) -> f64 {
+    assert!(!x.is_nan(), "threshold must not be NaN");
+    if x == f64::INFINITY {
+        return x;
+    }
+    if x == 0.0 {
+        return f64::from_bits(1); // smallest positive subnormal
+    }
+    let bits = x.to_bits();
+    if x > 0.0 {
+        f64::from_bits(bits + 1)
+    } else {
+        f64::from_bits(bits - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_zero_and_all_one() {
+        let z = MonotoneClassifier::all_zero(2);
+        let o = MonotoneClassifier::all_one(2);
+        for p in [[0.0, 0.0], [-1e300, 5.0], [7.0, -2.0]] {
+            assert_eq!(z.classify(&p), Label::Zero);
+            assert_eq!(o.classify(&p), Label::One);
+        }
+    }
+
+    #[test]
+    fn threshold_semantics_strict() {
+        // h^τ: 1 iff p > τ.
+        let h = MonotoneClassifier::threshold_1d(2.0);
+        assert_eq!(h.classify(&[2.0]), Label::Zero);
+        assert_eq!(h.classify(&[2.0 + 1e-9]), Label::One);
+        assert_eq!(h.classify(&[1.0]), Label::Zero);
+        assert_eq!(h.classify(&[3.0]), Label::One);
+    }
+
+    #[test]
+    fn threshold_neg_infinity_is_all_one() {
+        let h = MonotoneClassifier::threshold_1d(f64::NEG_INFINITY);
+        assert_eq!(h.classify(&[-1e308]), Label::One);
+    }
+
+    #[test]
+    fn anchor_pruning_keeps_minimal() {
+        let h = MonotoneClassifier::from_anchors(
+            2,
+            vec![vec![2.0, 2.0], vec![1.0, 1.0], vec![3.0, 0.0]],
+        );
+        // (2,2) dominates (1,1) so it is redundant.
+        assert_eq!(h.anchors().len(), 2);
+        assert!(h.anchors().contains(&vec![1.0, 1.0]));
+        assert!(h.anchors().contains(&vec![3.0, 0.0]));
+        assert_eq!(h.classify(&[2.0, 2.0]), Label::One);
+        assert_eq!(h.classify(&[0.5, 0.5]), Label::Zero);
+        assert_eq!(h.classify(&[3.0, 0.0]), Label::One);
+    }
+
+    #[test]
+    fn classifier_is_monotone_by_construction() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let anchors: Vec<Vec<f64>> = (0..6)
+            .map(|_| (0..3).map(|_| rng.gen_range(-5.0..5.0)).collect())
+            .collect();
+        let h = MonotoneClassifier::from_anchors(3, anchors);
+        for _ in 0..200 {
+            let p: Vec<f64> = (0..3).map(|_| rng.gen_range(-6.0..6.0)).collect();
+            let q: Vec<f64> = (0..3)
+                .enumerate()
+                .map(|(i, _)| p[i] - rng.gen_range(0.0..2.0))
+                .collect();
+            // p dominates q by construction.
+            assert!(h.classify(&p) >= h.classify(&q));
+        }
+    }
+
+    #[test]
+    fn from_positive_points_agrees_with_monotone_assignment() {
+        let points = PointSet::from_rows(2, &[vec![0.0, 0.0], vec![1.0, 1.0], vec![2.0, 2.0]]);
+        let positive = [false, true, true];
+        let h = MonotoneClassifier::from_positive_points(&points, &positive);
+        assert_eq!(h.classify(points.point(0)), Label::Zero);
+        assert_eq!(h.classify(points.point(1)), Label::One);
+        assert_eq!(h.classify(points.point(2)), Label::One);
+        assert_eq!(h.anchors().len(), 1);
+    }
+
+    #[test]
+    fn from_positive_points_up_closes_invalid_assignment() {
+        let points = PointSet::from_rows(2, &[vec![0.0, 0.0], vec![1.0, 1.0]]);
+        // Assign the dominated point 1 and the dominating point 0:
+        // up-closure forces both to 1.
+        let h = MonotoneClassifier::from_positive_points(&points, &[true, false]);
+        assert_eq!(h.classify(points.point(0)), Label::One);
+        assert_eq!(h.classify(points.point(1)), Label::One);
+    }
+
+    #[test]
+    fn violation_detection() {
+        // Point 1 = (1,1) dominates point 0 = (0,0).
+        let points = PointSet::from_rows(2, &[vec![0.0, 0.0], vec![1.0, 1.0]]);
+        // Dominated 0, dominating 1: monotone.
+        assert_eq!(
+            find_monotonicity_violation(&points, &[Label::Zero, Label::One]),
+            None
+        );
+        // Dominated 1 while dominating 0: violation (dominating index first).
+        assert_eq!(
+            find_monotonicity_violation(&points, &[Label::One, Label::Zero]),
+            Some((1, 0))
+        );
+        // Incomparable points: any assignment is monotone.
+        let points = PointSet::from_rows(2, &[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        assert_eq!(
+            find_monotonicity_violation(&points, &[Label::One, Label::Zero]),
+            None
+        );
+    }
+
+    #[test]
+    fn errors_on_labeled_and_weighted() {
+        let points = PointSet::from_rows(1, &[vec![1.0], vec![2.0], vec![3.0]]);
+        let labels = vec![Label::Zero, Label::One, Label::Zero];
+        let h = MonotoneClassifier::threshold_1d(1.5);
+        let ls = LabeledSet::new(points.clone(), labels.clone());
+        assert_eq!(h.error_on(&ls), 1); // point 3.0 predicted 1 but labeled 0
+        let ws = WeightedSet::new(points, labels, vec![1.0, 1.0, 10.0]);
+        assert_eq!(h.weighted_error_on(&ws), 10.0);
+    }
+
+    #[test]
+    fn next_up_properties() {
+        assert!(next_up(0.0) > 0.0);
+        assert!(next_up(1.0) > 1.0);
+        assert!(next_up(-1.0) > -1.0);
+        assert_eq!(next_up(f64::INFINITY), f64::INFINITY);
+        let x = 123.456;
+        assert_eq!(next_up(x), f64::from_bits(x.to_bits() + 1));
+    }
+}

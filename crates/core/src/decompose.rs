@@ -1,0 +1,95 @@
+//! Dimension-dispatched minimum chain decomposition.
+//!
+//! All consumers of Lemma 6 in this crate route through
+//! [`minimum_chains`], which picks the cheapest exact algorithm:
+//!
+//! * `d = 1` — sorting: the whole set is one chain (`O(n log n)`);
+//! * `d = 2` — the patience-pile construction (`O(n log n)`);
+//! * `d ≥ 3` — the generic DAG + Hopcroft–Karp pipeline
+//!   (`O(d·n² + n^2.5)`, the paper's Lemma 6).
+//!
+//! All three return a *minimum* decomposition, so every probing/error
+//! guarantee downstream is unaffected by the dispatch.
+//!
+//! # Example
+//!
+//! ```
+//! use mc_core::minimum_chains;
+//! use mc_geom::PointSet;
+//!
+//! let points = PointSet::from_rows(2, &[vec![0.0, 1.0], vec![1.0, 0.0], vec![2.0, 2.0]]);
+//! let chains = minimum_chains(&points);
+//! assert_eq!(chains.len(), 2); // the dominance width
+//! ```
+
+use mc_chains::{ChainDecomposition, TwoDimDecomposition};
+use mc_geom::PointSet;
+
+/// Computes a minimum chain decomposition (ascending dominance order
+/// within each chain), dispatching on dimensionality.
+pub fn minimum_chains(points: &PointSet) -> Vec<Vec<usize>> {
+    if points.is_empty() {
+        return Vec::new();
+    }
+    match points.dim() {
+        1 => {
+            let mut order: Vec<usize> = (0..points.len()).collect();
+            order.sort_by(|&a, &b| points.point(a)[0].total_cmp(&points.point(b)[0]));
+            vec![order]
+        }
+        2 => TwoDimDecomposition::compute(points).chains().to_vec(),
+        _ => ChainDecomposition::compute(points).chains().to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_chains::dominance_width;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn one_dim_is_single_sorted_chain() {
+        let points = PointSet::from_values_1d(&[3.0, 1.0, 2.0]);
+        let chains = minimum_chains(&points);
+        assert_eq!(chains, vec![vec![1, 2, 0]]);
+    }
+
+    #[test]
+    fn empty_set() {
+        assert!(minimum_chains(&PointSet::new(4)).is_empty());
+    }
+
+    #[test]
+    fn chain_count_equals_width_all_dims() {
+        let mut rng = StdRng::seed_from_u64(0xDD);
+        for dim in [1usize, 2, 3, 5] {
+            for _ in 0..5 {
+                let n = rng.gen_range(1..40);
+                let rows: Vec<Vec<f64>> = (0..n)
+                    .map(|_| {
+                        (0..dim)
+                            .map(|_| rng.gen_range(0.0f64..5.0).round())
+                            .collect()
+                    })
+                    .collect();
+                let points = PointSet::from_rows(dim, &rows);
+                let chains = minimum_chains(&points);
+                assert_eq!(chains.len(), dominance_width(&points), "d = {dim}");
+                // Valid partition into valid chains.
+                let mut seen = vec![false; n];
+                for chain in &chains {
+                    for pair in chain.windows(2) {
+                        assert!(points.dominates(pair[1], pair[0]));
+                    }
+                    for &i in chain {
+                        assert!(!seen[i]);
+                        seen[i] = true;
+                    }
+                }
+                assert!(seen.iter().all(|&s| s));
+            }
+        }
+    }
+}

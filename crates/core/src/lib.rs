@@ -1,0 +1,31 @@
+//! Active and passive monotone classification — the primary contribution
+//! of "New Algorithms for Monotone Classification" (Tao & Wang, PODS 2021).
+//!
+//! * [`classifier`] — monotone classifiers in anchor (minimal-up-set)
+//!   representation; monotone by construction.
+//! * [`passive`] — Problem 2: optimal weighted classification in
+//!   `O(d·n²) + T_maxflow(n)` via min-cut (Theorem 4), plus exponential
+//!   and 1D baselines.
+//! * [`active`] — Problem 1: `(1+ε)`-approximate classification with
+//!   `O((w/ε²)·log(n/w)·log n)` probes (Theorems 2 and 3), built on the
+//!   Section-3 recursive 1D sampler and the Section-4 chain reduction.
+//! * [`sampling`] — Lemma 5 sample-size machinery.
+//! * [`oracle`] — probe-counting label oracles.
+//! * [`baselines`] — ProbeAll, UniformSample and chain-binary-search
+//!   comparators used in the experiments.
+
+pub mod active;
+pub mod baselines;
+pub mod classifier;
+pub mod decompose;
+pub mod metrics;
+pub mod oracle;
+pub mod passive;
+pub mod sampling;
+
+pub use active::{ActiveParams, ActiveSolution, ActiveSolver};
+pub use classifier::{find_monotonicity_violation, MonotoneClassifier};
+pub use decompose::minimum_chains;
+pub use metrics::{cross_validate_passive, train_test_split, ConfusionMatrix};
+pub use oracle::{InMemoryOracle, LabelOracle, NoisyOracle, SubsetOracle};
+pub use passive::{solve_passive, PassiveSolution, PassiveSolver};

@@ -1,0 +1,265 @@
+//! Evaluation metrics for matching classifiers.
+//!
+//! The paper's motivation (Section 1.1) is generalization: the learned
+//! classifier should perform well on pairs *drawn from the underlying
+//! distribution*, not only on the sample it was trained on. This module
+//! provides the standard binary-classification metrics (confusion matrix,
+//! precision/recall/F1, accuracy) plus a train/test split helper, used by
+//! the generalization experiment (E11).
+//!
+//! # Example
+//!
+//! ```
+//! use mc_core::{ConfusionMatrix, MonotoneClassifier};
+//! use mc_geom::{Label, LabeledSet};
+//!
+//! let mut data = LabeledSet::empty(1);
+//! data.push(&[1.0], Label::Zero);
+//! data.push(&[3.0], Label::One);
+//! let m = ConfusionMatrix::evaluate(&MonotoneClassifier::threshold_1d(2.0), &data);
+//! assert_eq!(m.accuracy(), 1.0);
+//! ```
+
+use crate::classifier::MonotoneClassifier;
+use mc_geom::{Label, LabeledSet};
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, SeedableRng};
+
+/// A binary confusion matrix (label 1 = positive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConfusionMatrix {
+    /// Predicted 1, labeled 1.
+    pub true_positives: u64,
+    /// Predicted 1, labeled 0.
+    pub false_positives: u64,
+    /// Predicted 0, labeled 0.
+    pub true_negatives: u64,
+    /// Predicted 0, labeled 1.
+    pub false_negatives: u64,
+}
+
+impl ConfusionMatrix {
+    /// Evaluates a classifier on a labeled set.
+    pub fn evaluate(classifier: &MonotoneClassifier, data: &LabeledSet) -> Self {
+        let mut m = Self::default();
+        for (i, p) in data.points().iter().enumerate() {
+            match (classifier.classify(p), data.label(i)) {
+                (Label::One, Label::One) => m.true_positives += 1,
+                (Label::One, Label::Zero) => m.false_positives += 1,
+                (Label::Zero, Label::Zero) => m.true_negatives += 1,
+                (Label::Zero, Label::One) => m.false_negatives += 1,
+            }
+        }
+        m
+    }
+
+    /// Total number of evaluated points.
+    pub fn total(&self) -> u64 {
+        self.true_positives + self.false_positives + self.true_negatives + self.false_negatives
+    }
+
+    /// Number of misclassified points (the paper's `err_P(h)`).
+    pub fn errors(&self) -> u64 {
+        self.false_positives + self.false_negatives
+    }
+
+    /// Fraction of correct predictions; 1.0 on an empty set.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 1.0;
+        }
+        (self.true_positives + self.true_negatives) as f64 / total as f64
+    }
+
+    /// `TP / (TP + FP)`; 1.0 when nothing was predicted positive.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            return 1.0;
+        }
+        self.true_positives as f64 / denom as f64
+    }
+
+    /// `TP / (TP + FN)`; 1.0 when there are no positives.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            return 1.0;
+        }
+        self.true_positives as f64 / denom as f64
+    }
+
+    /// Harmonic mean of precision and recall (0.0 when both are 0).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+}
+
+/// Splits a labeled set into train/test parts with a seeded shuffle;
+/// `train_fraction ∈ (0, 1)`.
+///
+/// # Panics
+///
+/// Panics on an out-of-range fraction.
+pub fn train_test_split(
+    data: &LabeledSet,
+    train_fraction: f64,
+    seed: u64,
+) -> (LabeledSet, LabeledSet) {
+    assert!(
+        train_fraction > 0.0 && train_fraction < 1.0,
+        "train_fraction must lie strictly between 0 and 1"
+    );
+    let n = data.len();
+    let mut indices: Vec<usize> = (0..n).collect();
+    indices.shuffle(&mut StdRng::seed_from_u64(seed));
+    let cut = ((n as f64) * train_fraction).round() as usize;
+    let cut = cut.clamp(usize::from(n > 1), n.saturating_sub(usize::from(n > 1)));
+    (data.subset(&indices[..cut]), data.subset(&indices[cut..]))
+}
+
+/// K-fold cross-validation of the exact passive learner: returns one
+/// [`ConfusionMatrix`] per fold, each evaluated on the held-out fold
+/// after training (passive solve) on the remaining `k − 1`.
+///
+/// # Panics
+///
+/// Panics unless `2 ≤ k ≤ data.len()`.
+pub fn cross_validate_passive(data: &LabeledSet, k: usize, seed: u64) -> Vec<ConfusionMatrix> {
+    let n = data.len();
+    assert!(k >= 2, "cross-validation needs at least 2 folds");
+    assert!(k <= n, "more folds ({k}) than points ({n})");
+    let mut indices: Vec<usize> = (0..n).collect();
+    indices.shuffle(&mut StdRng::seed_from_u64(seed));
+    let mut results = Vec::with_capacity(k);
+    for fold in 0..k {
+        let lo = fold * n / k;
+        let hi = (fold + 1) * n / k;
+        let test_idx = &indices[lo..hi];
+        let train_idx: Vec<usize> = indices[..lo]
+            .iter()
+            .chain(&indices[hi..])
+            .copied()
+            .collect();
+        let train = data.subset(&train_idx);
+        let test = data.subset(test_idx);
+        let model = crate::passive::solver::solve_passive(&train.with_unit_weights());
+        results.push(ConfusionMatrix::evaluate(&model.classifier, &test));
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_geom::PointSet;
+
+    fn sample() -> LabeledSet {
+        LabeledSet::new(
+            PointSet::from_rows(1, &[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]),
+            vec![Label::Zero, Label::Zero, Label::One, Label::One],
+        )
+    }
+
+    #[test]
+    fn perfect_classifier_metrics() {
+        let h = MonotoneClassifier::threshold_1d(1.5);
+        let m = ConfusionMatrix::evaluate(&h, &sample());
+        assert_eq!(m.true_positives, 2);
+        assert_eq!(m.true_negatives, 2);
+        assert_eq!(m.errors(), 0);
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.f1(), 1.0);
+    }
+
+    #[test]
+    fn all_positive_classifier() {
+        let h = MonotoneClassifier::all_one(1);
+        let m = ConfusionMatrix::evaluate(&h, &sample());
+        assert_eq!(m.false_positives, 2);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.precision(), 0.5);
+        assert_eq!(m.accuracy(), 0.5);
+        assert!((m.f1() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_negative_classifier() {
+        let h = MonotoneClassifier::all_zero(1);
+        let m = ConfusionMatrix::evaluate(&h, &sample());
+        assert_eq!(m.recall(), 0.0);
+        assert_eq!(m.precision(), 1.0, "vacuous precision");
+        assert_eq!(m.f1(), 0.0);
+    }
+
+    #[test]
+    fn empty_set_metrics() {
+        let h = MonotoneClassifier::all_zero(2);
+        let empty = LabeledSet::empty(2);
+        let m = ConfusionMatrix::evaluate(&h, &empty);
+        assert_eq!(m.total(), 0);
+        assert_eq!(m.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn split_partitions_data() {
+        let data = sample();
+        let (train, test) = train_test_split(&data, 0.5, 1);
+        assert_eq!(train.len() + test.len(), data.len());
+        assert!(!train.is_empty());
+        assert!(!test.is_empty());
+        // Deterministic.
+        let (train2, _) = train_test_split(&data, 0.5, 1);
+        assert_eq!(train, train2);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly between")]
+    fn split_rejects_bad_fraction() {
+        train_test_split(&sample(), 1.0, 0);
+    }
+
+    #[test]
+    fn cross_validation_covers_every_point_once() {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(0xCF);
+        let mut data = LabeledSet::empty(2);
+        for _ in 0..90 {
+            let x: f64 = rng.gen_range(0.0..1.0);
+            let y: f64 = rng.gen_range(0.0..1.0);
+            data.push(&[x, y], Label::from_bool(x + y > 1.0));
+        }
+        let folds = cross_validate_passive(&data, 5, 1);
+        assert_eq!(folds.len(), 5);
+        let total: u64 = folds.iter().map(|m| m.total()).sum();
+        assert_eq!(total, 90, "every point evaluated exactly once");
+        // Clean concept: held-out accuracy should be high.
+        let mean_acc: f64 = folds.iter().map(|m| m.accuracy()).sum::<f64>() / 5.0;
+        assert!(mean_acc > 0.85, "mean accuracy {mean_acc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "folds")]
+    fn cross_validation_rejects_one_fold() {
+        cross_validate_passive(&sample(), 1, 0);
+    }
+
+    #[test]
+    fn split_never_empties_either_side() {
+        let data = sample();
+        let (train, test) = train_test_split(&data, 0.01, 2);
+        assert!(!train.is_empty());
+        assert!(!test.is_empty());
+        let (train, test) = train_test_split(&data, 0.99, 2);
+        assert!(!train.is_empty());
+        assert!(!test.is_empty());
+    }
+}

@@ -1,0 +1,130 @@
+//! Brute-force passive solver — the exponential baseline from Section 1.2
+//! ("examine every possible subset S ⊆ P"), kept as a correctness oracle
+//! for the flow-based solver and for the E6 experiment's timing contrast.
+
+use crate::classifier::MonotoneClassifier;
+use crate::passive::solver::PassiveSolution;
+use mc_geom::{Label, WeightedSet};
+
+/// Optimal passive solve by enumerating all `2^n` label assignments and
+/// keeping the best monotone one.
+///
+/// # Panics
+///
+/// Panics if `data.len() > 22` — this is a test oracle, not a production
+/// path.
+#[allow(clippy::needless_range_loop)]
+pub fn solve_passive_brute_force(data: &WeightedSet) -> PassiveSolution {
+    let n = data.len();
+    assert!(n <= 22, "brute force is exponential; n = {n} too large");
+    if n == 0 {
+        return PassiveSolution {
+            classifier: MonotoneClassifier::all_zero(data.dim().max(1)),
+            weighted_error: 0.0,
+            assignment: Vec::new(),
+            contending: 0,
+        };
+    }
+    let points = data.points();
+    // dominated_by[i] = bitmask of points j (j != i) that dominate i.
+    let mut dominated_by = vec![0u32; n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && points.dominates(j, i) {
+                dominated_by[i] |= 1 << j;
+            }
+        }
+    }
+    let mut best_mask = 0u32;
+    let mut best_err = f64::INFINITY;
+    'mask: for mask in 0u32..(1u32 << n) {
+        // Monotone ⟺ the 1-set is an up-set: every point dominating a
+        // 1-assigned point is itself 1-assigned.
+        let mut m = mask;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            m &= m - 1;
+            if dominated_by[i] & !mask != 0 {
+                continue 'mask;
+            }
+        }
+        let mut err = 0.0;
+        for i in 0..n {
+            let assigned_one = mask >> i & 1 == 1;
+            if assigned_one != data.label(i).is_one() {
+                err += data.weight(i);
+            }
+        }
+        if err < best_err {
+            best_err = err;
+            best_mask = mask;
+        }
+    }
+    let assignment: Vec<Label> = (0..n)
+        .map(|i| Label::from_bool(best_mask >> i & 1 == 1))
+        .collect();
+    let positive: Vec<bool> = assignment.iter().map(|l| l.is_one()).collect();
+    PassiveSolution {
+        classifier: MonotoneClassifier::from_positive_points(points, &positive),
+        weighted_error: best_err,
+        assignment,
+        contending: crate::passive::contending::ContendingPoints::compute(data).len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passive::solver::solve_passive;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn flow_solver_matches_brute_force_on_random_inputs() {
+        let mut rng = StdRng::seed_from_u64(0xB0B);
+        for dim in [1usize, 2, 3] {
+            for trial in 0..40 {
+                let n = rng.gen_range(0..11);
+                let mut ws = WeightedSet::empty(dim);
+                for _ in 0..n {
+                    let coords: Vec<f64> = (0..dim)
+                        .map(|_| rng.gen_range(0.0f64..4.0).round())
+                        .collect();
+                    let label = Label::from_bool(rng.gen_bool(0.5));
+                    let weight = rng.gen_range(1..10) as f64;
+                    ws.push(&coords, label, weight);
+                }
+                let flow = solve_passive(&ws);
+                let brute = solve_passive_brute_force(&ws);
+                assert!(
+                    (flow.weighted_error - brute.weighted_error).abs() < 1e-9,
+                    "dim {dim} trial {trial}: flow {} vs brute {} on {ws:?}",
+                    flow.weighted_error,
+                    brute.weighted_error
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unweighted_random_inputs() {
+        let mut rng = StdRng::seed_from_u64(0xFACE);
+        for trial in 0..30 {
+            let n = rng.gen_range(1..13);
+            let mut ws = WeightedSet::empty(2);
+            for _ in 0..n {
+                let coords = vec![
+                    rng.gen_range(0.0f64..3.0).round(),
+                    rng.gen_range(0.0f64..3.0).round(),
+                ];
+                ws.push(&coords, Label::from_bool(rng.gen_bool(0.5)), 1.0);
+            }
+            let flow = solve_passive(&ws);
+            let brute = solve_passive_brute_force(&ws);
+            assert_eq!(
+                flow.weighted_error, brute.weighted_error,
+                "trial {trial}: {ws:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Contending points — Section 5.1 and Lemma 15.
+//!
+//! A point `p ∈ P` is *contending* when its label can conflict with
+//! monotonicity:
+//!
+//! * `label(p) = 0` but some label-1 point `q` is dominated by `p`, or
+//! * `label(p) = 1` but some label-0 point `q` dominates `p`.
+//!
+//! Lemma 15 shows that an optimal monotone classifier on the contending
+//! subset extends to one on all of `P` by letting every non-contending
+//! point keep its own label. The passive solver therefore only feeds
+//! contending points into the flow network.
+//!
+//! Equal points with different labels are treated as mutually dominating
+//! (reflexive dominance), which is forced: any classifier assigns equal
+//! points equal outputs, so such a pair always contends.
+
+use mc_geom::WeightedSet;
+
+/// The partition of contending points by label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContendingPoints {
+    /// Indices of contending label-0 points (`P_0^con`).
+    pub zeros: Vec<usize>,
+    /// Indices of contending label-1 points (`P_1^con`).
+    pub ones: Vec<usize>,
+}
+
+impl ContendingPoints {
+    /// Computes the contending points of `data` — `O(n log n)` sweeps for
+    /// `d ≤ 2`, the generic `O(d·n²)` scan otherwise.
+    pub fn compute(data: &WeightedSet) -> Self {
+        if data.dim() <= 2 {
+            crate::passive::sparse::contending_sweep(data)
+        } else {
+            Self::compute_generic_parallel(data)
+        }
+    }
+
+    /// The generic `O(d·n²)` pairwise scan (any dimension); also the
+    /// reference implementation the sweep is tested against.
+    #[allow(clippy::needless_range_loop)]
+    pub fn compute_generic(data: &WeightedSet) -> Self {
+        let n = data.len();
+        let points = data.points();
+        let mut zeros = Vec::new();
+        let mut ones_mask = vec![false; n];
+        // A label-0 point contends iff it dominates a label-1 point;
+        // that label-1 point contends too. One pass over ordered pairs
+        // (p label-0, q label-1) discovers both sides.
+        for p in 0..n {
+            if data.label(p).is_one() {
+                continue;
+            }
+            let mut contends = false;
+            for q in 0..n {
+                if p != q && data.label(q).is_one() && points.dominates(p, q) {
+                    contends = true;
+                    ones_mask[q] = true;
+                }
+            }
+            if contends {
+                zeros.push(p);
+            }
+        }
+        let ones = (0..n).filter(|&q| ones_mask[q]).collect();
+        Self { zeros, ones }
+    }
+
+    /// Parallel version of the generic scan for `d ≥ 3`: the outer loop
+    /// over label-0 points shards across cores; per-thread hit masks for
+    /// the label-1 side are OR-merged at the end.
+    #[allow(clippy::needless_range_loop)] // paired p/q index scans
+    pub fn compute_generic_parallel(data: &WeightedSet) -> Self {
+        let n = data.len();
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        if n < 4_000 || threads <= 1 {
+            return Self::compute_generic(data);
+        }
+        let chunk = n.div_ceil(threads);
+        let mut zeros = Vec::new();
+        let mut ones_mask = vec![false; n];
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(n);
+                    scope.spawn(move || {
+                        let points = data.points();
+                        let mut local_zeros = Vec::new();
+                        let mut local_mask = vec![false; n];
+                        for p in lo..hi {
+                            if data.label(p).is_one() {
+                                continue;
+                            }
+                            let mut contends = false;
+                            for q in 0..n {
+                                if p != q && data.label(q).is_one() && points.dominates(p, q) {
+                                    contends = true;
+                                    local_mask[q] = true;
+                                }
+                            }
+                            if contends {
+                                local_zeros.push(p);
+                            }
+                        }
+                        (local_zeros, local_mask)
+                    })
+                })
+                .collect();
+            for handle in handles {
+                let (local_zeros, local_mask) = handle.join().expect("contending worker panicked");
+                zeros.extend(local_zeros);
+                for (q, hit) in local_mask.into_iter().enumerate() {
+                    ones_mask[q] |= hit;
+                }
+            }
+        });
+        let ones = (0..n).filter(|&q| ones_mask[q]).collect();
+        Self { zeros, ones }
+    }
+
+    /// Total number of contending points.
+    pub fn len(&self) -> usize {
+        self.zeros.len() + self.ones.len()
+    }
+
+    /// `true` iff no point contends (the labeling is already monotone).
+    pub fn is_empty(&self) -> bool {
+        self.zeros.is_empty() && self.ones.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_geom::{Label, PointSet};
+
+    fn wset(rows: &[(Vec<f64>, Label, f64)]) -> WeightedSet {
+        let dim = rows[0].0.len();
+        let mut ws = WeightedSet::empty(dim);
+        for (coords, label, weight) in rows {
+            ws.push(coords, *label, *weight);
+        }
+        ws
+    }
+
+    #[test]
+    fn monotone_labeling_has_no_contenders() {
+        let ws = wset(&[
+            (vec![0.0], Label::Zero, 1.0),
+            (vec![1.0], Label::Zero, 1.0),
+            (vec![2.0], Label::One, 1.0),
+        ]);
+        let con = ContendingPoints::compute(&ws);
+        assert!(con.is_empty());
+    }
+
+    #[test]
+    fn inversion_contends_on_both_sides() {
+        let ws = wset(&[(vec![0.0], Label::One, 1.0), (vec![1.0], Label::Zero, 1.0)]);
+        let con = ContendingPoints::compute(&ws);
+        assert_eq!(con.zeros, vec![1]);
+        assert_eq!(con.ones, vec![0]);
+    }
+
+    #[test]
+    fn equal_points_with_different_labels_contend() {
+        let ws = wset(&[
+            (vec![1.0, 1.0], Label::One, 1.0),
+            (vec![1.0, 1.0], Label::Zero, 1.0),
+        ]);
+        let con = ContendingPoints::compute(&ws);
+        assert_eq!(con.zeros, vec![1]);
+        assert_eq!(con.ones, vec![0]);
+    }
+
+    #[test]
+    fn incomparable_points_never_contend() {
+        let ws = wset(&[
+            (vec![0.0, 1.0], Label::One, 1.0),
+            (vec![1.0, 0.0], Label::Zero, 1.0),
+        ]);
+        assert!(ContendingPoints::compute(&ws).is_empty());
+    }
+
+    #[test]
+    fn chain_of_three_with_middle_inversion() {
+        // 0 < 1 < 2 with labels 0, 1, 0: the middle 1-point is dominated
+        // by the top 0-point; the top contends, the bottom does not.
+        let ws = wset(&[
+            (vec![0.0], Label::Zero, 1.0),
+            (vec![1.0], Label::One, 1.0),
+            (vec![2.0], Label::Zero, 1.0),
+        ]);
+        let con = ContendingPoints::compute(&ws);
+        assert_eq!(con.zeros, vec![2]);
+        assert_eq!(con.ones, vec![1]);
+    }
+
+    #[test]
+    fn paper_figure2a_contending_set() {
+        // See mc-data::paper_example for the full fixture; here we spot
+        // check the structural pattern: whites above a black contend.
+        let ws = wset(&[
+            (vec![1.0, 1.5], Label::One, 100.0), // p1
+            (vec![2.0, 3.0], Label::Zero, 1.0),  // p2 ⪰ p1 → both contend
+            (vec![8.0, 0.2], Label::Zero, 1.0),  // p6: no black below
+        ]);
+        let con = ContendingPoints::compute(&ws);
+        assert_eq!(con.zeros, vec![1]);
+        assert_eq!(con.ones, vec![0]);
+    }
+
+    #[test]
+    fn empty_set() {
+        let ws = WeightedSet::new(PointSet::new(2), vec![], vec![]);
+        assert!(ContendingPoints::compute(&ws).is_empty());
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xC0);
+        for &n in &[0usize, 50, 5000] {
+            let mut ws = WeightedSet::empty(3);
+            for _ in 0..n {
+                let coords = vec![
+                    rng.gen_range(0.0f64..8.0).round(),
+                    rng.gen_range(0.0f64..8.0).round(),
+                    rng.gen_range(0.0f64..8.0).round(),
+                ];
+                ws.push(&coords, Label::from_bool(rng.gen_bool(0.5)), 1.0);
+            }
+            assert_eq!(
+                ContendingPoints::compute_generic(&ws),
+                ContendingPoints::compute_generic_parallel(&ws),
+                "n = {n}"
+            );
+        }
+    }
+}

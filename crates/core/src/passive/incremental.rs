@@ -1,0 +1,332 @@
+//! Incremental passive classification: maintain the optimal weighted
+//! error of a growing dataset under point insertions.
+//!
+//! Streaming entity resolution labels pairs one at a time; re-running
+//! Theorem 4's solver from scratch after every arrival costs a full max
+//! flow each time. But insertions only *add* capacity to the classifier
+//! network — the previous maximum flow stays feasible — so the new
+//! optimum is reachable by warm-started augmentation: add the new node
+//! and its edges to the residual graph and push only the *additional*
+//! flow. The amortized work per insertion is one partial Dinic run.
+//!
+//! Unlike the batch solver, the incremental network keeps **every** point
+//! as a node (the Lemma-15 contending restriction is a static
+//! optimization that does not survive insertions: a previously
+//! non-contending point can start contending when its counterpart
+//! arrives). The value of the maintained max flow is nonetheless the
+//! same optimal weighted error — the extra nodes carry no crossing
+//! dominance edges until they contend.
+
+use crate::classifier::MonotoneClassifier;
+use mc_geom::{Label, PointSet};
+
+const EPS: f64 = 1e-9;
+/// Capacity standing in for `+∞` on dominance edges: far above any total
+/// weight a caller can accumulate, far below overflow territory.
+const HUGE: f64 = 1e18;
+
+/// Incrementally maintained passive solver.
+///
+/// # Example
+///
+/// ```
+/// use mc_core::passive::IncrementalPassive;
+/// use mc_geom::Label;
+///
+/// let mut inc = IncrementalPassive::new(1);
+/// assert_eq!(inc.insert(&[0.0], Label::Zero, 1.0), 0.0);
+/// assert_eq!(inc.insert(&[1.0], Label::One, 1.0), 0.0);
+/// // A heavy 1 arrives *below* the existing 0 — an inversion whose
+/// // cheapest repair flips the unit-weight 0.
+/// assert_eq!(inc.insert(&[-1.0], Label::One, 5.0), 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncrementalPassive {
+    points: PointSet,
+    labels: Vec<Label>,
+    weights: Vec<f64>,
+    /// Node of point `i` is `2 + i`; 0 = source, 1 = sink.
+    /// Residual-graph arrays in the paired-edge layout.
+    head: Vec<u32>,
+    residual: Vec<f64>,
+    adj: Vec<Vec<u32>>,
+    /// Current max-flow value = current optimal weighted error.
+    value: f64,
+}
+
+impl IncrementalPassive {
+    /// Creates an empty incremental solver for `dim`-dimensional points.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            points: PointSet::new(dim),
+            labels: Vec::new(),
+            weights: Vec::new(),
+            head: Vec::new(),
+            residual: Vec::new(),
+            adj: vec![Vec::new(), Vec::new()], // source, sink
+            value: 0.0,
+        }
+    }
+
+    fn add_edge(&mut self, u: usize, v: usize, cap: f64) {
+        let id = self.head.len();
+        self.head.push(v as u32);
+        self.residual.push(cap);
+        self.adj[u].push(id as u32);
+        self.head.push(u as u32);
+        self.residual.push(0.0);
+        self.adj[v].push(id as u32 + 1);
+    }
+
+    /// Inserts a labeled weighted point and returns the new optimal
+    /// weighted error of the accumulated dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or a non-positive/non-finite weight.
+    pub fn insert(&mut self, coords: &[f64], label: Label, weight: f64) -> f64 {
+        assert!(
+            weight > 0.0 && weight.is_finite(),
+            "weight must be positive and finite"
+        );
+        let idx = self.points.push(coords);
+        self.labels.push(label);
+        self.weights.push(weight);
+        let node = 2 + idx;
+        self.adj.push(Vec::new());
+
+        match label {
+            Label::Zero => self.add_edge(0, node, weight),
+            Label::One => self.add_edge(node, 1, weight),
+        }
+        // Dominance edges to/from all previous points with opposite label.
+        for j in 0..idx {
+            if self.labels[j] == label {
+                continue;
+            }
+            let (zero, one) = if label.is_zero() { (idx, j) } else { (j, idx) };
+            if self.points.dominates(zero, one) {
+                // "Infinite" capacity: a finite min cut always exists
+                // (every label-1 point has a finite sink edge), so a fixed
+                // huge constant is never a bottleneck and — unlike a
+                // total-weight surrogate — never needs topping up as
+                // points arrive.
+                self.add_edge(2 + zero, 2 + one, HUGE);
+            }
+        }
+
+        // Warm-started Dinic: previous flow is feasible, push the rest.
+        self.value += self.augment();
+        self.value
+    }
+
+    /// Dinic phases over the current residual graph; returns added flow.
+    fn augment(&mut self) -> f64 {
+        let n = self.adj.len();
+        let mut added = 0.0;
+        let mut level = vec![-1i32; n];
+        let mut arc = vec![0usize; n];
+        loop {
+            // BFS levels.
+            level.iter_mut().for_each(|l| *l = -1);
+            let mut queue = std::collections::VecDeque::new();
+            level[0] = 0;
+            queue.push_back(0usize);
+            while let Some(u) = queue.pop_front() {
+                for &e in &self.adj[u] {
+                    let e = e as usize;
+                    if self.residual[e] > EPS {
+                        let v = self.head[e] as usize;
+                        if level[v] < 0 {
+                            level[v] = level[u] + 1;
+                            queue.push_back(v);
+                        }
+                    }
+                }
+            }
+            if level[1] < 0 {
+                return added;
+            }
+            arc.iter_mut().for_each(|a| *a = 0);
+            // Iterative blocking flow (paths can be long).
+            loop {
+                let mut path: Vec<usize> = Vec::new();
+                let pushed = 'walk: loop {
+                    let u = match path.last() {
+                        Some(&e) => self.head[e] as usize,
+                        None => 0,
+                    };
+                    if u == 1 {
+                        let mut bottleneck = f64::INFINITY;
+                        for &e in &path {
+                            bottleneck = bottleneck.min(self.residual[e]);
+                        }
+                        for &e in &path {
+                            self.residual[e] -= bottleneck;
+                            self.residual[e ^ 1] += bottleneck;
+                        }
+                        break 'walk bottleneck;
+                    }
+                    let mut advanced = false;
+                    while arc[u] < self.adj[u].len() {
+                        let e = self.adj[u][arc[u]] as usize;
+                        let v = self.head[e] as usize;
+                        if self.residual[e] > EPS && level[v] == level[u] + 1 {
+                            path.push(e);
+                            advanced = true;
+                            break;
+                        }
+                        arc[u] += 1;
+                    }
+                    if advanced {
+                        continue;
+                    }
+                    match path.pop() {
+                        Some(e) => {
+                            let parent = self.head[e ^ 1] as usize;
+                            arc[parent] += 1;
+                        }
+                        None => break 'walk 0.0,
+                    }
+                };
+                if pushed <= EPS {
+                    break;
+                }
+                added += pushed;
+            }
+        }
+    }
+
+    /// The number of inserted points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` iff no points were inserted.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The current optimal weighted error.
+    pub fn weighted_error(&self) -> f64 {
+        self.value
+    }
+
+    /// Extracts the current optimal classifier (a min-cut readout, same
+    /// construction as the batch solver).
+    pub fn classifier(&self) -> MonotoneClassifier {
+        let n = self.adj.len();
+        // Residual BFS from the source.
+        let mut source_side = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        source_side[0] = true;
+        queue.push_back(0usize);
+        while let Some(u) = queue.pop_front() {
+            for &e in &self.adj[u] {
+                let e = e as usize;
+                if self.residual[e] > EPS {
+                    let v = self.head[e] as usize;
+                    if !source_side[v] {
+                        source_side[v] = true;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        let positive: Vec<bool> = (0..self.points.len())
+            .map(|i| match self.labels[i] {
+                // Zero flips to 1 iff its source edge is cut (left S).
+                Label::Zero => !source_side[2 + i],
+                // One stays 1 iff its sink edge is uncut (left S).
+                Label::One => !source_side[2 + i],
+            })
+            .collect();
+        MonotoneClassifier::from_positive_points(&self.points, &positive)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passive::solver::solve_passive;
+    use mc_geom::WeightedSet;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn matches_batch_solver_after_every_insert() {
+        let mut rng = StdRng::seed_from_u64(0x1CC);
+        for dim in [1usize, 2, 3] {
+            let mut inc = IncrementalPassive::new(dim);
+            let mut batch = WeightedSet::empty(dim);
+            for step in 0..40 {
+                let coords: Vec<f64> = (0..dim)
+                    .map(|_| rng.gen_range(0.0f64..5.0).round())
+                    .collect();
+                let label = Label::from_bool(rng.gen_bool(0.5));
+                let weight = rng.gen_range(1..10) as f64;
+                let inc_err = inc.insert(&coords, label, weight);
+                batch.push(&coords, label, weight);
+                let batch_err = solve_passive(&batch).weighted_error;
+                assert!(
+                    (inc_err - batch_err).abs() < 1e-6,
+                    "dim {dim} step {step}: incremental {inc_err} vs batch {batch_err}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn classifier_achieves_reported_error() {
+        let mut rng = StdRng::seed_from_u64(0x1CD);
+        let mut inc = IncrementalPassive::new(2);
+        let mut batch = WeightedSet::empty(2);
+        for _ in 0..30 {
+            let coords = vec![
+                rng.gen_range(0.0f64..4.0).round(),
+                rng.gen_range(0.0f64..4.0).round(),
+            ];
+            let label = Label::from_bool(rng.gen_bool(0.5));
+            let err = inc.insert(&coords, label, 1.0);
+            batch.push(&coords, label, 1.0);
+            let h = inc.classifier();
+            assert!(
+                (h.weighted_error_on(&batch) - err).abs() < 1e-6,
+                "classifier error {} != reported {err}",
+                h.weighted_error_on(&batch)
+            );
+        }
+    }
+
+    #[test]
+    fn monotone_stream_stays_at_zero() {
+        let mut inc = IncrementalPassive::new(1);
+        for i in 0..50 {
+            let err = inc.insert(&[i as f64], Label::from_bool(i >= 25), 1.0);
+            assert_eq!(err, 0.0);
+        }
+        assert_eq!(inc.len(), 50);
+    }
+
+    #[test]
+    fn error_is_monotone_nondecreasing_in_insertions() {
+        let mut rng = StdRng::seed_from_u64(0x1CE);
+        let mut inc = IncrementalPassive::new(2);
+        let mut last = 0.0;
+        for _ in 0..60 {
+            let coords = vec![
+                rng.gen_range(0.0f64..3.0).round(),
+                rng.gen_range(0.0f64..3.0).round(),
+            ];
+            let err = inc.insert(&coords, Label::from_bool(rng.gen_bool(0.5)), 1.0);
+            assert!(err >= last - 1e-9, "optimal error cannot decrease");
+            last = err;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_bad_weight() {
+        IncrementalPassive::new(1).insert(&[1.0], Label::One, 0.0);
+    }
+}

@@ -1,0 +1,23 @@
+//! Passive weighted monotone classification — Problem 2 / Theorem 4.
+//!
+//! Given a fully-labeled weighted set, find the monotone classifier with
+//! the smallest weighted error. The paper settles this in
+//! `O(d·n²) + T_maxflow(n)` by a reduction to minimum cut (Section 5):
+//! see [`solver`] for the pipeline, [`contending`] for the Lemma-15
+//! restriction, [`brute`] for the exponential baseline of Section 1.2,
+//! and [`one_dim`] for the `O(n log n)` 1D special case.
+
+pub mod brute;
+pub mod certificate;
+pub mod contending;
+pub mod incremental;
+pub mod one_dim;
+pub mod solver;
+pub(crate) mod sparse;
+
+pub use brute::solve_passive_brute_force;
+pub use certificate::{certify_passive, Certificate, InversionCharge};
+pub use contending::ContendingPoints;
+pub use incremental::IncrementalPassive;
+pub use one_dim::{solve_passive_1d, OneDimOptimum};
+pub use solver::{solve_passive, PassiveSolution, PassiveSolver};

@@ -1,0 +1,316 @@
+//! The passive weighted monotone classification solver — Theorem 4.
+//!
+//! Pipeline (Section 5.1 of the paper):
+//!
+//! 1. restrict to contending points (Lemma 15);
+//! 2. build the flow network `G`:
+//!    * type-1 edges `source → p` with capacity `weight(p)` for each
+//!      contending label-0 point `p`;
+//!    * type-2 edges `q → sink` with capacity `weight(q)` for each
+//!      contending label-1 point `q`;
+//!    * type-3 edges `p → q` with capacity `∞` whenever `p ⪰ q`;
+//! 3. compute a minimum-weight cut-edge set (max flow + residual BFS,
+//!    Lemmas 7/8);
+//! 4. read the classifier off the cut: a contending label-0 point flips to
+//!    1 iff its source edge is cut; a contending label-1 point flips to 0
+//!    iff its sink edge is cut; non-contending points keep their labels
+//!    (Lemmas 16/17 prove this is monotone and optimal).
+//!
+//! Total cost `O(d·n²) + T_maxflow(n)`.
+//!
+//! # Example
+//!
+//! ```
+//! use mc_core::passive::solve_passive;
+//! use mc_geom::{Label, WeightedSet};
+//!
+//! let mut data = WeightedSet::empty(1);
+//! data.push(&[0.0], Label::One, 3.0);  // heavy 1 below...
+//! data.push(&[1.0], Label::Zero, 1.0); // ...a cheap 0: flip the 0.
+//! let sol = solve_passive(&data);
+//! assert_eq!(sol.weighted_error, 1.0);
+//! ```
+
+use crate::classifier::MonotoneClassifier;
+use crate::passive::contending::ContendingPoints;
+use mc_flow::{Capacity, Dinic, FlowNetwork, MaxFlowAlgorithm};
+use mc_geom::{Label, WeightedSet};
+
+/// Result of a passive solve.
+#[derive(Debug, Clone)]
+pub struct PassiveSolution {
+    /// The optimal monotone classifier (anchor representation; defined on
+    /// all of `R^d`).
+    pub classifier: MonotoneClassifier,
+    /// The optimal weighted error `w-err_P(h)` (equation (3)).
+    pub weighted_error: f64,
+    /// Per-point outputs of the classifier on the input set.
+    pub assignment: Vec<Label>,
+    /// Number of contending points fed into the flow network.
+    pub contending: usize,
+}
+
+/// Solver for Problem 2 (passive weighted monotone classification),
+/// parameterized by the max-flow algorithm.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PassiveSolver<A: MaxFlowAlgorithm = Dinic> {
+    algorithm: A,
+}
+
+impl PassiveSolver<Dinic> {
+    /// Solver using the default max-flow algorithm (Dinic).
+    pub fn new() -> Self {
+        Self { algorithm: Dinic }
+    }
+}
+
+impl<A: MaxFlowAlgorithm> PassiveSolver<A> {
+    /// Solver using a specific max-flow algorithm.
+    pub fn with_algorithm(algorithm: A) -> Self {
+        Self { algorithm }
+    }
+
+    /// Solves Problem 2 on `data`, returning an optimal monotone
+    /// classifier and its weighted error.
+    pub fn solve(&self, data: &WeightedSet) -> PassiveSolution {
+        let n = data.len();
+        if n == 0 {
+            return PassiveSolution {
+                classifier: MonotoneClassifier::all_zero(data.dim().max(1)),
+                weighted_error: 0.0,
+                assignment: Vec::new(),
+                contending: 0,
+            };
+        }
+
+        let con = ContendingPoints::compute(data);
+        // Start from the labels themselves; only contending points can flip.
+        let mut assignment: Vec<Label> = data.labels().to_vec();
+
+        let mut weighted_error = 0.0;
+        if !con.is_empty() {
+            // Build the network: the quadratic type-3 edge set of the
+            // paper for d ≥ 3, or the O(n log n)-edge sparsification for
+            // d ≤ 2 (see `super::sparse`); both have identical min cuts.
+            let network = if data.dim() <= 2 {
+                crate::passive::sparse::build_sparse_network(data, &con)
+            } else {
+                build_dense_network(data, &con)
+            };
+
+            let flow = self.algorithm.solve(&network.net);
+            let cut = flow.min_cut(&network.net);
+            debug_assert!(
+                !cut.crosses_infinite,
+                "every label-1 contender has a finite sink edge, so a finite cut exists"
+            );
+            weighted_error = cut.weight;
+
+            // Edge (source, p) is cut ⟺ p left the source side.
+            for (zi, &p) in con.zeros.iter().enumerate() {
+                if !cut.on_source_side(network.zero_nodes[zi]) {
+                    assignment[p] = Label::One;
+                }
+            }
+            // Edge (q, sink) is cut ⟺ q stayed on the source side.
+            for (oi, &q) in con.ones.iter().enumerate() {
+                if cut.on_source_side(network.one_nodes[oi]) {
+                    assignment[q] = Label::Zero;
+                }
+            }
+        }
+
+        // Verify the Lemma-16/17 invariants in debug builds. Both checks
+        // are quadratic-ish, so they are capped to small inputs — the
+        // property-test suites cover the same invariants exhaustively at
+        // those sizes.
+        #[cfg(debug_assertions)]
+        if n <= 2_000 {
+            debug_assert_eq!(
+                crate::classifier::find_monotonicity_violation(data.points(), &assignment),
+                None,
+                "Lemma 16: the cut classifier must be monotone on P"
+            );
+        }
+        let positive: Vec<bool> = assignment.iter().map(|l| l.is_one()).collect();
+        let classifier = MonotoneClassifier::from_positive_points(data.points(), &positive);
+        #[cfg(debug_assertions)]
+        if n <= 2_000 {
+            debug_assert!(
+                (classifier.weighted_error_on(data) - weighted_error).abs()
+                    <= 1e-9 * (1.0 + data.total_weight()),
+                "cut weight {} must equal the classifier's weighted error {}",
+                weighted_error,
+                classifier.weighted_error_on(data)
+            );
+        }
+
+        PassiveSolution {
+            classifier,
+            weighted_error,
+            assignment,
+            contending: con.len(),
+        }
+    }
+}
+
+/// Builds the paper's literal Section-5.1 network: one infinite type-3
+/// edge per dominating `(zero, one)` pair. `Θ(n²)` edges; used for
+/// `d ≥ 3`, where no sparsification is available.
+fn build_dense_network(
+    data: &WeightedSet,
+    con: &ContendingPoints,
+) -> crate::passive::sparse::ClassifierNetwork {
+    let source = 0;
+    let sink = 1;
+    let mut net = FlowNetwork::new(2 + con.len(), source, sink);
+    let zero_nodes: Vec<usize> = (0..con.zeros.len()).map(|i| 2 + i).collect();
+    let one_nodes: Vec<usize> = (0..con.ones.len())
+        .map(|i| 2 + con.zeros.len() + i)
+        .collect();
+    for (zi, &p) in con.zeros.iter().enumerate() {
+        net.add_edge(source, zero_nodes[zi], data.weight(p));
+    }
+    for (oi, &q) in con.ones.iter().enumerate() {
+        net.add_edge(one_nodes[oi], sink, data.weight(q));
+    }
+    let points = data.points();
+    for (zi, &p) in con.zeros.iter().enumerate() {
+        for (oi, &q) in con.ones.iter().enumerate() {
+            if points.dominates(p, q) {
+                net.add_edge(zero_nodes[zi], one_nodes[oi], Capacity::Infinite);
+            }
+        }
+    }
+    crate::passive::sparse::ClassifierNetwork {
+        net,
+        zero_nodes,
+        one_nodes,
+    }
+}
+
+/// Solves Problem 2 with the default solver.
+pub fn solve_passive(data: &WeightedSet) -> PassiveSolution {
+    PassiveSolver::new().solve(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_geom::PointSet;
+
+    fn wset(rows: &[(Vec<f64>, Label, f64)]) -> WeightedSet {
+        let dim = rows[0].0.len();
+        let mut ws = WeightedSet::empty(dim);
+        for (coords, label, weight) in rows {
+            ws.push(coords, *label, *weight);
+        }
+        ws
+    }
+
+    #[test]
+    fn already_monotone_has_zero_error() {
+        let ws = wset(&[(vec![0.0], Label::Zero, 5.0), (vec![1.0], Label::One, 7.0)]);
+        let sol = solve_passive(&ws);
+        assert_eq!(sol.weighted_error, 0.0);
+        assert_eq!(sol.contending, 0);
+        assert_eq!(sol.assignment, vec![Label::Zero, Label::One]);
+    }
+
+    #[test]
+    fn single_inversion_flips_cheaper_point() {
+        // 1-labeled point below a 0-labeled point; flipping the lighter
+        // one is optimal.
+        let ws = wset(&[(vec![0.0], Label::One, 10.0), (vec![1.0], Label::Zero, 2.0)]);
+        let sol = solve_passive(&ws);
+        assert_eq!(sol.weighted_error, 2.0);
+        // The cheap 0-point flips to 1 (classifier maps both to 1).
+        assert_eq!(sol.assignment, vec![Label::One, Label::One]);
+    }
+
+    #[test]
+    fn single_inversion_other_direction() {
+        let ws = wset(&[(vec![0.0], Label::One, 2.0), (vec![1.0], Label::Zero, 10.0)]);
+        let sol = solve_passive(&ws);
+        assert_eq!(sol.weighted_error, 2.0);
+        assert_eq!(sol.assignment, vec![Label::Zero, Label::Zero]);
+    }
+
+    #[test]
+    fn equal_points_conflicting_labels() {
+        let ws = wset(&[
+            (vec![1.0, 1.0], Label::One, 3.0),
+            (vec![1.0, 1.0], Label::Zero, 4.0),
+        ]);
+        let sol = solve_passive(&ws);
+        assert_eq!(sol.weighted_error, 3.0);
+        // Both points must receive the same output.
+        assert_eq!(sol.assignment[0], sol.assignment[1]);
+    }
+
+    #[test]
+    fn alternating_1d_chain() {
+        // Values 1..6 labeled 1,0,1,0,1,0 with unit weights: every
+        // threshold misclassifies at least 3 points (e.g. all-zero output
+        // misses the three 1-labels), and 3 is achievable.
+        let ws = wset(&[
+            (vec![1.0], Label::One, 1.0),
+            (vec![2.0], Label::Zero, 1.0),
+            (vec![3.0], Label::One, 1.0),
+            (vec![4.0], Label::Zero, 1.0),
+            (vec![5.0], Label::One, 1.0),
+            (vec![6.0], Label::Zero, 1.0),
+        ]);
+        let sol = solve_passive(&ws);
+        assert_eq!(sol.weighted_error, 3.0);
+    }
+
+    #[test]
+    fn incomparable_points_cost_nothing() {
+        let ws = wset(&[
+            (vec![0.0, 1.0], Label::One, 9.0),
+            (vec![1.0, 0.0], Label::Zero, 9.0),
+        ]);
+        let sol = solve_passive(&ws);
+        assert_eq!(sol.weighted_error, 0.0);
+        assert_eq!(sol.assignment, vec![Label::One, Label::Zero]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let ws = WeightedSet::new(PointSet::new(2), vec![], vec![]);
+        let sol = solve_passive(&ws);
+        assert_eq!(sol.weighted_error, 0.0);
+        assert!(sol.assignment.is_empty());
+    }
+
+    #[test]
+    fn middle_heavy_point_wins() {
+        // 0 < 1 < 2, labels 0, 1, 0, middle weight huge: flip the outer
+        // zeros... only the top one conflicts (bottom 0 is below the 1).
+        let ws = wset(&[
+            (vec![0.0], Label::Zero, 1.0),
+            (vec![1.0], Label::One, 100.0),
+            (vec![2.0], Label::Zero, 1.0),
+        ]);
+        let sol = solve_passive(&ws);
+        assert_eq!(sol.weighted_error, 1.0);
+        assert_eq!(
+            sol.assignment,
+            vec![Label::Zero, Label::One, Label::One],
+            "the top zero flips to 1"
+        );
+    }
+
+    #[test]
+    fn classifier_generalizes_beyond_input() {
+        let ws = wset(&[
+            (vec![0.0, 0.0], Label::Zero, 1.0),
+            (vec![2.0, 2.0], Label::One, 1.0),
+        ]);
+        let sol = solve_passive(&ws);
+        assert_eq!(sol.classifier.classify(&[3.0, 3.0]), Label::One);
+        assert_eq!(sol.classifier.classify(&[1.0, 1.0]), Label::Zero);
+        assert_eq!(sol.classifier.classify(&[2.0, 1.9]), Label::Zero);
+    }
+}

@@ -1,0 +1,124 @@
+//! Estimation up to an absolute error — Lemma 5 of the paper.
+//!
+//! Lemma 5: for i.i.d. Bernoulli(μ) variables `X_1 … X_t`,
+//!
+//! ```text
+//! Pr[ |μ − (1/t)·ΣX_i| ≥ φ ] ≤ δ   whenever
+//! t ≥ ⌈ max(μ/φ², 1/φ) · 3·ln(2/δ) ⌉.
+//! ```
+//!
+//! Since `μ ≤ 1`, taking `t = ⌈ 3/φ² · ln(2/δ) ⌉` always suffices. Drawing
+//! `t` points of `P` with replacement and counting how many satisfy a
+//! predicate π estimates `n_π` up to absolute error `φ·n` with probability
+//! `≥ 1 − δ` (Section 2). In particular, for any monotone classifier `h`,
+//! the sample estimates `err_P(h)` up to `φ·|P|`.
+//!
+//! # Example
+//!
+//! ```
+//! use mc_core::sampling::{lemma5_sample_size, scale_estimate};
+//!
+//! let t = lemma5_sample_size(0.1, 0.05); // ±0.1 error w.p. ≥ 0.95
+//! assert!(t >= 300);
+//! assert_eq!(scale_estimate(30, 100, 5000), 1500.0);
+//! ```
+
+/// Sample size from Lemma 5 with a known upper bound `mu_upper` on `μ`:
+/// `⌈ max(mu_upper/φ², 1/φ) · 3·ln(2/δ) ⌉`.
+///
+/// # Panics
+///
+/// Panics unless `0 < φ ≤ 1`, `0 < δ ≤ 1` and `0 ≤ mu_upper ≤ 1`.
+pub fn lemma5_sample_size_with_mu(phi: f64, delta: f64, mu_upper: f64) -> usize {
+    assert!(phi > 0.0 && phi <= 1.0, "need φ ∈ (0, 1], got {phi}");
+    assert!(delta > 0.0 && delta <= 1.0, "need δ ∈ (0, 1], got {delta}");
+    assert!(
+        (0.0..=1.0).contains(&mu_upper),
+        "need μ ∈ [0, 1], got {mu_upper}"
+    );
+    let factor = (mu_upper / (phi * phi)).max(1.0 / phi);
+    (factor * 3.0 * (2.0 / delta).ln()).ceil() as usize
+}
+
+/// Sample size from Lemma 5 with the worst-case `μ ≤ 1`:
+/// `⌈ 3/φ² · ln(2/δ) ⌉`.
+pub fn lemma5_sample_size(phi: f64, delta: f64) -> usize {
+    lemma5_sample_size_with_mu(phi, delta, 1.0)
+}
+
+/// Scales a sample count back to a population estimate: given `hits`
+/// successes among `t` draws (with replacement) from a population of size
+/// `n`, returns the estimate `(hits/t)·n` of the number of satisfying
+/// elements.
+pub fn scale_estimate(hits: usize, t: usize, n: usize) -> f64 {
+    assert!(t > 0, "cannot scale an empty sample");
+    (hits as f64 / t as f64) * n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn sample_size_matches_formula() {
+        let t = lemma5_sample_size(0.1, 0.05);
+        let expected = (3.0 / 0.01 * (2.0_f64 / 0.05).ln()).ceil() as usize;
+        assert_eq!(t, expected);
+    }
+
+    #[test]
+    fn small_mu_reduces_sample_size() {
+        let large = lemma5_sample_size_with_mu(0.01, 0.1, 1.0);
+        let small = lemma5_sample_size_with_mu(0.01, 0.1, 0.05);
+        assert!(small < large);
+        // But never below the 1/φ branch.
+        let floor = (1.0 / 0.01 * 3.0 * (2.0_f64 / 0.1).ln()).ceil() as usize;
+        assert!(lemma5_sample_size_with_mu(0.01, 0.1, 0.0) >= floor);
+    }
+
+    #[test]
+    fn monotone_in_phi_and_delta() {
+        assert!(lemma5_sample_size(0.05, 0.1) > lemma5_sample_size(0.1, 0.1));
+        assert!(lemma5_sample_size(0.1, 0.01) > lemma5_sample_size(0.1, 0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "φ")]
+    fn rejects_bad_phi() {
+        lemma5_sample_size(0.0, 0.1);
+    }
+
+    #[test]
+    fn scale_estimate_basics() {
+        assert_eq!(scale_estimate(5, 10, 100), 50.0);
+        assert_eq!(scale_estimate(0, 10, 100), 0.0);
+        assert_eq!(scale_estimate(10, 10, 100), 100.0);
+    }
+
+    /// Statistical check of the Lemma 5 guarantee: the empirical failure
+    /// rate at the prescribed sample size stays below δ (with margin).
+    #[test]
+    fn empirical_concentration() {
+        let phi = 0.1;
+        let delta = 0.2;
+        let t = lemma5_sample_size(phi, delta);
+        let mut rng = StdRng::seed_from_u64(0xBEEF);
+        for &mu in &[0.05, 0.3, 0.5, 0.9] {
+            let mut failures = 0;
+            let trials = 200;
+            for _ in 0..trials {
+                let hits = (0..t).filter(|_| rng.gen_bool(mu)).count();
+                let est = hits as f64 / t as f64;
+                if (est - mu).abs() >= phi {
+                    failures += 1;
+                }
+            }
+            assert!(
+                (failures as f64 / trials as f64) < delta,
+                "μ = {mu}: failure rate {failures}/{trials} exceeds δ = {delta}"
+            );
+        }
+    }
+}

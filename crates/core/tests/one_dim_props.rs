@@ -1,0 +1,81 @@
+//! Property tests for the Section-3 1D recursive sampler.
+
+use mc_core::active::{sigma_errors_by_boundary, weighted_sample_1d, OneDimParams};
+use mc_core::{InMemoryOracle, LabelOracle};
+use mc_geom::Label;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn labels_strategy(max_len: usize) -> impl Strategy<Value = Vec<Label>> {
+    prop::collection::vec(prop::bool::ANY, 0..max_len)
+        .prop_map(|bits| bits.into_iter().map(Label::from_bool).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Structural invariants of Σ: positions in range, weights positive,
+    /// labels faithful to the oracle's ground truth.
+    #[test]
+    fn sigma_is_well_formed(labels in labels_strategy(600), seed in 0u64..1000) {
+        let m = labels.len();
+        let mut oracle = InMemoryOracle::new(labels.clone());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = OneDimParams::new(0.5, 0.1);
+        let res = weighted_sample_1d(&mut oracle, &params, &mut rng);
+        for entry in &res.sigma {
+            prop_assert!(entry.position < m);
+            prop_assert!(entry.weight > 0.0 && entry.weight.is_finite());
+            prop_assert_eq!(entry.label, labels[entry.position]);
+        }
+        prop_assert!(oracle.probes_used() <= m);
+        // Levels bounded by the depth cap.
+        if m > 0 {
+            let cap = ((m as f64).ln() / (8.0_f64 / 5.0).ln()).ceil() as usize + 3;
+            prop_assert!(res.levels <= cap, "levels {} > cap {cap}", res.levels);
+        }
+    }
+
+    /// At sizes below the Lemma-5 sample threshold the sampler probes
+    /// everything, so Σ reproduces the exact error profile.
+    #[test]
+    fn small_inputs_give_exact_sigma(labels in labels_strategy(200)) {
+        let m = labels.len();
+        let mut oracle = InMemoryOracle::new(labels.clone());
+        let mut rng = StdRng::seed_from_u64(7);
+        let params = OneDimParams::new(0.5, 0.1);
+        let res = weighted_sample_1d(&mut oracle, &params, &mut rng);
+        prop_assert_eq!(oracle.probes_used(), m, "sub-threshold inputs are probed fully");
+        let sigma_errs = sigma_errors_by_boundary(&res.sigma, m);
+        // Exact errors by direct computation.
+        let total_zeros = labels.iter().filter(|l| l.is_zero()).count() as f64;
+        let mut ones_below = 0.0;
+        let mut zeros_below = 0.0;
+        for b in 0..=m {
+            if b > 0 {
+                match labels[b - 1] {
+                    Label::One => ones_below += 1.0,
+                    Label::Zero => zeros_below += 1.0,
+                }
+            }
+            let exact = ones_below + total_zeros - zeros_below;
+            prop_assert!((sigma_errs[b] - exact).abs() < 1e-9, "boundary {b}");
+        }
+    }
+
+    /// Determinism: same seed, same Σ and probe count.
+    #[test]
+    fn sampler_is_deterministic(labels in labels_strategy(300), seed in 0u64..50) {
+        let run = || {
+            let mut oracle = InMemoryOracle::new(labels.clone());
+            let mut rng = StdRng::seed_from_u64(seed);
+            let res = weighted_sample_1d(&mut oracle, &OneDimParams::new(1.0, 0.1), &mut rng);
+            (res.sigma, oracle.probes_used())
+        };
+        let (s1, p1) = run();
+        let (s2, p2) = run();
+        prop_assert_eq!(p1, p2);
+        prop_assert_eq!(s1, s2);
+    }
+}

@@ -1,0 +1,171 @@
+//! Datasets with an exactly prescribed dominance width.
+//!
+//! The probing bound of Theorem 2 is `O((w/ε²)·log(n/w)·log n)`; to
+//! verify the linear dependence on `w` experimentally (experiment E3) we
+//! need inputs whose width is an exact, independent knob. The
+//! construction places `w` chains in 2D such that:
+//!
+//! * within chain `c`, both coordinates increase with the position → a
+//!   valid chain;
+//! * across chains, chain `c` has strictly larger `x`-blocks and strictly
+//!   smaller `y`-blocks than chain `c+1`'s → points of different chains
+//!   are incomparable.
+//!
+//! The result has width exactly `w` (the chains partition it into `w`
+//! chains; picking one point per chain forms a `w`-antichain).
+
+use mc_geom::{Label, LabeledSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the controlled-width generator.
+#[derive(Debug, Clone)]
+pub struct ControlledWidthConfig {
+    /// Total number of points `n` (split as evenly as possible over the
+    /// chains).
+    pub n: usize,
+    /// Exact dominance width `w` (number of chains), `1 ≤ w ≤ n`.
+    pub width: usize,
+    /// Per-chain label noise: each chain gets a clean boundary (a random
+    /// position; below → 0, at/above → 1) and labels flip with this
+    /// probability.
+    pub noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// A generated controlled-width dataset.
+#[derive(Debug, Clone)]
+pub struct ControlledWidthDataset {
+    /// The labeled points.
+    pub data: LabeledSet,
+    /// Point indices of each generating chain (ascending dominance).
+    pub chains: Vec<Vec<usize>>,
+}
+
+/// Generates a 2D dataset of `n` points with dominance width exactly
+/// `width`.
+///
+/// # Panics
+///
+/// Panics if `width == 0` or `width > n` (for `n > 0`).
+pub fn generate(config: &ControlledWidthConfig) -> ControlledWidthDataset {
+    let ControlledWidthConfig {
+        n,
+        width,
+        noise,
+        seed,
+    } = *config;
+    if n == 0 {
+        return ControlledWidthDataset {
+            data: LabeledSet::empty(2),
+            chains: Vec::new(),
+        };
+    }
+    assert!(width >= 1, "width must be at least 1");
+    assert!(width <= n, "width {width} exceeds n = {n}");
+    assert!((0.0..=1.0).contains(&noise), "noise must be in [0, 1]");
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Chain c occupies x ∈ (c·L, c·L + len), y ∈ ((w−1−c)·L, …): L larger
+    // than any chain length keeps cross-chain pairs incomparable.
+    let base = n / width;
+    let extra = n % width;
+    let block = (base + 2) as f64; // strictly larger than any chain length
+
+    let mut data = LabeledSet::empty(2);
+    let mut chains = Vec::with_capacity(width);
+    for c in 0..width {
+        let len = base + usize::from(c < extra);
+        let boundary = if len == 0 { 0 } else { rng.gen_range(0..=len) };
+        let mut chain = Vec::with_capacity(len);
+        for t in 0..len {
+            let x = c as f64 * block + t as f64 + 1.0;
+            let y = (width - 1 - c) as f64 * block + t as f64 + 1.0;
+            let clean = t >= boundary;
+            let flip = noise > 0.0 && rng.gen_bool(noise);
+            let idx = data.push(&[x, y], Label::from_bool(clean != flip));
+            chain.push(idx);
+        }
+        if !chain.is_empty() {
+            chains.push(chain);
+        }
+    }
+    ControlledWidthDataset { data, chains }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_chains::dominance_width;
+
+    fn cfg(n: usize, width: usize) -> ControlledWidthConfig {
+        ControlledWidthConfig {
+            n,
+            width,
+            noise: 0.0,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn width_is_exact() {
+        for (n, w) in [(10, 1), (10, 3), (100, 10), (64, 64), (37, 5)] {
+            let ds = generate(&cfg(n, w));
+            assert_eq!(ds.data.len(), n);
+            assert_eq!(
+                dominance_width(ds.data.points()),
+                w,
+                "width mismatch for n = {n}, w = {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn generating_chains_are_valid() {
+        let ds = generate(&cfg(50, 7));
+        for chain in &ds.chains {
+            for pair in chain.windows(2) {
+                assert!(ds.data.points().dominates(pair[1], pair[0]));
+            }
+        }
+        let covered: usize = ds.chains.iter().map(Vec::len).sum();
+        assert_eq!(covered, 50);
+    }
+
+    #[test]
+    fn clean_labels_have_zero_optimal_error() {
+        let ds = generate(&cfg(80, 4));
+        let sol = mc_core::passive::solve_passive(&ds.data.with_unit_weights());
+        assert_eq!(sol.weighted_error, 0.0);
+    }
+
+    #[test]
+    fn noisy_labels_have_positive_optimal_error() {
+        let ds = generate(&ControlledWidthConfig {
+            n: 200,
+            width: 4,
+            noise: 0.2,
+            seed: 11,
+        });
+        let sol = mc_core::passive::solve_passive(&ds.data.with_unit_weights());
+        assert!(sol.weighted_error > 0.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let ds = generate(&ControlledWidthConfig {
+            n: 0,
+            width: 3,
+            noise: 0.0,
+            seed: 0,
+        });
+        assert!(ds.data.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn rejects_width_above_n() {
+        generate(&cfg(3, 5));
+    }
+}

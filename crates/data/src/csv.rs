@@ -1,0 +1,275 @@
+//! Minimal CSV I/O for datasets and classifiers.
+//!
+//! Formats (no quoting/escaping — numeric data only):
+//!
+//! * **Labeled data**: one row per point, `d` feature columns followed by
+//!   a `label` column (0/1). An optional trailing `weight` column turns
+//!   it into a weighted set. A header row is auto-detected (any
+//!   non-numeric first row is skipped).
+//! * **Classifier**: one row per anchor, `d` columns. `-inf` is accepted.
+
+use mc_core::MonotoneClassifier;
+use mc_geom::{Label, LabeledSet, WeightedSet};
+use std::fmt::Write as _;
+
+/// Errors from CSV parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// The input had no data rows.
+    Empty,
+    /// A row had a different number of columns than the first data row.
+    RaggedRow {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A cell failed to parse as the expected type.
+    BadCell {
+        /// 1-based line number.
+        line: usize,
+        /// 0-based column.
+        column: usize,
+        /// Cell contents.
+        value: String,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Empty => write!(f, "no data rows"),
+            CsvError::RaggedRow { line } => write!(f, "line {line}: inconsistent column count"),
+            CsvError::BadCell {
+                line,
+                column,
+                value,
+            } => {
+                write!(f, "line {line}, column {column}: cannot parse {value:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+fn parse_rows(text: &str) -> Result<Vec<(usize, Vec<f64>)>, CsvError> {
+    let mut rows = Vec::new();
+    let mut width = None;
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').map(str::trim).collect();
+        let mut parsed = Vec::with_capacity(cells.len());
+        let mut ok = true;
+        for cell in &cells {
+            match parse_number(cell) {
+                Some(v) => parsed.push(v),
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            if rows.is_empty() && width.is_none() {
+                continue; // header row
+            }
+            let column = parsed.len();
+            return Err(CsvError::BadCell {
+                line: line_no,
+                column,
+                value: cells[column].to_string(),
+            });
+        }
+        match width {
+            None => width = Some(parsed.len()),
+            Some(w) if w != parsed.len() => return Err(CsvError::RaggedRow { line: line_no }),
+            _ => {}
+        }
+        rows.push((line_no, parsed));
+    }
+    if rows.is_empty() {
+        return Err(CsvError::Empty);
+    }
+    Ok(rows)
+}
+
+fn parse_number(cell: &str) -> Option<f64> {
+    match cell {
+        "-inf" | "-Inf" | "-INF" => Some(f64::NEG_INFINITY),
+        "inf" | "Inf" | "INF" => Some(f64::INFINITY),
+        other => other.parse().ok(),
+    }
+}
+
+/// Parses labeled data: `d` feature columns + final label column.
+pub fn parse_labeled(text: &str) -> Result<LabeledSet, CsvError> {
+    let rows = parse_rows(text)?;
+    let cols = rows[0].1.len();
+    if cols < 2 {
+        return Err(CsvError::RaggedRow { line: rows[0].0 });
+    }
+    let dim = cols - 1;
+    let mut out = LabeledSet::empty(dim);
+    for (line, row) in rows {
+        let label = label_from(row[dim], line, dim)?;
+        out.push(&row[..dim], label);
+    }
+    Ok(out)
+}
+
+/// Parses weighted data: `d` feature columns + label column + weight
+/// column.
+pub fn parse_weighted(text: &str) -> Result<WeightedSet, CsvError> {
+    let rows = parse_rows(text)?;
+    let cols = rows[0].1.len();
+    if cols < 3 {
+        return Err(CsvError::RaggedRow { line: rows[0].0 });
+    }
+    let dim = cols - 2;
+    let mut out = WeightedSet::empty(dim);
+    for (line, row) in rows {
+        let label = label_from(row[dim], line, dim)?;
+        let weight = row[dim + 1];
+        if !(weight > 0.0 && weight.is_finite()) {
+            return Err(CsvError::BadCell {
+                line,
+                column: dim + 1,
+                value: weight.to_string(),
+            });
+        }
+        out.push(&row[..dim], label, weight);
+    }
+    Ok(out)
+}
+
+fn label_from(v: f64, line: usize, column: usize) -> Result<Label, CsvError> {
+    if v == 0.0 {
+        Ok(Label::Zero)
+    } else if v == 1.0 {
+        Ok(Label::One)
+    } else {
+        Err(CsvError::BadCell {
+            line,
+            column,
+            value: v.to_string(),
+        })
+    }
+}
+
+/// Serializes a classifier's anchors, one per row.
+pub fn classifier_to_csv(classifier: &MonotoneClassifier) -> String {
+    let mut out = String::new();
+    for anchor in classifier.anchors() {
+        let cells: Vec<String> = anchor
+            .iter()
+            .map(|c| {
+                if *c == f64::NEG_INFINITY {
+                    "-inf".to_string()
+                } else {
+                    format!("{c}")
+                }
+            })
+            .collect();
+        let _ = writeln!(out, "{}", cells.join(","));
+    }
+    out
+}
+
+/// Parses a classifier from anchor rows (`d` columns each).
+pub fn classifier_from_csv(text: &str, dim: usize) -> Result<MonotoneClassifier, CsvError> {
+    if text.trim().is_empty() {
+        return Ok(MonotoneClassifier::all_zero(dim));
+    }
+    let rows = parse_rows(text)?;
+    let mut anchors = Vec::with_capacity(rows.len());
+    for (line, row) in rows {
+        if row.len() != dim {
+            return Err(CsvError::RaggedRow { line });
+        }
+        anchors.push(row);
+    }
+    Ok(MonotoneClassifier::from_anchors(dim, anchors))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_labeled_with_header() {
+        let text = "x,y,label\n0.5,1.0,1\n0.2,0.1,0\n";
+        let ls = parse_labeled(text).unwrap();
+        assert_eq!(ls.len(), 2);
+        assert_eq!(ls.dim(), 2);
+        assert_eq!(ls.label(0), Label::One);
+        assert_eq!(ls.label(1), Label::Zero);
+    }
+
+    #[test]
+    fn parse_labeled_without_header() {
+        let text = "1,2,1\n3,4,0";
+        let ls = parse_labeled(text).unwrap();
+        assert_eq!(ls.len(), 2);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# a comment\n\n1,2,1\n";
+        assert_eq!(parse_labeled(text).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn bad_label_rejected() {
+        let err = parse_labeled("1,2,5\n").unwrap_err();
+        assert!(matches!(err, CsvError::BadCell { .. }));
+    }
+
+    #[test]
+    fn ragged_rejected() {
+        let err = parse_labeled("1,2,1\n1,2,3,0\n").unwrap_err();
+        assert!(matches!(err, CsvError::RaggedRow { line: 2 }));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(parse_labeled("# nothing\n").unwrap_err(), CsvError::Empty);
+    }
+
+    #[test]
+    fn weighted_round_trip() {
+        let text = "x,label,weight\n1.0,1,2.5\n2.0,0,1.0\n";
+        let ws = parse_weighted(text).unwrap();
+        assert_eq!(ws.len(), 2);
+        assert_eq!(ws.weight(0), 2.5);
+    }
+
+    #[test]
+    fn weighted_rejects_nonpositive_weight() {
+        let err = parse_weighted("1.0,1,0.0\n").unwrap_err();
+        assert!(matches!(err, CsvError::BadCell { .. }));
+    }
+
+    #[test]
+    fn classifier_round_trip() {
+        let h = MonotoneClassifier::from_anchors(2, vec![vec![1.0, 2.0], vec![3.0, 0.5]]);
+        let csv = classifier_to_csv(&h);
+        let back = classifier_from_csv(&csv, 2).unwrap();
+        assert_eq!(h, back);
+    }
+
+    #[test]
+    fn classifier_neg_inf_round_trip() {
+        let h = MonotoneClassifier::all_one(3);
+        let back = classifier_from_csv(&classifier_to_csv(&h), 3).unwrap();
+        assert_eq!(h, back);
+    }
+
+    #[test]
+    fn empty_classifier_is_all_zero() {
+        let h = classifier_from_csv("", 2).unwrap();
+        assert_eq!(h, MonotoneClassifier::all_zero(2));
+    }
+}

@@ -1,0 +1,178 @@
+//! Entity-matching workload simulator.
+//!
+//! The paper motivates monotone classification through similarity-based
+//! matching (Section 1.1): a pair of records `(x, y)` is scored on `d`
+//! similarity metrics and the learned classifier must decide match /
+//! non-match, with the *explainability* requirement that a pair at least
+//! as similar on every metric can never be rejected while a less similar
+//! pair is accepted — exactly monotonicity.
+//!
+//! Real benchmark data (Amazon–eBay advertisements, bibliographic record
+//! pairs, …) requires human labels we do not have; this simulator
+//! reproduces the statistical *shape* of such data (see DESIGN.md,
+//! substitutions): a latent match bit per pair, per-metric similarity
+//! scores drawn from overlapping triangular-ish distributions (matches
+//! skew high, non-matches skew low), with per-metric reliability
+//! controlling how much the distributions overlap — i.e. how far from
+//! monotone-separable the dataset is (the optimal error `k*`).
+
+use mc_geom::{Label, LabeledSet, PointSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the entity-matching simulator.
+#[derive(Debug, Clone)]
+pub struct EntityMatchingConfig {
+    /// Number of record pairs (points).
+    pub pairs: usize,
+    /// Number of similarity metrics (dimensionality `d`).
+    pub metrics: usize,
+    /// Fraction of latent matches in `(0, 1)`.
+    pub match_rate: f64,
+    /// Per-metric reliability in `[0, 1]`: at 1 the score distributions
+    /// of matches and non-matches barely overlap; at 0 the metric is
+    /// uninformative noise.
+    pub reliability: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for EntityMatchingConfig {
+    fn default() -> Self {
+        Self {
+            pairs: 1000,
+            metrics: 3,
+            match_rate: 0.3,
+            reliability: 0.8,
+            seed: 0xE17,
+        }
+    }
+}
+
+/// A simulated entity-matching dataset.
+#[derive(Debug, Clone)]
+pub struct EntityMatchingDataset {
+    /// Similarity-score vectors with match/non-match labels.
+    pub data: LabeledSet,
+    /// Latent number of true matches.
+    pub true_matches: usize,
+}
+
+/// Draws a similarity score in `[0, 1]` skewed toward `1.0` (for matches)
+/// or `0.0` (for non-matches); `reliability` sharpens the skew.
+fn skewed_score(rng: &mut StdRng, toward_one: bool, reliability: f64) -> f64 {
+    // Mixture: with probability `reliability` draw from the informative
+    // side (max of two uniforms, skewing high; min, skewing low);
+    // otherwise uniform noise.
+    let informative = rng.gen_bool(reliability.clamp(0.0, 1.0));
+    let a: f64 = rng.gen_range(0.0..1.0);
+    if !informative {
+        return a;
+    }
+    let b: f64 = rng.gen_range(0.0..1.0);
+    if toward_one {
+        a.max(b)
+    } else {
+        a.min(b)
+    }
+}
+
+/// Generates a simulated entity-matching dataset.
+///
+/// # Panics
+///
+/// Panics on out-of-range configuration.
+pub fn generate(config: &EntityMatchingConfig) -> EntityMatchingDataset {
+    assert!(config.metrics >= 1, "need at least one similarity metric");
+    assert!(
+        config.match_rate > 0.0 && config.match_rate < 1.0,
+        "match_rate must be in (0, 1)"
+    );
+    assert!(
+        (0.0..=1.0).contains(&config.reliability),
+        "reliability must be in [0, 1]"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut points = PointSet::with_capacity(config.metrics, config.pairs);
+    let mut labels = Vec::with_capacity(config.pairs);
+    let mut true_matches = 0;
+    for _ in 0..config.pairs {
+        let is_match = rng.gen_bool(config.match_rate);
+        if is_match {
+            true_matches += 1;
+        }
+        let scores: Vec<f64> = (0..config.metrics)
+            .map(|_| skewed_score(&mut rng, is_match, config.reliability))
+            .collect();
+        points.push(&scores);
+        labels.push(Label::from_bool(is_match));
+    }
+    EntityMatchingDataset {
+        data: LabeledSet::new(points, labels),
+        true_matches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_core::passive::solve_passive;
+
+    #[test]
+    fn generates_requested_shape() {
+        let cfg = EntityMatchingConfig {
+            pairs: 500,
+            metrics: 4,
+            ..Default::default()
+        };
+        let ds = generate(&cfg);
+        assert_eq!(ds.data.len(), 500);
+        assert_eq!(ds.data.dim(), 4);
+        assert!(ds.true_matches > 0 && ds.true_matches < 500);
+    }
+
+    #[test]
+    fn higher_reliability_means_lower_optimal_error() {
+        let k_star = |reliability: f64| {
+            let cfg = EntityMatchingConfig {
+                pairs: 400,
+                reliability,
+                seed: 33,
+                ..Default::default()
+            };
+            let ds = generate(&cfg);
+            solve_passive(&ds.data.with_unit_weights()).weighted_error
+        };
+        let noisy = k_star(0.1);
+        let clean = k_star(1.0);
+        assert!(
+            clean < noisy,
+            "reliability 1.0 gave k* = {clean}, reliability 0.1 gave {noisy}"
+        );
+    }
+
+    #[test]
+    fn scores_stay_in_unit_cube() {
+        let ds = generate(&EntityMatchingConfig::default());
+        for p in ds.data.points().iter() {
+            for &c in p {
+                assert!((0.0..=1.0).contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let cfg = EntityMatchingConfig::default();
+        assert_eq!(generate(&cfg).data, generate(&cfg).data);
+    }
+
+    #[test]
+    #[should_panic(expected = "match_rate")]
+    fn rejects_degenerate_match_rate() {
+        generate(&EntityMatchingConfig {
+            match_rate: 1.0,
+            ..Default::default()
+        });
+    }
+}

@@ -1,0 +1,165 @@
+//! The Theorem-1 lower-bound family (Section 6 of the paper).
+//!
+//! For even `n`, all inputs share the 1D points `{1, 2, …, n}`, chopped
+//! into pairs `(1,2), (3,4), …, (n−1, n)`. A *normal* pair labels its
+//! smaller point 1 and its larger point 0 (an inversion every monotone
+//! classifier must pay for). Each family member has exactly one *anomaly*
+//! pair `i`:
+//!
+//! * `P00(i)` labels both points of pair `i` with 0;
+//! * `P11(i)` labels both points of pair `i` with 1.
+//!
+//! Every member has optimal error `k* = n/2 − 1`, and Lemma 21 shows no
+//! single classifier is optimal for both `P00(i)` and `P11(i)` — an
+//! algorithm that does not locate the anomaly pair must err on one of
+//! them. This forces `Ω(n)` expected probes for exact algorithms.
+//!
+//! # Example
+//!
+//! ```
+//! use mc_data::hard_family::{hard_family_member, hard_family_optimal_error, AnomalyKind};
+//!
+//! let member = hard_family_member(8, 2, AnomalyKind::OneOne);
+//! assert_eq!(member.len(), 8);
+//! assert_eq!(hard_family_optimal_error(8), 3);
+//! ```
+
+use mc_geom::{Label, LabeledSet, PointSet};
+
+/// Which variant the anomaly pair takes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnomalyKind {
+    /// Both points of the anomaly pair labeled 0.
+    ZeroZero,
+    /// Both points of the anomaly pair labeled 1.
+    OneOne,
+}
+
+/// The shared 1D point set `{1, 2, …, n}`.
+///
+/// # Panics
+///
+/// Panics if `n` is odd or zero.
+pub fn hard_family_points(n: usize) -> PointSet {
+    assert!(
+        n > 0 && n.is_multiple_of(2),
+        "the family needs even n ≥ 2, got {n}"
+    );
+    PointSet::from_values_1d(&(1..=n).map(|v| v as f64).collect::<Vec<_>>())
+}
+
+/// The member `P00(pair)` or `P11(pair)` of the family; `pair` is
+/// 1-based, `1 ≤ pair ≤ n/2`.
+///
+/// # Panics
+///
+/// Panics on odd `n` or out-of-range `pair`.
+pub fn hard_family_member(n: usize, pair: usize, kind: AnomalyKind) -> LabeledSet {
+    assert!(
+        pair >= 1 && pair <= n / 2,
+        "pair {pair} out of range 1..={}",
+        n / 2
+    );
+    let points = hard_family_points(n);
+    let labels = (1..=n)
+        .map(|v| {
+            let this_pair = v.div_ceil(2);
+            if this_pair == pair {
+                match kind {
+                    AnomalyKind::ZeroZero => Label::Zero,
+                    AnomalyKind::OneOne => Label::One,
+                }
+            } else {
+                // Normal pair: odd (smaller) point 1, even (larger) point 0.
+                Label::from_bool(v % 2 == 1)
+            }
+        })
+        .collect();
+    LabeledSet::new(points, labels)
+}
+
+/// All `n` members of the family `𝒫`.
+pub fn hard_family(n: usize) -> Vec<LabeledSet> {
+    let mut out = Vec::with_capacity(n);
+    for pair in 1..=n / 2 {
+        out.push(hard_family_member(n, pair, AnomalyKind::ZeroZero));
+    }
+    for pair in 1..=n / 2 {
+        out.push(hard_family_member(n, pair, AnomalyKind::OneOne));
+    }
+    out
+}
+
+/// The optimal error of every member: `n/2 − 1`.
+pub fn hard_family_optimal_error(n: usize) -> u64 {
+    (n as u64) / 2 - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_core::passive::solve_passive;
+    use mc_core::MonotoneClassifier;
+
+    #[test]
+    fn optimal_error_is_half_n_minus_one() {
+        for n in [4usize, 8, 12] {
+            for member in hard_family(n) {
+                let sol = solve_passive(&member.with_unit_weights());
+                assert_eq!(
+                    sol.weighted_error,
+                    hard_family_optimal_error(n) as f64,
+                    "n = {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_ones_optimal_for_11_inputs() {
+        let n = 8;
+        let member = hard_family_member(n, 2, AnomalyKind::OneOne);
+        let all_one = MonotoneClassifier::all_one(1);
+        assert_eq!(all_one.error_on(&member), hard_family_optimal_error(n));
+    }
+
+    #[test]
+    fn all_zeros_optimal_for_00_inputs() {
+        let n = 8;
+        let member = hard_family_member(n, 3, AnomalyKind::ZeroZero);
+        let all_zero = MonotoneClassifier::all_zero(1);
+        assert_eq!(all_zero.error_on(&member), hard_family_optimal_error(n));
+    }
+
+    /// Lemma 21: no threshold is optimal for both P00(i) and P11(i).
+    #[test]
+    fn lemma_21_no_shared_optimum() {
+        let n = 10;
+        let opt = hard_family_optimal_error(n);
+        for pair in 1..=n / 2 {
+            let p00 = hard_family_member(n, pair, AnomalyKind::ZeroZero);
+            let p11 = hard_family_member(n, pair, AnomalyKind::OneOne);
+            // Effective thresholds: τ = -∞ and every point value.
+            let mut taus = vec![f64::NEG_INFINITY];
+            taus.extend((1..=n).map(|v| v as f64));
+            for tau in taus {
+                let h = MonotoneClassifier::threshold_1d(tau);
+                assert!(
+                    h.error_on(&p00) > opt || h.error_on(&p11) > opt,
+                    "τ = {tau} optimal for both members of pair {pair}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn family_size_is_n() {
+        assert_eq!(hard_family(12).len(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn rejects_odd_n() {
+        hard_family_points(7);
+    }
+}

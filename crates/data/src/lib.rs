@@ -1,0 +1,25 @@
+//! Workload generators for the monotone-classification experiments.
+//!
+//! * [`paper_example`] — the 16-point running example of Figures 1 and 2,
+//!   embedded so that every fact the paper states about it holds exactly;
+//! * [`planted`] — planted monotone concepts with label-noise control;
+//! * [`entity_matching`] — the similarity-based matching simulator
+//!   standing in for human-labeled benchmark data (see DESIGN.md);
+//! * [`controlled_width`] — datasets whose dominance width is an exact
+//!   knob (for the probes-vs-`w` sweep);
+//! * [`hard_family`] — the Section-6 `P00/P11` lower-bound family behind
+//!   Theorem 1.
+
+pub mod controlled_width;
+pub mod csv;
+pub mod entity_matching;
+pub mod hard_family;
+pub mod paper_example;
+pub mod planted;
+pub mod zoo;
+
+pub use controlled_width::{ControlledWidthConfig, ControlledWidthDataset};
+pub use entity_matching::{EntityMatchingConfig, EntityMatchingDataset};
+pub use hard_family::{hard_family, hard_family_member, AnomalyKind};
+pub use paper_example::{figure1_labeled, figure1_points, figure2_weighted};
+pub use planted::{planted_1d, planted_anchor_concept, planted_sum_concept, PlantedConfig};

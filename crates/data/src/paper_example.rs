@@ -1,0 +1,179 @@
+//! The paper's running example — Figures 1 and 2.
+//!
+//! The paper never publishes coordinates for its 16-point figure, only
+//! structural facts. This module fixes one concrete 2D embedding that
+//! reproduces **all** of them, each verified by tests here and in the
+//! workspace integration suite:
+//!
+//! * dominance width `w = 6`, certified by the antichain
+//!   `{p10, p11, p12, p13, p14, p16}` (Section 2);
+//! * a valid 6-chain decomposition `C1 = {p1,p2,p3,p4,p10}`, `C2 = {p11}`,
+//!   `C3 = {p5,p9,p12}`, `C4 = {p16}`, `C5 = {p13}`,
+//!   `C6 = {p6,p7,p8,p14,p15}` (Section 2);
+//! * unweighted optimum `k* = 3`, achieved by misclassifying exactly
+//!   `{p1, p11, p15}` (Section 1.1 / Figure 1(a));
+//! * with weights `weight(p1) = 100`, `weight(p11) = weight(p15) = 60`,
+//!   rest 1: that same classifier costs 220, while the true weighted
+//!   optimum is **104**, achieved by mapping only `{p10, p12, p16}` to 1
+//!   and misclassifying exactly `{p1, p4, p9, p13, p14}`
+//!   (Section 1.1 / Figure 1(b));
+//! * contending points `P₀^con = {p2, p3, p5, p11, p15}` and
+//!   `P₁^con = {p1, p4, p9, p13, p14}` (Section 5.1 / Figure 2(a)),
+//!   so the flow network has five type-1 edges of capacities
+//!   1, 1, 1, 60, 60 and five type-2 edges of capacities 100, 1, 1, 1, 1
+//!   (Figure 2(b)).
+
+use mc_geom::{Label, LabeledSet, PointSet, WeightedSet};
+
+/// 1-based labels of `p1 … p16` (1 = black point in Figure 1).
+const LABELS: [u8; 16] = [1, 0, 0, 1, 0, 0, 0, 0, 1, 1, 0, 1, 1, 1, 0, 1];
+
+/// Coordinates of `p1 … p16`.
+const COORDS: [[f64; 2]; 16] = [
+    [1.0, 1.5],   // p1
+    [2.0, 3.0],   // p2
+    [3.0, 4.0],   // p3
+    [5.0, 5.0],   // p4
+    [2.0, 6.0],   // p5
+    [8.0, 0.2],   // p6
+    [9.0, 0.4],   // p7
+    [10.0, 0.6],  // p8
+    [2.5, 8.0],   // p9
+    [7.0, 14.0],  // p10
+    [5.0, 16.0],  // p11
+    [3.0, 18.0],  // p12
+    [9.0, 12.0],  // p13
+    [11.0, 10.0], // p14
+    [12.0, 13.0], // p15
+    [1.0, 20.0],  // p16
+];
+
+/// The points of Figure 1 (index `i` = paper's `p_{i+1}`).
+pub fn figure1_points() -> PointSet {
+    PointSet::from_rows(2, &COORDS.iter().map(|c| c.to_vec()).collect::<Vec<_>>())
+}
+
+/// The labeled input of Figure 1(a); optimal error `k* = 3`.
+pub fn figure1_labeled() -> LabeledSet {
+    LabeledSet::new(
+        figure1_points(),
+        LABELS
+            .iter()
+            .map(|&l| Label::try_from(l).expect("labels are 0/1"))
+            .collect(),
+    )
+}
+
+/// The weighted input of Figure 1(b) / Figure 2: `weight(p1) = 100`,
+/// `weight(p11) = weight(p15) = 60`, everything else 1. Optimal weighted
+/// error 104.
+pub fn figure2_weighted() -> WeightedSet {
+    let labeled = figure1_labeled();
+    let mut weights = vec![1.0; 16];
+    weights[0] = 100.0; // p1
+    weights[10] = 60.0; // p11
+    weights[14] = 60.0; // p15
+    WeightedSet::new(labeled.points().clone(), labeled.labels().to_vec(), weights)
+}
+
+/// `k*` for Figure 1(a) as stated by the paper.
+pub const FIGURE1_OPTIMAL_ERROR: u64 = 3;
+
+/// The optimal weighted error for Figure 1(b)/Figure 2 as stated by the
+/// paper.
+pub const FIGURE2_OPTIMAL_WEIGHTED_ERROR: f64 = 104.0;
+
+/// The dominance width of the example.
+pub const FIGURE1_WIDTH: usize = 6;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_chains::{dominance_width, ChainDecomposition};
+    use mc_core::passive::{solve_passive, solve_passive_brute_force, ContendingPoints};
+
+    #[test]
+    fn width_is_6() {
+        assert_eq!(dominance_width(&figure1_points()), FIGURE1_WIDTH);
+        let dec = ChainDecomposition::compute(&figure1_points());
+        dec.validate(&figure1_points()).unwrap();
+    }
+
+    #[test]
+    fn unweighted_optimum_is_3() {
+        let ws = figure1_labeled().with_unit_weights();
+        let sol = solve_passive(&ws);
+        assert_eq!(sol.weighted_error, FIGURE1_OPTIMAL_ERROR as f64);
+        // Cross-check with the exponential oracle.
+        let brute = solve_passive_brute_force(&ws);
+        assert_eq!(brute.weighted_error, 3.0);
+    }
+
+    #[test]
+    fn unweighted_optimum_misclassifies_p1_p11_p15() {
+        let ls = figure1_labeled();
+        let sol = solve_passive(&ls.with_unit_weights());
+        let miscl: Vec<usize> = (0..16)
+            .filter(|&i| sol.assignment[i] != ls.label(i))
+            .map(|i| i + 1) // 1-based like the paper
+            .collect();
+        assert_eq!(miscl, vec![1, 11, 15]);
+    }
+
+    #[test]
+    fn weighted_optimum_is_104() {
+        let sol = solve_passive(&figure2_weighted());
+        assert_eq!(sol.weighted_error, FIGURE2_OPTIMAL_WEIGHTED_ERROR);
+        let brute = solve_passive_brute_force(&figure2_weighted());
+        assert_eq!(brute.weighted_error, 104.0);
+    }
+
+    #[test]
+    fn weighted_optimum_maps_only_p10_p12_p16_to_one() {
+        let sol = solve_passive(&figure2_weighted());
+        let ones: Vec<usize> = (0..16)
+            .filter(|&i| sol.assignment[i].is_one())
+            .map(|i| i + 1)
+            .collect();
+        assert_eq!(ones, vec![10, 12, 16]);
+        // Misclassified = {p1, p4, p9, p13, p14}, total weight 104.
+        let ls = figure1_labeled();
+        let miscl: Vec<usize> = (0..16)
+            .filter(|&i| sol.assignment[i] != ls.label(i))
+            .map(|i| i + 1)
+            .collect();
+        assert_eq!(miscl, vec![1, 4, 9, 13, 14]);
+    }
+
+    #[test]
+    fn unweighted_optimal_classifier_costs_220_on_weighted_input() {
+        // The paper: h (optimal for Problem 1) has w-err = 100+60+60 = 220.
+        let unweighted_sol = solve_passive(&figure1_labeled().with_unit_weights());
+        let weighted = figure2_weighted();
+        assert_eq!(
+            unweighted_sol.classifier.weighted_error_on(&weighted),
+            220.0
+        );
+    }
+
+    #[test]
+    fn contending_points_match_figure_2a() {
+        let con = ContendingPoints::compute(&figure2_weighted());
+        let zeros: Vec<usize> = con.zeros.iter().map(|&i| i + 1).collect();
+        let ones: Vec<usize> = con.ones.iter().map(|&i| i + 1).collect();
+        assert_eq!(zeros, vec![2, 3, 5, 11, 15]);
+        assert_eq!(ones, vec![1, 4, 9, 13, 14]);
+    }
+
+    #[test]
+    fn flow_edge_capacities_match_figure_2b() {
+        let ws = figure2_weighted();
+        let con = ContendingPoints::compute(&ws);
+        let mut type1: Vec<f64> = con.zeros.iter().map(|&i| ws.weight(i)).collect();
+        let mut type2: Vec<f64> = con.ones.iter().map(|&i| ws.weight(i)).collect();
+        type1.sort_by(f64::total_cmp);
+        type2.sort_by(f64::total_cmp);
+        assert_eq!(type1, vec![1.0, 1.0, 1.0, 60.0, 60.0]);
+        assert_eq!(type2, vec![1.0, 1.0, 1.0, 1.0, 100.0]);
+    }
+}

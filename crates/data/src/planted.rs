@@ -1,0 +1,195 @@
+//! Planted monotone concepts with controllable noise.
+//!
+//! The active algorithm's guarantees are relative to the optimal error
+//! `k*`; to exercise them we generate datasets where a *ground-truth
+//! monotone concept* labels the points and a noise rate `η` flips each
+//! label independently. With `η = 0` the data is perfectly monotone
+//! (`k* = 0`, where Theorem 2 promises an optimal classifier whp); with
+//! `η > 0`, `k*` grows roughly like `η·n` and approximation quality
+//! becomes measurable.
+
+use mc_core::MonotoneClassifier;
+use mc_geom::{Label, LabeledSet, PointSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for planted-concept generation.
+#[derive(Debug, Clone)]
+pub struct PlantedConfig {
+    /// Number of points `n`.
+    pub n: usize,
+    /// Dimensionality `d`.
+    pub dim: usize,
+    /// Probability of flipping each clean label.
+    pub noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl PlantedConfig {
+    /// Convenience constructor.
+    pub fn new(n: usize, dim: usize, noise: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&noise), "noise must be in [0, 1]");
+        assert!(dim >= 1, "dimension must be ≥ 1");
+        Self {
+            n,
+            dim,
+            noise,
+            seed,
+        }
+    }
+}
+
+/// A generated dataset together with its generating concept.
+#[derive(Debug, Clone)]
+pub struct PlantedDataset {
+    /// The labeled points.
+    pub data: LabeledSet,
+    /// The ground-truth concept that produced the clean labels.
+    pub concept: MonotoneClassifier,
+    /// Number of labels flipped by noise (an upper bound on `k*`).
+    pub flipped: usize,
+}
+
+/// Uniform points in `[0,1]^d`, labeled by the "sum concept"
+/// `h(x) = 1 ⟺ Σ x_i > d/2`, then flipped with probability `noise`.
+///
+/// The sum concept is monotone and splits the cube evenly, which keeps
+/// both classes populated at every `d`.
+pub fn planted_sum_concept(config: &PlantedConfig) -> PlantedDataset {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut points = PointSet::with_capacity(config.dim, config.n);
+    let mut labels = Vec::with_capacity(config.n);
+    let mut flipped = 0;
+    let threshold = config.dim as f64 / 2.0;
+    for _ in 0..config.n {
+        let coords: Vec<f64> = (0..config.dim).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let clean = coords.iter().sum::<f64>() > threshold;
+        let flip = config.noise > 0.0 && rng.gen_bool(config.noise);
+        if flip {
+            flipped += 1;
+        }
+        labels.push(Label::from_bool(clean != flip));
+        points.push(&coords);
+    }
+    // The sum concept is not expressible with finitely many anchors, but
+    // its restriction to the data is: anchor at the minimal 1-points.
+    let positive: Vec<bool> = points
+        .iter()
+        .map(|p| p.iter().sum::<f64>() > threshold)
+        .collect();
+    let concept = MonotoneClassifier::from_positive_points(&points, &positive);
+    PlantedDataset {
+        data: LabeledSet::new(points, labels),
+        concept,
+        flipped,
+    }
+}
+
+/// Uniform points labeled by a random anchor-based monotone concept with
+/// `num_anchors` anchors, then flipped with probability `noise`.
+/// Produces more jagged decision boundaries than the sum concept.
+pub fn planted_anchor_concept(config: &PlantedConfig, num_anchors: usize) -> PlantedDataset {
+    assert!(num_anchors >= 1, "need at least one anchor");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let anchors: Vec<Vec<f64>> = (0..num_anchors)
+        .map(|_| (0..config.dim).map(|_| rng.gen_range(0.2..0.8)).collect())
+        .collect();
+    let concept = MonotoneClassifier::from_anchors(config.dim, anchors);
+    let mut points = PointSet::with_capacity(config.dim, config.n);
+    let mut labels = Vec::with_capacity(config.n);
+    let mut flipped = 0;
+    for _ in 0..config.n {
+        let coords: Vec<f64> = (0..config.dim).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let clean = concept.classify(&coords).is_one();
+        let flip = config.noise > 0.0 && rng.gen_bool(config.noise);
+        if flip {
+            flipped += 1;
+        }
+        labels.push(Label::from_bool(clean != flip));
+        points.push(&coords);
+    }
+    PlantedDataset {
+        data: LabeledSet::new(points, labels),
+        concept,
+        flipped,
+    }
+}
+
+/// 1D staircase data: values `0..n` with a clean threshold at `boundary`,
+/// flipped with probability `noise`. The canonical Lemma-9 workload.
+pub fn planted_1d(n: usize, boundary: usize, noise: f64, seed: u64) -> PlantedDataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut points = PointSet::with_capacity(1, n);
+    let mut labels = Vec::with_capacity(n);
+    let mut flipped = 0;
+    for i in 0..n {
+        let clean = i >= boundary;
+        let flip = noise > 0.0 && rng.gen_bool(noise);
+        if flip {
+            flipped += 1;
+        }
+        labels.push(Label::from_bool(clean != flip));
+        points.push(&[i as f64]);
+    }
+    let concept = MonotoneClassifier::threshold_1d(boundary as f64 - 0.5);
+    PlantedDataset {
+        data: LabeledSet::new(points, labels),
+        concept,
+        flipped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_core::passive::solve_passive;
+
+    #[test]
+    fn clean_data_has_zero_optimal_error() {
+        let ds = planted_sum_concept(&PlantedConfig::new(200, 2, 0.0, 1));
+        assert_eq!(ds.flipped, 0);
+        assert_eq!(ds.concept.error_on(&ds.data), 0);
+        let sol = solve_passive(&ds.data.with_unit_weights());
+        assert_eq!(sol.weighted_error, 0.0);
+    }
+
+    #[test]
+    fn noise_bounds_k_star() {
+        let ds = planted_sum_concept(&PlantedConfig::new(300, 2, 0.1, 2));
+        assert!(ds.flipped > 0);
+        // The concept misclassifies exactly the flipped points, so
+        // k* ≤ flipped.
+        assert_eq!(ds.concept.error_on(&ds.data) as usize, ds.flipped);
+        let k_star = solve_passive(&ds.data.with_unit_weights()).weighted_error;
+        assert!(k_star <= ds.flipped as f64);
+    }
+
+    #[test]
+    fn anchor_concept_classifies_consistently() {
+        let ds = planted_anchor_concept(&PlantedConfig::new(150, 3, 0.0, 3), 4);
+        assert_eq!(ds.concept.error_on(&ds.data), 0);
+    }
+
+    #[test]
+    fn planted_1d_boundary() {
+        let ds = planted_1d(50, 20, 0.0, 4);
+        assert_eq!(ds.concept.error_on(&ds.data), 0);
+        assert_eq!(ds.data.count_ones(), 30);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = planted_sum_concept(&PlantedConfig::new(100, 2, 0.2, 9));
+        let b = planted_sum_concept(&PlantedConfig::new(100, 2, 0.2, 9));
+        assert_eq!(a.data, b.data);
+        let c = planted_sum_concept(&PlantedConfig::new(100, 2, 0.2, 10));
+        assert_ne!(a.data, c.data);
+    }
+
+    #[test]
+    #[should_panic(expected = "noise")]
+    fn rejects_bad_noise() {
+        PlantedConfig::new(10, 2, 1.5, 0);
+    }
+}

@@ -1,0 +1,226 @@
+//! The workload zoo: named dataset families covering the structural
+//! extremes of the problem, used by the E12 stress sweep and by tests
+//! that want "one of everything".
+//!
+//! Every generator is seeded and returns a [`LabeledSet`] plus the
+//! structural facts a test can assert against (exact width where the
+//! construction pins it down).
+//!
+//! # Example
+//!
+//! ```
+//! use mc_data::zoo::all_specimens;
+//!
+//! let zoo = all_specimens(50, 1);
+//! assert!(zoo.iter().any(|s| s.name == "entity-matching"));
+//! ```
+
+use crate::controlled_width::{self, ControlledWidthConfig};
+use crate::entity_matching::{self, EntityMatchingConfig};
+use crate::planted::{planted_anchor_concept, planted_sum_concept, PlantedConfig};
+use mc_geom::{Label, LabeledSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A zoo specimen: the dataset plus what the construction guarantees.
+#[derive(Debug, Clone)]
+pub struct Specimen {
+    /// Family name (stable identifier).
+    pub name: &'static str,
+    /// The labeled dataset.
+    pub data: LabeledSet,
+    /// Exact dominance width, when the construction pins it down.
+    pub known_width: Option<usize>,
+}
+
+/// A `side × side` grid with labels from the sum concept and noise.
+/// Width = `side` exactly.
+pub fn grid(side: usize, noise: f64, seed: u64) -> Specimen {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = LabeledSet::empty(2);
+    for i in 0..side {
+        for j in 0..side {
+            let clean = i + j >= side;
+            let flip = noise > 0.0 && rng.gen_bool(noise);
+            data.push(&[i as f64, j as f64], Label::from_bool(clean != flip));
+        }
+    }
+    Specimen {
+        name: "grid",
+        data,
+        known_width: Some(side),
+    }
+}
+
+/// A pure antichain (anti-diagonal): width = n, every labeling is
+/// monotone-consistent, `k* = 0` regardless of labels.
+pub fn pure_antichain(n: usize, seed: u64) -> Specimen {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = LabeledSet::empty(2);
+    for i in 0..n {
+        data.push(
+            &[i as f64, (n - i) as f64],
+            Label::from_bool(rng.gen_bool(0.5)),
+        );
+    }
+    Specimen {
+        name: "pure-antichain",
+        data,
+        known_width: Some(n.max(1).min(n)),
+    }
+}
+
+/// A single chain (deep and narrow): width = 1.
+pub fn single_chain(n: usize, noise: f64, seed: u64) -> Specimen {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = LabeledSet::empty(2);
+    for i in 0..n {
+        let clean = i >= n / 2;
+        let flip = noise > 0.0 && rng.gen_bool(noise);
+        data.push(&[i as f64, i as f64 * 2.0], Label::from_bool(clean != flip));
+    }
+    Specimen {
+        name: "single-chain",
+        data,
+        known_width: Some(usize::from(n > 0)),
+    }
+}
+
+/// Heavy duplication: few distinct coordinate vectors, many copies with
+/// noisy labels — the degenerate regime for dominance ties.
+pub fn duplicated_blocks(blocks: usize, copies: usize, noise: f64, seed: u64) -> Specimen {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = LabeledSet::empty(2);
+    for b in 0..blocks {
+        let coords = [b as f64, b as f64];
+        let clean = b >= blocks / 2;
+        for _ in 0..copies {
+            let flip = noise > 0.0 && rng.gen_bool(noise);
+            data.push(&coords, Label::from_bool(clean != flip));
+        }
+    }
+    Specimen {
+        name: "duplicated-blocks",
+        data,
+        known_width: Some(usize::from(blocks > 0)),
+    }
+}
+
+/// Adversarial labels: uniform points with *uniformly random* labels —
+/// maximal `k*`, the worst case for every learner.
+pub fn random_labels(n: usize, dim: usize, seed: u64) -> Specimen {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = LabeledSet::empty(dim);
+    for _ in 0..n {
+        let coords: Vec<f64> = (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect();
+        data.push(&coords, Label::from_bool(rng.gen_bool(0.5)));
+    }
+    Specimen {
+        name: "random-labels",
+        data,
+        known_width: None,
+    }
+}
+
+/// The full zoo at a given scale (n is approximate per specimen).
+pub fn all_specimens(n: usize, seed: u64) -> Vec<Specimen> {
+    let side = (n as f64).sqrt().round().max(2.0) as usize;
+    let mut out = vec![
+        grid(side, 0.05, seed),
+        pure_antichain(n, seed + 1),
+        single_chain(n, 0.05, seed + 2),
+        duplicated_blocks((n / 20).max(2), 20, 0.1, seed + 3),
+        random_labels(n, 3, seed + 4),
+    ];
+    // Reuse the dedicated generators as zoo members too.
+    let cw = controlled_width::generate(&ControlledWidthConfig {
+        n,
+        width: 8.min(n.max(1)),
+        noise: 0.05,
+        seed: seed + 5,
+    });
+    out.push(Specimen {
+        name: "controlled-width",
+        data: cw.data,
+        known_width: Some(8.min(n.max(1))),
+    });
+    let em = entity_matching::generate(&EntityMatchingConfig {
+        pairs: n,
+        metrics: 3,
+        match_rate: 0.3,
+        reliability: 0.8,
+        seed: seed + 6,
+    });
+    out.push(Specimen {
+        name: "entity-matching",
+        data: em.data,
+        known_width: None,
+    });
+    out.push(Specimen {
+        name: "planted-sum",
+        data: planted_sum_concept(&PlantedConfig::new(n, 2, 0.1, seed + 7)).data,
+        known_width: None,
+    });
+    out.push(Specimen {
+        name: "planted-anchors",
+        data: planted_anchor_concept(&PlantedConfig::new(n, 3, 0.05, seed + 8), 5).data,
+        known_width: None,
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_chains::dominance_width;
+
+    #[test]
+    fn known_widths_are_correct() {
+        for specimen in all_specimens(120, 9) {
+            if let Some(w) = specimen.known_width {
+                assert_eq!(
+                    dominance_width(specimen.data.points()),
+                    w,
+                    "{} width mismatch",
+                    specimen.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zoo_has_unique_names_and_sane_sizes() {
+        let specimens = all_specimens(80, 1);
+        let mut names: Vec<&str> = specimens.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), specimens.len(), "duplicate specimen names");
+        for s in &specimens {
+            assert!(!s.data.is_empty(), "{} is empty", s.name);
+        }
+    }
+
+    #[test]
+    fn pure_antichain_has_zero_optimal_error() {
+        let s = pure_antichain(40, 2);
+        let sol = mc_core::passive::solve_passive(&s.data.with_unit_weights());
+        assert_eq!(sol.weighted_error, 0.0);
+    }
+
+    #[test]
+    fn random_labels_have_large_k_star() {
+        let s = random_labels(200, 2, 3);
+        let sol = mc_core::passive::solve_passive(&s.data.with_unit_weights());
+        // With random labels on comparable-rich 2D data, k* is a
+        // constant fraction of n.
+        assert!(sol.weighted_error > 20.0, "k* = {}", sol.weighted_error);
+    }
+
+    #[test]
+    fn grid_specimen_shape() {
+        let s = grid(6, 0.0, 4);
+        assert_eq!(s.data.len(), 36);
+        let sol = mc_core::passive::solve_passive(&s.data.with_unit_weights());
+        assert_eq!(sol.weighted_error, 0.0, "clean grid is realizable");
+    }
+}

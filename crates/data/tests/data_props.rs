@@ -1,0 +1,100 @@
+//! Property tests for the data crate: CSV round-trips and generator
+//! invariants.
+
+use mc_data::csv;
+use mc_geom::{Label, LabeledSet, WeightedSet};
+use proptest::prelude::*;
+
+fn labeled_strategy() -> impl Strategy<Value = LabeledSet> {
+    (1usize..4).prop_flat_map(|dim| {
+        prop::collection::vec(
+            (prop::collection::vec(-100i32..100, dim), prop::bool::ANY),
+            1..40,
+        )
+        .prop_map(move |rows| {
+            let mut ls = LabeledSet::empty(dim);
+            for (coords, label) in rows {
+                let coords: Vec<f64> = coords.into_iter().map(f64::from).collect();
+                ls.push(&coords, Label::from_bool(label));
+            }
+            ls
+        })
+    })
+}
+
+fn to_csv(ls: &LabeledSet) -> String {
+    let mut out = String::new();
+    for (i, p) in ls.points().iter().enumerate() {
+        for c in p {
+            out.push_str(&format!("{c},"));
+        }
+        out.push_str(&ls.label(i).to_string());
+        out.push('\n');
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Labeled CSV round-trip is lossless for integer-valued data.
+    #[test]
+    fn labeled_csv_round_trip(ls in labeled_strategy()) {
+        let text = to_csv(&ls);
+        let back = csv::parse_labeled(&text).unwrap();
+        prop_assert_eq!(&back, &ls);
+    }
+
+    /// Weighted CSV round-trip preserves weights.
+    #[test]
+    fn weighted_csv_round_trip(
+        rows in prop::collection::vec((-50i32..50, prop::bool::ANY, 1u32..100), 1..30)
+    ) {
+        let mut ws = WeightedSet::empty(1);
+        let mut text = String::new();
+        for (v, label, weight) in rows {
+            let label = Label::from_bool(label);
+            ws.push(&[f64::from(v)], label, f64::from(weight));
+            text.push_str(&format!("{v},{label},{weight}\n"));
+        }
+        let back = csv::parse_weighted(&text).unwrap();
+        prop_assert_eq!(back, ws);
+    }
+
+    /// Classifier CSV round-trip: anchors survive serialization exactly.
+    #[test]
+    fn classifier_csv_round_trip(
+        anchors in prop::collection::vec(prop::collection::vec(-20i32..20, 2), 0..6)
+    ) {
+        use mc_core::MonotoneClassifier;
+        let anchors: Vec<Vec<f64>> = anchors
+            .into_iter()
+            .map(|a| a.into_iter().map(f64::from).collect())
+            .collect();
+        let h = MonotoneClassifier::from_anchors(2, anchors);
+        let back = csv::classifier_from_csv(&csv::classifier_to_csv(&h), 2).unwrap();
+        prop_assert_eq!(back, h);
+    }
+
+    /// The hard family always has optimal error n/2 − 1 (Theorem 1 setup).
+    #[test]
+    fn hard_family_optimum_invariant(half in 2usize..9, pair in 1usize..5, kind in prop::bool::ANY) {
+        use mc_data::hard_family::{hard_family_member, hard_family_optimal_error, AnomalyKind};
+        let n = half * 2;
+        let pair = pair.min(n / 2);
+        let kind = if kind { AnomalyKind::OneOne } else { AnomalyKind::ZeroZero };
+        let member = hard_family_member(n, pair, kind);
+        let sol = mc_core::passive::solve_passive(&member.with_unit_weights());
+        prop_assert_eq!(sol.weighted_error, hard_family_optimal_error(n) as f64);
+    }
+
+    /// Controlled-width datasets always hit the requested width exactly.
+    #[test]
+    fn controlled_width_invariant(n in 1usize..120, w in 1usize..12, seed in 0u64..50) {
+        use mc_data::controlled_width::{generate, ControlledWidthConfig};
+        let w = w.min(n);
+        let ds = generate(&ControlledWidthConfig { n, width: w, noise: 0.1, seed });
+        prop_assert_eq!(ds.data.len(), n);
+        prop_assert_eq!(mc_chains::dominance_width(ds.data.points()), w);
+    }
+}

@@ -1,0 +1,200 @@
+//! FIFO push-relabel (Goldberg–Tarjan 1988), `O(V³)` — the algorithm the
+//! paper cites [14] when instantiating `T_maxflow(n)` in Theorem 4.
+//!
+//! Implements the FIFO vertex selection rule with the *gap heuristic*
+//! (when some height `g < n` has no vertices, every vertex with height in
+//! `(g, n)` can be lifted straight to `n + 1`).
+
+use crate::network::FlowNetwork;
+use crate::solution::FlowSolution;
+use crate::{MaxFlowAlgorithm, EPS};
+use std::collections::VecDeque;
+
+/// Goldberg–Tarjan FIFO push-relabel.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PushRelabel;
+
+impl MaxFlowAlgorithm for PushRelabel {
+    fn name(&self) -> &'static str {
+        "push-relabel"
+    }
+
+    fn solve(&self, net: &FlowNetwork) -> FlowSolution {
+        let (mut residual, surrogate) = net.initial_residuals();
+        let n = net.num_nodes();
+        let (s, t) = (net.source(), net.sink());
+
+        let mut height = vec![0usize; n];
+        let mut excess = vec![0.0f64; n];
+        let mut in_queue = vec![false; n];
+        let mut queue = VecDeque::new();
+        // Count of vertices at each height, for the gap heuristic.
+        let mut height_count = vec![0usize; 2 * n + 1];
+        height_count[0] = n - 1;
+        height[s] = n;
+        height_count[n] += 1;
+
+        // Saturate all source-adjacent edges.
+        for &e in net.adjacent(s) {
+            let e = e as usize;
+            if !e.is_multiple_of(2) {
+                continue; // backward edges out of the source carry nothing yet
+            }
+            let c = residual[e];
+            if c > EPS {
+                let v = net.edge_head(e);
+                residual[e] = 0.0;
+                residual[e ^ 1] += c;
+                excess[v] += c;
+                if v != t && v != s && !in_queue[v] {
+                    in_queue[v] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+
+        // Current-arc pointers.
+        let mut arc = vec![0usize; n];
+
+        while let Some(u) = queue.pop_front() {
+            in_queue[u] = false;
+            // Discharge u.
+            while excess[u] > EPS {
+                if arc[u] == net.adjacent(u).len() {
+                    // Relabel.
+                    let old_h = height[u];
+                    let mut min_h = usize::MAX;
+                    for &e in net.adjacent(u) {
+                        let e = e as usize;
+                        if residual[e] > EPS {
+                            min_h = min_h.min(height[net.edge_head(e)]);
+                        }
+                    }
+                    if min_h == usize::MAX {
+                        break; // no admissible edges at all; excess is stuck (shouldn't happen)
+                    }
+                    let new_h = min_h + 1;
+                    height_count[old_h] -= 1;
+                    // Gap heuristic: old height emptied below n.
+                    if height_count[old_h] == 0 && old_h < n {
+                        for v in 0..n {
+                            if v != s && height[v] > old_h && height[v] < n {
+                                height_count[height[v]] -= 1;
+                                height[v] = n + 1;
+                                height_count[n + 1] += 1;
+                            }
+                        }
+                    }
+                    height[u] = new_h.min(2 * n);
+                    height_count[height[u]] += 1;
+                    arc[u] = 0;
+                    if height[u] >= 2 * n {
+                        break;
+                    }
+                    continue;
+                }
+                let e = net.adjacent(u)[arc[u]] as usize;
+                let v = net.edge_head(e);
+                if residual[e] > EPS && height[u] == height[v] + 1 {
+                    // Push.
+                    let delta = excess[u].min(residual[e]);
+                    residual[e] -= delta;
+                    residual[e ^ 1] += delta;
+                    excess[u] -= delta;
+                    excess[v] += delta;
+                    if v != s && v != t && !in_queue[v] {
+                        in_queue[v] = true;
+                        queue.push_back(v);
+                    }
+                } else {
+                    arc[u] += 1;
+                }
+            }
+        }
+
+        FlowSolution::new(excess[t], residual, surrogate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dinic::Dinic;
+    use crate::network::Capacity;
+
+    #[test]
+    fn matches_dinic_on_clrs() {
+        let mut net = FlowNetwork::new(6, 0, 5);
+        net.add_edge(0, 1, 16.0);
+        net.add_edge(0, 2, 13.0);
+        net.add_edge(1, 3, 12.0);
+        net.add_edge(2, 1, 4.0);
+        net.add_edge(2, 4, 14.0);
+        net.add_edge(3, 2, 9.0);
+        net.add_edge(3, 5, 20.0);
+        net.add_edge(4, 3, 7.0);
+        net.add_edge(4, 5, 4.0);
+        let sol = PushRelabel.solve(&net);
+        assert_eq!(sol.value(), 23.0);
+        sol.validate(&net).unwrap();
+        assert_eq!(sol.value(), Dinic.solve(&net).value());
+    }
+
+    #[test]
+    fn single_edge() {
+        let mut net = FlowNetwork::new(2, 0, 1);
+        net.add_edge(0, 1, 7.25);
+        let sol = PushRelabel.solve(&net);
+        assert_eq!(sol.value(), 7.25);
+        sol.validate(&net).unwrap();
+    }
+
+    #[test]
+    fn disconnected() {
+        let mut net = FlowNetwork::new(4, 0, 3);
+        net.add_edge(0, 1, 1.0);
+        net.add_edge(2, 3, 1.0);
+        let sol = PushRelabel.solve(&net);
+        assert_eq!(sol.value(), 0.0);
+    }
+
+    #[test]
+    fn parallel_edges_accumulate() {
+        let mut net = FlowNetwork::new(2, 0, 1);
+        net.add_edge(0, 1, 2.0);
+        net.add_edge(0, 1, 3.0);
+        let sol = PushRelabel.solve(&net);
+        assert_eq!(sol.value(), 5.0);
+        sol.validate(&net).unwrap();
+    }
+
+    #[test]
+    fn infinite_edges_with_finite_bottleneck() {
+        let mut net = FlowNetwork::new(5, 0, 4);
+        net.add_edge(0, 1, 3.0);
+        net.add_edge(0, 2, 4.0);
+        net.add_edge(1, 3, Capacity::Infinite);
+        net.add_edge(2, 3, Capacity::Infinite);
+        net.add_edge(3, 4, 5.0);
+        let sol = PushRelabel.solve(&net);
+        assert_eq!(sol.value(), 5.0);
+        sol.validate(&net).unwrap();
+        let cut = sol.min_cut(&net);
+        assert!(!cut.crosses_infinite);
+        assert_eq!(cut.weight, 5.0);
+    }
+
+    #[test]
+    fn back_edges_usable() {
+        // Flow must cancel along the middle edge to reach the max.
+        let mut net = FlowNetwork::new(4, 0, 3);
+        net.add_edge(0, 1, 1.0);
+        net.add_edge(0, 2, 1.0);
+        net.add_edge(1, 2, 1.0);
+        net.add_edge(1, 3, 1.0);
+        net.add_edge(2, 3, 1.0);
+        let sol = PushRelabel.solve(&net);
+        assert_eq!(sol.value(), 2.0);
+        sol.validate(&net).unwrap();
+    }
+}

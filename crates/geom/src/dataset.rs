@@ -1,0 +1,510 @@
+//! Flat-storage datasets: point sets, labeled sets, weighted sets.
+//!
+//! Points are stored in a single contiguous `Vec<f64>` (row-major), which
+//! keeps the O(d·n²) dominance scans of the paper cache-friendly and avoids
+//! one heap allocation per point.
+//!
+//! # Example
+//!
+//! ```
+//! use mc_geom::{Label, LabeledSet};
+//!
+//! let mut data = LabeledSet::empty(2);
+//! data.push(&[0.2, 0.8], Label::One);
+//! data.push(&[0.9, 0.1], Label::Zero);
+//! assert_eq!(data.count_ones(), 1);
+//! assert_eq!(data.error_of(|_| Label::One), 1);
+//! ```
+
+use crate::dominance::{self, Dominance};
+use crate::label::Label;
+use crate::point::Point;
+
+/// A set of `n` points in `R^d` with flat row-major storage.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PointSet {
+    dim: usize,
+    coords: Vec<f64>,
+}
+
+impl PointSet {
+    /// Creates an empty set of the given dimensionality.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "dimensionality must be at least 1");
+        Self {
+            dim,
+            coords: Vec::new(),
+        }
+    }
+
+    /// Creates an empty set with capacity for `n` points.
+    pub fn with_capacity(dim: usize, n: usize) -> Self {
+        assert!(dim > 0, "dimensionality must be at least 1");
+        Self {
+            dim,
+            coords: Vec::with_capacity(dim * n),
+        }
+    }
+
+    /// Builds a set from owned [`Point`]s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the points disagree on dimensionality or `points` is empty
+    /// and no dimensionality can be inferred — use [`PointSet::new`] for an
+    /// explicitly-dimensioned empty set.
+    pub fn from_points(points: &[Point]) -> Self {
+        assert!(
+            !points.is_empty(),
+            "cannot infer dimensionality from an empty slice; use PointSet::new(dim)"
+        );
+        let dim = points[0].dim();
+        let mut set = Self::with_capacity(dim, points.len());
+        for p in points {
+            set.push(p.coords());
+        }
+        set
+    }
+
+    /// Builds a set from rows of coordinates.
+    pub fn from_rows(dim: usize, rows: &[Vec<f64>]) -> Self {
+        let mut set = Self::with_capacity(dim, rows.len());
+        for r in rows {
+            set.push(r);
+        }
+        set
+    }
+
+    /// Convenience constructor for 1-dimensional data.
+    pub fn from_values_1d(values: &[f64]) -> Self {
+        let mut set = Self::with_capacity(1, values.len());
+        for &v in values {
+            set.push(&[v]);
+        }
+        set
+    }
+
+    /// Appends a point; returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coords.len() != self.dim()`.
+    pub fn push(&mut self, coords: &[f64]) -> usize {
+        assert_eq!(
+            coords.len(),
+            self.dim,
+            "point has dimension {} but the set has dimension {}",
+            coords.len(),
+            self.dim
+        );
+        self.coords.extend_from_slice(coords);
+        self.len() - 1
+    }
+
+    /// The number of points `n`.
+    pub fn len(&self) -> usize {
+        self.coords.len() / self.dim
+    }
+
+    /// `true` iff the set has no points.
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    /// The dimensionality `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Coordinates of point `i`.
+    pub fn point(&self, i: usize) -> &[f64] {
+        &self.coords[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Owned copy of point `i`.
+    pub fn point_owned(&self, i: usize) -> Point {
+        Point::new(self.point(i).to_vec())
+    }
+
+    /// Iterates over the points as coordinate slices.
+    pub fn iter(&self) -> impl Iterator<Item = &[f64]> + '_ {
+        self.coords.chunks_exact(self.dim)
+    }
+
+    /// Dominance comparison between points `i` and `j`.
+    pub fn compare(&self, i: usize, j: usize) -> Dominance {
+        dominance::compare(self.point(i), self.point(j))
+    }
+
+    /// `true` iff point `i` (reflexively) dominates point `j`.
+    pub fn dominates(&self, i: usize, j: usize) -> bool {
+        dominance::dominates(self.point(i), self.point(j))
+    }
+
+    /// Restriction to a subset of indices (in the given order).
+    pub fn subset(&self, indices: &[usize]) -> PointSet {
+        let mut out = Self::with_capacity(self.dim, indices.len());
+        for &i in indices {
+            out.push(self.point(i));
+        }
+        out
+    }
+}
+
+/// A fully-labeled point set: the input of the *passive* problems and the
+/// ground truth hidden behind the oracle in the *active* problem.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LabeledSet {
+    points: PointSet,
+    labels: Vec<Label>,
+}
+
+impl LabeledSet {
+    /// Pairs a point set with its labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths disagree.
+    pub fn new(points: PointSet, labels: Vec<Label>) -> Self {
+        assert_eq!(
+            points.len(),
+            labels.len(),
+            "{} points but {} labels",
+            points.len(),
+            labels.len()
+        );
+        Self { points, labels }
+    }
+
+    /// Empty labeled set of the given dimensionality.
+    pub fn empty(dim: usize) -> Self {
+        Self {
+            points: PointSet::new(dim),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Appends a labeled point; returns its index.
+    pub fn push(&mut self, coords: &[f64], label: Label) -> usize {
+        let idx = self.points.push(coords);
+        self.labels.push(label);
+        idx
+    }
+
+    /// The underlying point set.
+    pub fn points(&self) -> &PointSet {
+        &self.points
+    }
+
+    /// Label of point `i`.
+    pub fn label(&self, i: usize) -> Label {
+        self.labels[i]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// The number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.points.dim()
+    }
+
+    /// Error of a prediction function on this set: the number of points `i`
+    /// with `predict(points[i]) != label(i)` — equation (1) of the paper.
+    pub fn error_of(&self, mut predict: impl FnMut(&[f64]) -> Label) -> u64 {
+        let mut err = 0u64;
+        for (i, p) in self.points.iter().enumerate() {
+            if predict(p) != self.labels[i] {
+                err += 1;
+            }
+        }
+        err
+    }
+
+    /// Number of points carrying label 1.
+    pub fn count_ones(&self) -> usize {
+        self.labels.iter().filter(|l| l.is_one()).count()
+    }
+
+    /// Restriction to a subset of indices (in the given order).
+    pub fn subset(&self, indices: &[usize]) -> LabeledSet {
+        LabeledSet {
+            points: self.points.subset(indices),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+        }
+    }
+
+    /// Attaches unit weights, producing a [`WeightedSet`].
+    pub fn with_unit_weights(&self) -> WeightedSet {
+        WeightedSet::new(
+            self.points.clone(),
+            self.labels.clone(),
+            vec![1.0; self.len()],
+        )
+    }
+}
+
+/// A *fully-labeled weighted set* (Section 1.1, Problem 2): every point has
+/// a binary label and a positive finite weight.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WeightedSet {
+    points: PointSet,
+    labels: Vec<Label>,
+    weights: Vec<f64>,
+}
+
+impl WeightedSet {
+    /// Assembles a weighted set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths disagree or any weight is not strictly positive
+    /// and finite (the paper requires positive finite real weights).
+    pub fn new(points: PointSet, labels: Vec<Label>, weights: Vec<f64>) -> Self {
+        assert_eq!(points.len(), labels.len(), "labels length mismatch");
+        assert_eq!(points.len(), weights.len(), "weights length mismatch");
+        for (i, &w) in weights.iter().enumerate() {
+            assert!(
+                w > 0.0 && w.is_finite(),
+                "weight of point {i} is {w}; weights must be positive and finite"
+            );
+        }
+        Self {
+            points,
+            labels,
+            weights,
+        }
+    }
+
+    /// Empty weighted set of the given dimensionality.
+    pub fn empty(dim: usize) -> Self {
+        Self {
+            points: PointSet::new(dim),
+            labels: Vec::new(),
+            weights: Vec::new(),
+        }
+    }
+
+    /// Appends a weighted labeled point; returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive or non-finite weight.
+    pub fn push(&mut self, coords: &[f64], label: Label, weight: f64) -> usize {
+        assert!(
+            weight > 0.0 && weight.is_finite(),
+            "weight must be positive and finite, got {weight}"
+        );
+        let idx = self.points.push(coords);
+        self.labels.push(label);
+        self.weights.push(weight);
+        idx
+    }
+
+    /// The underlying point set.
+    pub fn points(&self) -> &PointSet {
+        &self.points
+    }
+
+    /// Label of point `i`.
+    pub fn label(&self, i: usize) -> Label {
+        self.labels[i]
+    }
+
+    /// Weight of point `i`.
+    pub fn weight(&self, i: usize) -> f64 {
+        self.weights[i]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// All weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.points.dim()
+    }
+
+    /// Total weight of the set.
+    pub fn total_weight(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+
+    /// Weighted error of a prediction function — equation (3) of the paper:
+    /// `w-err_P(h) = Σ weight(p) · 1[h(p) != label(p)]`.
+    pub fn weighted_error_of(&self, mut predict: impl FnMut(&[f64]) -> Label) -> f64 {
+        let mut err = 0.0;
+        for (i, p) in self.points.iter().enumerate() {
+            if predict(p) != self.labels[i] {
+                err += self.weights[i];
+            }
+        }
+        err
+    }
+
+    /// Drops the weights, keeping points and labels.
+    pub fn to_labeled(&self) -> LabeledSet {
+        LabeledSet::new(self.points.clone(), self.labels.clone())
+    }
+
+    /// Merges another weighted set into this one (set union as multiset).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimensionality mismatch.
+    pub fn extend_from(&mut self, other: &WeightedSet) {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch in union");
+        for i in 0..other.len() {
+            self.push(other.points.point(i), other.labels[i], other.weights[i]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_points() -> PointSet {
+        PointSet::from_rows(2, &[vec![0.0, 0.0], vec![1.0, 1.0], vec![0.0, 2.0]])
+    }
+
+    #[test]
+    fn point_set_basics() {
+        let ps = sample_points();
+        assert_eq!(ps.len(), 3);
+        assert_eq!(ps.dim(), 2);
+        assert_eq!(ps.point(1), &[1.0, 1.0]);
+        assert!(ps.dominates(1, 0));
+        assert!(!ps.dominates(1, 2));
+        assert_eq!(ps.compare(0, 1), Dominance::DominatedBy);
+        assert_eq!(ps.compare(1, 2), Dominance::Incomparable);
+    }
+
+    #[test]
+    fn point_set_iter_and_subset() {
+        let ps = sample_points();
+        let collected: Vec<&[f64]> = ps.iter().collect();
+        assert_eq!(collected.len(), 3);
+        let sub = ps.subset(&[2, 0]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.point(0), &[0.0, 2.0]);
+        assert_eq!(sub.point(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension")]
+    fn push_wrong_dim_panics() {
+        let mut ps = PointSet::new(2);
+        ps.push(&[1.0]);
+    }
+
+    #[test]
+    fn labeled_error() {
+        let ls = LabeledSet::new(sample_points(), vec![Label::Zero, Label::One, Label::One]);
+        // Predict all-one: misclassifies the single label-0 point.
+        assert_eq!(ls.error_of(|_| Label::One), 1);
+        // Predict all-zero: misclassifies the two label-1 points.
+        assert_eq!(ls.error_of(|_| Label::Zero), 2);
+        assert_eq!(ls.count_ones(), 2);
+    }
+
+    #[test]
+    fn labeled_subset_keeps_labels() {
+        let ls = LabeledSet::new(sample_points(), vec![Label::Zero, Label::One, Label::One]);
+        let sub = ls.subset(&[1]);
+        assert_eq!(sub.len(), 1);
+        assert_eq!(sub.label(0), Label::One);
+    }
+
+    #[test]
+    fn weighted_error_matches_eq3() {
+        let ws = WeightedSet::new(
+            sample_points(),
+            vec![Label::Zero, Label::One, Label::One],
+            vec![10.0, 2.0, 3.0],
+        );
+        assert_eq!(ws.weighted_error_of(|_| Label::One), 10.0);
+        assert_eq!(ws.weighted_error_of(|_| Label::Zero), 5.0);
+        assert_eq!(ws.total_weight(), 15.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_weight_rejected() {
+        WeightedSet::new(sample_points(), vec![Label::Zero; 3], vec![1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn infinite_weight_rejected() {
+        let mut ws = WeightedSet::empty(1);
+        ws.push(&[1.0], Label::One, f64::INFINITY);
+    }
+
+    #[test]
+    fn unit_weights_round_trip() {
+        let ls = LabeledSet::new(sample_points(), vec![Label::Zero, Label::One, Label::One]);
+        let ws = ls.with_unit_weights();
+        assert_eq!(ws.total_weight(), 3.0);
+        assert_eq!(ws.to_labeled(), ls);
+    }
+
+    #[test]
+    fn extend_from_unions_multisets() {
+        let mut a = WeightedSet::empty(1);
+        a.push(&[1.0], Label::One, 2.0);
+        let mut b = WeightedSet::empty(1);
+        b.push(&[1.0], Label::Zero, 3.0);
+        b.push(&[2.0], Label::One, 4.0);
+        a.extend_from(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.total_weight(), 9.0);
+    }
+
+    #[test]
+    fn from_values_1d() {
+        let ps = PointSet::from_values_1d(&[3.0, 1.0, 2.0]);
+        assert_eq!(ps.dim(), 1);
+        assert_eq!(ps.len(), 3);
+        assert_eq!(ps.point(0), &[3.0]);
+    }
+
+    #[test]
+    fn from_points_roundtrip() {
+        let pts = vec![Point::two_dim(1.0, 2.0), Point::two_dim(3.0, 4.0)];
+        let ps = PointSet::from_points(&pts);
+        assert_eq!(ps.point_owned(1), pts[1]);
+    }
+}

@@ -1,0 +1,155 @@
+//! The dominance partial order on `R^d`.
+//!
+//! Following Section 1.1 of the paper: point `p` *dominates* `q`
+//! (written `p ⪰ q`) iff `p[i] >= q[i]` on every dimension `i`.
+//! The paper restricts the relation to distinct points (so `p ⪰ q` with
+//! `p ≠ q` implies `p[i] > q[i]` on at least one dimension); we expose a
+//! reflexive version ([`dominates`]) because it is the natural closure used
+//! when evaluating classifiers (`h(x) = 1` iff `x ⪰ a` for an anchor `a`,
+//! including `x = a`), and a strict version ([`strictly_dominates`]).
+//!
+//! # Example
+//!
+//! ```
+//! use mc_geom::dominance::{compare, dominates, Dominance};
+//!
+//! assert!(dominates(&[2.0, 3.0], &[1.0, 3.0]));
+//! assert_eq!(compare(&[0.0, 1.0], &[1.0, 0.0]), Dominance::Incomparable);
+//! ```
+
+/// The outcome of comparing two points under dominance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dominance {
+    /// The two points have identical coordinates.
+    Equal,
+    /// The first point dominates the second (and they differ).
+    Dominates,
+    /// The second point dominates the first (and they differ).
+    DominatedBy,
+    /// Neither dominates the other.
+    Incomparable,
+}
+
+impl Dominance {
+    /// `true` if the relation means "first ⪰ second" (reflexively).
+    pub fn ge(self) -> bool {
+        matches!(self, Dominance::Equal | Dominance::Dominates)
+    }
+
+    /// `true` if the relation means "first ⪯ second" (reflexively).
+    pub fn le(self) -> bool {
+        matches!(self, Dominance::Equal | Dominance::DominatedBy)
+    }
+
+    /// The relation with arguments swapped.
+    pub fn flip(self) -> Self {
+        match self {
+            Dominance::Dominates => Dominance::DominatedBy,
+            Dominance::DominatedBy => Dominance::Dominates,
+            other => other,
+        }
+    }
+}
+
+/// Full three-way-plus-incomparable comparison of `p` and `q`.
+///
+/// # Panics
+///
+/// Panics (debug builds) if the slices have different lengths.
+pub fn compare(p: &[f64], q: &[f64]) -> Dominance {
+    debug_assert_eq!(p.len(), q.len(), "dimension mismatch");
+    let mut p_ge = true; // p[i] >= q[i] for all i seen so far
+    let mut q_ge = true; // q[i] >= p[i] for all i seen so far
+    for (a, b) in p.iter().zip(q.iter()) {
+        if a < b {
+            p_ge = false;
+        }
+        if b < a {
+            q_ge = false;
+        }
+        if !p_ge && !q_ge {
+            return Dominance::Incomparable;
+        }
+    }
+    match (p_ge, q_ge) {
+        (true, true) => Dominance::Equal,
+        (true, false) => Dominance::Dominates,
+        (false, true) => Dominance::DominatedBy,
+        (false, false) => Dominance::Incomparable,
+    }
+}
+
+/// Reflexive dominance: `p[i] >= q[i]` for every `i`. `dominates(p, p)` is
+/// `true`.
+pub fn dominates(p: &[f64], q: &[f64]) -> bool {
+    debug_assert_eq!(p.len(), q.len(), "dimension mismatch");
+    p.iter().zip(q.iter()).all(|(a, b)| a >= b)
+}
+
+/// Strict dominance in the paper's sense: `p ⪰ q` and `p ≠ q`.
+pub fn strictly_dominates(p: &[f64], q: &[f64]) -> bool {
+    dominates(p, q) && p != q
+}
+
+/// `true` iff neither point (reflexively) dominates the other.
+pub fn incomparable(p: &[f64], q: &[f64]) -> bool {
+    compare(p, q) == Dominance::Incomparable
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compare_all_cases() {
+        assert_eq!(compare(&[1.0, 2.0], &[1.0, 2.0]), Dominance::Equal);
+        assert_eq!(compare(&[2.0, 2.0], &[1.0, 2.0]), Dominance::Dominates);
+        assert_eq!(compare(&[0.0, 2.0], &[1.0, 2.0]), Dominance::DominatedBy);
+        assert_eq!(compare(&[0.0, 3.0], &[1.0, 2.0]), Dominance::Incomparable);
+    }
+
+    #[test]
+    fn reflexive_vs_strict() {
+        let p = [1.0, 1.0];
+        assert!(dominates(&p, &p));
+        assert!(!strictly_dominates(&p, &p));
+        assert!(strictly_dominates(&[2.0, 1.0], &p));
+    }
+
+    #[test]
+    fn one_dimensional_dominance_is_total() {
+        // In 1D no two points are incomparable.
+        for a in [-1.0, 0.0, 3.5] {
+            for b in [-1.0, 0.0, 3.5] {
+                assert_ne!(compare(&[a], &[b]), Dominance::Incomparable);
+            }
+        }
+    }
+
+    #[test]
+    fn flip_is_involutive() {
+        for d in [
+            Dominance::Equal,
+            Dominance::Dominates,
+            Dominance::DominatedBy,
+            Dominance::Incomparable,
+        ] {
+            assert_eq!(d.flip().flip(), d);
+        }
+    }
+
+    #[test]
+    fn ge_le_consistency() {
+        assert!(Dominance::Equal.ge() && Dominance::Equal.le());
+        assert!(Dominance::Dominates.ge() && !Dominance::Dominates.le());
+        assert!(!Dominance::DominatedBy.ge() && Dominance::DominatedBy.le());
+        assert!(!Dominance::Incomparable.ge() && !Dominance::Incomparable.le());
+    }
+
+    #[test]
+    fn incomparable_helper() {
+        assert!(incomparable(&[0.0, 1.0], &[1.0, 0.0]));
+        assert!(!incomparable(&[1.0, 1.0], &[0.0, 0.0]));
+        assert!(!incomparable(&[1.0], &[1.0]));
+    }
+}

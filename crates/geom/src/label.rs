@@ -1,0 +1,127 @@
+//! Binary labels.
+
+use std::fmt;
+
+/// A binary label (0 or 1), as carried by every point of the input set `P`.
+///
+/// The paper writes `label(p) ∈ {0, 1}`; label 1 means "match" / positive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Label {
+    /// Label 0 (non-match / negative).
+    Zero,
+    /// Label 1 (match / positive).
+    One,
+}
+
+impl Label {
+    /// Numeric value (0 or 1).
+    pub fn as_u8(self) -> u8 {
+        match self {
+            Label::Zero => 0,
+            Label::One => 1,
+        }
+    }
+
+    /// Converts from a boolean (`true` → `One`).
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            Label::One
+        } else {
+            Label::Zero
+        }
+    }
+
+    /// `true` iff this is label 1.
+    pub fn is_one(self) -> bool {
+        matches!(self, Label::One)
+    }
+
+    /// `true` iff this is label 0.
+    pub fn is_zero(self) -> bool {
+        matches!(self, Label::Zero)
+    }
+
+    /// The other label.
+    pub fn flipped(self) -> Self {
+        match self {
+            Label::Zero => Label::One,
+            Label::One => Label::Zero,
+        }
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_u8())
+    }
+}
+
+impl From<bool> for Label {
+    fn from(b: bool) -> Self {
+        Label::from_bool(b)
+    }
+}
+
+impl TryFrom<u8> for Label {
+    type Error = InvalidLabel;
+
+    fn try_from(v: u8) -> Result<Self, Self::Error> {
+        match v {
+            0 => Ok(Label::Zero),
+            1 => Ok(Label::One),
+            other => Err(InvalidLabel(other)),
+        }
+    }
+}
+
+/// Error returned when converting an out-of-range integer into a [`Label`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidLabel(pub u8);
+
+impl fmt::Display for InvalidLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid label value {}; labels are 0 or 1", self.0)
+    }
+}
+
+impl std::error::Error for InvalidLabel {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_u8() {
+        assert_eq!(Label::try_from(0u8), Ok(Label::Zero));
+        assert_eq!(Label::try_from(1u8), Ok(Label::One));
+        assert_eq!(Label::try_from(2u8), Err(InvalidLabel(2)));
+        assert_eq!(Label::Zero.as_u8(), 0);
+        assert_eq!(Label::One.as_u8(), 1);
+    }
+
+    #[test]
+    fn flip_and_predicates() {
+        assert_eq!(Label::Zero.flipped(), Label::One);
+        assert_eq!(Label::One.flipped(), Label::Zero);
+        assert!(Label::One.is_one());
+        assert!(Label::Zero.is_zero());
+        assert!(!Label::Zero.is_one());
+    }
+
+    #[test]
+    fn ordering_matches_numeric() {
+        assert!(Label::Zero < Label::One);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Label::One.to_string(), "1");
+        assert_eq!(Label::Zero.to_string(), "0");
+    }
+
+    #[test]
+    fn from_bool() {
+        assert_eq!(Label::from(true), Label::One);
+        assert_eq!(Label::from(false), Label::Zero);
+    }
+}

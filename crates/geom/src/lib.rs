@@ -1,0 +1,47 @@
+//! Geometric substrate for monotone classification.
+//!
+//! This crate provides the basic vocabulary shared by every other crate in
+//! the workspace:
+//!
+//! * [`Point`] — a point in `R^d` with total-order-safe coordinate access;
+//! * the *dominance* partial order ([`dominates`], [`Dominance`]);
+//! * [`PointSet`] — a cache-friendly, flat-storage collection of points;
+//! * [`Label`] — binary labels (0/1) as used throughout the paper;
+//! * [`LabeledSet`] — a point set whose labels are all visible
+//!   (the input of Problem 2 when paired with weights);
+//! * [`WeightedSet`] — a *fully-labeled weighted set* in the paper's sense
+//!   (Section 1.1), i.e. every point carries a label and a positive weight.
+//!
+//! The paper ("New Algorithms for Monotone Classification", Tao & Wang,
+//! PODS 2021) defines dominance as: `p` dominates `q` iff `p[i] >= q[i]`
+//! for every dimension `i`. Note that under this definition a point
+//! trivially dominates itself; the paper restricts the relation to
+//! *distinct* points. We expose both flavours ([`dominates`] is reflexive,
+//! [`strictly_dominates`] excludes equality).
+
+pub mod dataset;
+pub mod dominance;
+pub mod label;
+pub mod pareto;
+pub mod point;
+pub mod transform;
+
+pub use dataset::{LabeledSet, PointSet, WeightedSet};
+pub use dominance::{dominates, incomparable, strictly_dominates, Dominance};
+pub use label::Label;
+pub use pareto::{maxima, minima, minima_2d};
+pub use point::Point;
+pub use transform::{transform_pointset, AxisTransform};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reexports_compile() {
+        let p = Point::new(vec![1.0, 2.0]);
+        let q = Point::new(vec![0.0, 2.0]);
+        assert!(dominates(p.coords(), q.coords()));
+        assert_eq!(Label::One.as_u8(), 1);
+    }
+}

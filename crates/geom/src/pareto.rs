@@ -1,0 +1,146 @@
+//! Pareto frontiers under dominance.
+//!
+//! The *minima* of a set (points dominated by no other) are exactly the
+//! anchor candidates of a monotone classifier's positive region; the
+//! *maxima* bound its negative region. Both are `O(d·n²)` here (the
+//! workspace's point sets are small relative to its quadratic phases),
+//! with an `O(n log n)` 2D specialization.
+//!
+//! # Example
+//!
+//! ```
+//! use mc_geom::{minima, maxima, PointSet};
+//!
+//! let ps = PointSet::from_rows(2, &[vec![0.0, 0.0], vec![1.0, 1.0], vec![0.0, 2.0]]);
+//! assert_eq!(minima(&ps), vec![0]);
+//! assert_eq!(maxima(&ps), vec![1, 2]);
+//! ```
+
+use crate::dataset::PointSet;
+use crate::dominance::Dominance;
+
+/// Indices of the minimal points: no *other* point is dominated by them…
+/// precisely, `i` is minimal iff no `j ≠ i` satisfies `points[i] ⪰
+/// points[j]` strictly; among duplicates the smallest index is kept.
+pub fn minima(points: &PointSet) -> Vec<usize> {
+    frontier(points, false)
+}
+
+/// Indices of the maximal points (dual of [`minima`]); among duplicates
+/// the smallest index is kept.
+pub fn maxima(points: &PointSet) -> Vec<usize> {
+    frontier(points, true)
+}
+
+fn frontier(points: &PointSet, want_maxima: bool) -> Vec<usize> {
+    let n = points.len();
+    let mut keep = Vec::new();
+    'outer: for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let beaten = match points.compare(i, j) {
+                // For maxima, i is beaten if j strictly dominates i.
+                Dominance::DominatedBy => want_maxima,
+                Dominance::Dominates => !want_maxima,
+                // Duplicate coordinates: keep only the first index.
+                Dominance::Equal => j < i,
+                Dominance::Incomparable => false,
+            };
+            if beaten {
+                continue 'outer;
+            }
+        }
+        keep.push(i);
+    }
+    keep
+}
+
+/// 2D minima in `O(n log n)`: sort by `(x, y)` ascending and keep points
+/// whose `y` is strictly below every previously kept `y`.
+///
+/// # Panics
+///
+/// Panics if `points.dim() != 2`.
+pub fn minima_2d(points: &PointSet) -> Vec<usize> {
+    assert_eq!(points.dim(), 2, "minima_2d requires d = 2");
+    let n = points.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        let pa = points.point(a);
+        let pb = points.point(b);
+        pa[0]
+            .total_cmp(&pb[0])
+            .then(pa[1].total_cmp(&pb[1]))
+            .then(a.cmp(&b))
+    });
+    let mut keep = Vec::new();
+    let mut best_y = f64::INFINITY;
+    for &i in &order {
+        let y = points.point(i)[1];
+        if y < best_y {
+            keep.push(i);
+            best_y = y;
+        }
+    }
+    keep.sort_unstable();
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minima_and_maxima_of_chain() {
+        let ps = PointSet::from_rows(2, &[vec![0.0, 0.0], vec![1.0, 1.0], vec![2.0, 2.0]]);
+        assert_eq!(minima(&ps), vec![0]);
+        assert_eq!(maxima(&ps), vec![2]);
+    }
+
+    #[test]
+    fn antichain_is_its_own_frontier() {
+        let ps = PointSet::from_rows(2, &[vec![0.0, 2.0], vec![1.0, 1.0], vec![2.0, 0.0]]);
+        assert_eq!(minima(&ps), vec![0, 1, 2]);
+        assert_eq!(maxima(&ps), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn duplicates_kept_once() {
+        let ps = PointSet::from_rows(2, &[vec![1.0, 1.0], vec![1.0, 1.0]]);
+        assert_eq!(minima(&ps), vec![0]);
+        assert_eq!(maxima(&ps), vec![0]);
+    }
+
+    #[test]
+    fn minima_2d_matches_generic() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x9A);
+        for _ in 0..30 {
+            let n = rng.gen_range(0..50);
+            let rows: Vec<Vec<f64>> = (0..n)
+                .map(|_| {
+                    vec![
+                        rng.gen_range(0.0f64..6.0).round(),
+                        rng.gen_range(0.0f64..6.0).round(),
+                    ]
+                })
+                .collect();
+            let ps = if n == 0 {
+                PointSet::new(2)
+            } else {
+                PointSet::from_rows(2, &rows)
+            };
+            assert_eq!(minima_2d(&ps), minima(&ps), "{ps:?}");
+        }
+    }
+
+    #[test]
+    fn empty_set() {
+        let ps = PointSet::new(3);
+        assert!(minima(&ps).is_empty());
+        assert!(maxima(&ps).is_empty());
+    }
+}

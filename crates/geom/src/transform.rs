@@ -1,0 +1,238 @@
+//! Per-axis monotone transforms.
+//!
+//! Similarity scores (the paper's intended coordinates, Section 1.1) are
+//! only meaningful up to a strictly increasing rescaling of each metric:
+//! whether `sim_i` is a raw edit distance, its negation-normalization, or
+//! a calibrated probability changes nothing about which pairs are "at
+//! least as similar". Formally, applying a strictly increasing function
+//! per axis preserves the dominance partial order — hence the dominance
+//! width, the contending set, and the optimal monotone error are all
+//! invariant. This module provides the common rescalings and is
+//! property-tested for exactly that invariance.
+//!
+//! # Example
+//!
+//! ```
+//! use mc_geom::{transform_pointset, AxisTransform, PointSet, dominates};
+//!
+//! let ps = PointSet::from_rows(2, &[vec![10.0, 1.0], vec![100.0, 2.0]]);
+//! let mapped = transform_pointset(&ps, &[AxisTransform::Rank, AxisTransform::MinMax]);
+//! // Dominance is preserved under per-axis monotone rescaling.
+//! assert!(dominates(mapped.point(1), mapped.point(0)));
+//! ```
+
+use crate::dataset::PointSet;
+
+/// A strictly increasing per-axis transform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AxisTransform {
+    /// Identity.
+    Identity,
+    /// Min-max rescaling of observed values onto `[0, 1]` (constant axes
+    /// map to 0.5).
+    MinMax,
+    /// Average-rank transform: each value maps to the mean rank of its
+    /// duplicates, scaled to `[0, 1]`.
+    Rank,
+    /// `x ↦ ln(1 + x − min)` — compresses heavy tails while preserving
+    /// order (shifted so the argument stays ≥ 1).
+    Log1p,
+}
+
+/// Applies `transforms[i]` to axis `i` of every point, returning a new
+/// set. Dominance relations between points are preserved exactly for
+/// [`AxisTransform::Identity`], [`AxisTransform::MinMax`] and
+/// [`AxisTransform::Log1p`]; [`AxisTransform::Rank`] preserves them on
+/// the transformed *set* (it is increasing on the observed values).
+///
+/// # Panics
+///
+/// Panics if `transforms.len() != points.dim()`.
+pub fn transform_pointset(points: &PointSet, transforms: &[AxisTransform]) -> PointSet {
+    assert_eq!(
+        transforms.len(),
+        points.dim(),
+        "one transform per dimension"
+    );
+    let n = points.len();
+    let d = points.dim();
+    let mut out = PointSet::with_capacity(d, n);
+    if n == 0 {
+        return out;
+    }
+    // Per-axis preprocessing.
+    let mut mins = vec![f64::INFINITY; d];
+    let mut maxs = vec![f64::NEG_INFINITY; d];
+    for p in points.iter() {
+        for (j, &c) in p.iter().enumerate() {
+            mins[j] = mins[j].min(c);
+            maxs[j] = maxs[j].max(c);
+        }
+    }
+    // Rank tables per axis that needs them.
+    let rank_tables: Vec<Option<RankTable>> = transforms
+        .iter()
+        .enumerate()
+        .map(|(j, t)| {
+            if *t == AxisTransform::Rank {
+                Some(RankTable::build(points, j))
+            } else {
+                None
+            }
+        })
+        .collect();
+
+    let mut row = vec![0.0; d];
+    for p in points.iter() {
+        for j in 0..d {
+            row[j] = match transforms[j] {
+                AxisTransform::Identity => p[j],
+                AxisTransform::MinMax => {
+                    let range = maxs[j] - mins[j];
+                    if range > 0.0 {
+                        (p[j] - mins[j]) / range
+                    } else {
+                        0.5
+                    }
+                }
+                AxisTransform::Rank => rank_tables[j]
+                    .as_ref()
+                    .expect("rank table built for Rank axes")
+                    .rank01(p[j]),
+                AxisTransform::Log1p => (1.0 + p[j] - mins[j]).ln(),
+            };
+        }
+        out.push(&row);
+    }
+    out
+}
+
+/// Sorted distinct values of one axis with average-rank lookup.
+struct RankTable {
+    /// `(value, mean 0-based rank of its duplicates)`.
+    entries: Vec<(f64, f64)>,
+    scale: f64,
+}
+
+impl RankTable {
+    fn build(points: &PointSet, axis: usize) -> Self {
+        let n = points.len();
+        let mut values: Vec<f64> = points.iter().map(|p| p[axis]).collect();
+        values.sort_by(f64::total_cmp);
+        let mut entries = Vec::new();
+        let mut i = 0;
+        while i < n {
+            let mut j = i;
+            while j < n && values[j] == values[i] {
+                j += 1;
+            }
+            let mean_rank = (i + j - 1) as f64 / 2.0;
+            entries.push((values[i], mean_rank));
+            i = j;
+        }
+        Self {
+            entries,
+            scale: if n > 1 { (n - 1) as f64 } else { 1.0 },
+        }
+    }
+
+    fn rank01(&self, v: f64) -> f64 {
+        let idx = self
+            .entries
+            .binary_search_by(|(val, _)| val.total_cmp(&v))
+            .expect("value came from the same axis");
+        self.entries[idx].1 / self.scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dominance::compare;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, d: usize, seed: u64) -> PointSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| {
+                (0..d)
+                    .map(|_| rng.gen_range(-5.0f64..50.0).round())
+                    .collect()
+            })
+            .collect();
+        PointSet::from_rows(d, &rows)
+    }
+
+    #[test]
+    fn dominance_relations_preserved() {
+        for (seed, transforms) in [
+            (1u64, vec![AxisTransform::MinMax, AxisTransform::Rank]),
+            (2, vec![AxisTransform::Log1p, AxisTransform::Identity]),
+            (3, vec![AxisTransform::Rank, AxisTransform::Rank]),
+        ] {
+            let points = random_points(60, 2, seed);
+            let mapped = transform_pointset(&points, &transforms);
+            for i in 0..points.len() {
+                for j in 0..points.len() {
+                    assert_eq!(
+                        compare(points.point(i), points.point(j)),
+                        compare(mapped.point(i), mapped.point(j)),
+                        "pair ({i}, {j}) changed relation under {transforms:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn minmax_lands_in_unit_interval() {
+        let points = random_points(40, 3, 4);
+        let mapped = transform_pointset(
+            &points,
+            &[
+                AxisTransform::MinMax,
+                AxisTransform::MinMax,
+                AxisTransform::MinMax,
+            ],
+        );
+        for p in mapped.iter() {
+            for &c in p {
+                assert!((0.0..=1.0).contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn constant_axis_minmax_is_half() {
+        let points = PointSet::from_rows(2, &[vec![7.0, 1.0], vec![7.0, 2.0]]);
+        let mapped = transform_pointset(&points, &[AxisTransform::MinMax, AxisTransform::MinMax]);
+        assert_eq!(mapped.point(0)[0], 0.5);
+        assert_eq!(mapped.point(1)[0], 0.5);
+    }
+
+    #[test]
+    fn rank_averages_duplicates() {
+        let points = PointSet::from_values_1d(&[10.0, 20.0, 20.0, 30.0]);
+        let mapped = transform_pointset(&points, &[AxisTransform::Rank]);
+        // Ranks: 0, 1.5, 1.5, 3 scaled by 1/3.
+        assert_eq!(mapped.point(0)[0], 0.0);
+        assert_eq!(mapped.point(1)[0], 0.5);
+        assert_eq!(mapped.point(2)[0], 0.5);
+        assert_eq!(mapped.point(3)[0], 1.0);
+    }
+
+    #[test]
+    fn empty_set_passthrough() {
+        let points = PointSet::new(2);
+        let mapped = transform_pointset(&points, &[AxisTransform::Rank, AxisTransform::MinMax]);
+        assert!(mapped.is_empty());
+        assert_eq!(mapped.dim(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "one transform per dimension")]
+    fn wrong_arity_rejected() {
+        transform_pointset(&random_points(3, 2, 5), &[AxisTransform::Identity]);
+    }
+}

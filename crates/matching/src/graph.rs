@@ -1,0 +1,162 @@
+//! Bipartite graph representation.
+
+/// A bipartite graph with `nl` left vertices and `nr` right vertices.
+///
+/// Edges are stored as adjacency lists on the left side; vertex ids are
+/// side-local (`0..nl` on the left, `0..nr` on the right).
+#[derive(Debug, Clone)]
+pub struct BipartiteGraph {
+    nl: usize,
+    nr: usize,
+    adj: Vec<Vec<u32>>,
+    num_edges: usize,
+}
+
+impl BipartiteGraph {
+    /// Creates an empty bipartite graph.
+    pub fn new(nl: usize, nr: usize) -> Self {
+        Self {
+            nl,
+            nr,
+            adj: vec![Vec::new(); nl],
+            num_edges: 0,
+        }
+    }
+
+    /// Adds an edge between left vertex `l` and right vertex `r`.
+    ///
+    /// Parallel edges are permitted but useless for matching; callers
+    /// normally avoid them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, l: usize, r: usize) {
+        assert!(l < self.nl, "left vertex {l} out of range");
+        assert!(r < self.nr, "right vertex {r} out of range");
+        self.adj[l].push(r as u32);
+        self.num_edges += 1;
+    }
+
+    /// Number of left vertices.
+    pub fn num_left(&self) -> usize {
+        self.nl
+    }
+
+    /// Number of right vertices.
+    pub fn num_right(&self) -> usize {
+        self.nr
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Right neighbours of left vertex `l`.
+    pub fn neighbours(&self, l: usize) -> &[u32] {
+        &self.adj[l]
+    }
+}
+
+/// A matching in a bipartite graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matching {
+    /// For each left vertex, its matched right vertex (if any).
+    pub left_match: Vec<Option<u32>>,
+    /// For each right vertex, its matched left vertex (if any).
+    pub right_match: Vec<Option<u32>>,
+}
+
+impl Matching {
+    /// An empty matching for `g`.
+    pub fn empty(g: &BipartiteGraph) -> Self {
+        Self {
+            left_match: vec![None; g.num_left()],
+            right_match: vec![None; g.num_right()],
+        }
+    }
+
+    /// Cardinality of the matching.
+    pub fn size(&self) -> usize {
+        self.left_match.iter().filter(|m| m.is_some()).count()
+    }
+
+    /// Checks internal consistency and that every matched pair is an edge
+    /// of `g`. Used by property tests.
+    pub fn validate(&self, g: &BipartiteGraph) -> Result<(), String> {
+        if self.left_match.len() != g.num_left() || self.right_match.len() != g.num_right() {
+            return Err("matching size vectors do not match the graph".into());
+        }
+        for (l, &m) in self.left_match.iter().enumerate() {
+            if let Some(r) = m {
+                if self.right_match[r as usize] != Some(l as u32) {
+                    return Err(format!("asymmetric match at left {l} / right {r}"));
+                }
+                if !g.neighbours(l).contains(&r) {
+                    return Err(format!("matched pair ({l}, {r}) is not an edge"));
+                }
+            }
+        }
+        for (r, &m) in self.right_match.iter().enumerate() {
+            if let Some(l) = m {
+                if self.left_match[l as usize] != Some(r as u32) {
+                    return Err(format!("asymmetric match at right {r} / left {l}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_graph() {
+        let mut g = BipartiteGraph::new(2, 3);
+        g.add_edge(0, 0);
+        g.add_edge(0, 2);
+        g.add_edge(1, 1);
+        assert_eq!(g.num_left(), 2);
+        assert_eq!(g.num_right(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.neighbours(0), &[0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge() {
+        let mut g = BipartiteGraph::new(1, 1);
+        g.add_edge(0, 1);
+    }
+
+    #[test]
+    fn empty_matching_validates() {
+        let g = BipartiteGraph::new(3, 2);
+        let m = Matching::empty(&g);
+        assert_eq!(m.size(), 0);
+        m.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_non_edges() {
+        let g = BipartiteGraph::new(1, 1);
+        let mut m = Matching::empty(&g);
+        m.left_match[0] = Some(0);
+        m.right_match[0] = Some(0);
+        assert!(m.validate(&g).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_asymmetry() {
+        let mut g = BipartiteGraph::new(2, 1);
+        g.add_edge(0, 0);
+        g.add_edge(1, 0);
+        let mut m = Matching::empty(&g);
+        m.left_match[0] = Some(0);
+        m.right_match[0] = Some(1);
+        assert!(m.validate(&g).is_err());
+    }
+}

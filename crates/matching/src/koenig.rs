@@ -1,0 +1,165 @@
+//! König's theorem: minimum vertex cover and maximum independent set from
+//! a maximum matching.
+//!
+//! Needed by `mc-chains` to extract a *maximum antichain certificate*: in
+//! the Dilworth reduction, a maximum independent set of the split bipartite
+//! graph corresponds to a maximum antichain of the poset, which certifies
+//! that the chain decomposition is minimum.
+//!
+//! # Example
+//!
+//! ```
+//! use mc_matching::{minimum_vertex_cover, BipartiteGraph, HopcroftKarp, MatchingAlgorithm};
+//!
+//! let mut g = BipartiteGraph::new(2, 2);
+//! g.add_edge(0, 0);
+//! g.add_edge(1, 0);
+//! g.add_edge(1, 1);
+//! let matching = HopcroftKarp.solve(&g);
+//! let cover = minimum_vertex_cover(&g, &matching);
+//! assert_eq!(cover.size(), matching.size()); // König's theorem
+//! ```
+
+use crate::graph::{BipartiteGraph, Matching};
+
+/// A minimum vertex cover of a bipartite graph (König's theorem), with the
+/// complementary maximum independent set.
+#[derive(Debug, Clone)]
+pub struct VertexCover {
+    /// `true` for left vertices in the cover.
+    pub left_in_cover: Vec<bool>,
+    /// `true` for right vertices in the cover.
+    pub right_in_cover: Vec<bool>,
+}
+
+impl VertexCover {
+    /// Size of the cover (equals the size of a maximum matching).
+    pub fn size(&self) -> usize {
+        self.left_in_cover.iter().filter(|&&b| b).count()
+            + self.right_in_cover.iter().filter(|&&b| b).count()
+    }
+
+    /// Checks that every edge of `g` has at least one covered endpoint.
+    pub fn validate(&self, g: &BipartiteGraph) -> Result<(), String> {
+        for l in 0..g.num_left() {
+            for &r in g.neighbours(l) {
+                if !self.left_in_cover[l] && !self.right_in_cover[r as usize] {
+                    return Err(format!("edge ({l}, {r}) uncovered"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Computes a minimum vertex cover from a *maximum* matching via König's
+/// alternating-path construction.
+///
+/// Let `Z` be the set of vertices reachable from unmatched left vertices by
+/// alternating paths (non-matching edges left→right, matching edges
+/// right→left). Then `(L \ Z) ∪ (R ∩ Z)` is a minimum vertex cover.
+pub fn minimum_vertex_cover(g: &BipartiteGraph, matching: &Matching) -> VertexCover {
+    let nl = g.num_left();
+    let nr = g.num_right();
+    let mut z_left = vec![false; nl];
+    let mut z_right = vec![false; nr];
+    let mut stack: Vec<usize> = (0..nl)
+        .filter(|&l| matching.left_match[l].is_none())
+        .collect();
+    for &l in &stack {
+        z_left[l] = true;
+    }
+    while let Some(l) = stack.pop() {
+        for &r in g.neighbours(l) {
+            let r = r as usize;
+            if matching.left_match[l] == Some(r as u32) {
+                continue; // only non-matching edges go left -> right
+            }
+            if !z_right[r] {
+                z_right[r] = true;
+                if let Some(l2) = matching.right_match[r] {
+                    let l2 = l2 as usize;
+                    if !z_left[l2] {
+                        z_left[l2] = true;
+                        stack.push(l2);
+                    }
+                }
+            }
+        }
+    }
+    VertexCover {
+        left_in_cover: z_left.iter().map(|&in_z| !in_z).collect(),
+        right_in_cover: z_right,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hopcroft_karp::HopcroftKarp;
+    use crate::MatchingAlgorithm;
+
+    fn cover_for(g: &BipartiteGraph) -> (Matching, VertexCover) {
+        let m = HopcroftKarp.solve(g);
+        let c = minimum_vertex_cover(g, &m);
+        (m, c)
+    }
+
+    #[test]
+    fn koenig_equality_on_path() {
+        let mut g = BipartiteGraph::new(3, 2);
+        g.add_edge(0, 0);
+        g.add_edge(1, 0);
+        g.add_edge(1, 1);
+        g.add_edge(2, 1);
+        let (m, c) = cover_for(&g);
+        assert_eq!(c.size(), m.size());
+        c.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn koenig_on_complete_graph() {
+        let mut g = BipartiteGraph::new(3, 5);
+        for l in 0..3 {
+            for r in 0..5 {
+                g.add_edge(l, r);
+            }
+        }
+        let (m, c) = cover_for(&g);
+        assert_eq!(m.size(), 3);
+        assert_eq!(c.size(), 3);
+        c.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn empty_graph_cover_is_empty() {
+        let g = BipartiteGraph::new(4, 4);
+        let (m, c) = cover_for(&g);
+        assert_eq!(m.size(), 0);
+        assert_eq!(c.size(), 0);
+        c.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn koenig_equality_random() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..30 {
+            let nl = rng.gen_range(1..12);
+            let nr = rng.gen_range(1..12);
+            let mut g = BipartiteGraph::new(nl, nr);
+            let mut seen = std::collections::HashSet::new();
+            for _ in 0..rng.gen_range(0..nl * nr + 1) {
+                let l = rng.gen_range(0..nl);
+                let r = rng.gen_range(0..nr);
+                if seen.insert((l, r)) {
+                    g.add_edge(l, r);
+                }
+            }
+            let (m, c) = cover_for(&g);
+            assert_eq!(c.size(), m.size(), "König equality violated");
+            c.validate(&g).unwrap();
+        }
+    }
+}

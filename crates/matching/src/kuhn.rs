@@ -1,0 +1,82 @@
+//! Kuhn's augmenting-path algorithm, `O(V·E)` — the simple reference
+//! implementation used to cross-validate Hopcroft–Karp in tests.
+
+use crate::graph::{BipartiteGraph, Matching};
+use crate::MatchingAlgorithm;
+
+/// Kuhn's algorithm (repeated DFS augmentation).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Kuhn;
+
+fn try_augment(
+    g: &BipartiteGraph,
+    l: usize,
+    visited: &mut [bool],
+    left_match: &mut [Option<u32>],
+    right_match: &mut [Option<u32>],
+) -> bool {
+    for &r in g.neighbours(l) {
+        let r = r as usize;
+        if visited[r] {
+            continue;
+        }
+        visited[r] = true;
+        let free = match right_match[r] {
+            None => true,
+            Some(l2) => try_augment(g, l2 as usize, visited, left_match, right_match),
+        };
+        if free {
+            left_match[l] = Some(r as u32);
+            right_match[r] = Some(l as u32);
+            return true;
+        }
+    }
+    false
+}
+
+impl MatchingAlgorithm for Kuhn {
+    fn name(&self) -> &'static str {
+        "kuhn"
+    }
+
+    fn solve(&self, g: &BipartiteGraph) -> Matching {
+        let mut left_match = vec![None; g.num_left()];
+        let mut right_match = vec![None; g.num_right()];
+        let mut visited = vec![false; g.num_right()];
+        for l in 0..g.num_left() {
+            visited.iter_mut().for_each(|v| *v = false);
+            try_augment(g, l, &mut visited, &mut left_match, &mut right_match);
+        }
+        Matching {
+            left_match,
+            right_match,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_simple_cases() {
+        let mut g = BipartiteGraph::new(2, 2);
+        g.add_edge(0, 0);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        let m = Kuhn.solve(&g);
+        assert_eq!(m.size(), 2);
+        m.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn star_graph() {
+        let mut g = BipartiteGraph::new(5, 1);
+        for l in 0..5 {
+            g.add_edge(l, 0);
+        }
+        let m = Kuhn.solve(&g);
+        assert_eq!(m.size(), 1);
+        m.validate(&g).unwrap();
+    }
+}

@@ -1,0 +1,69 @@
+//! Where the active algorithm shines: long chains, few probes.
+//!
+//! ```bash
+//! cargo run --release --example active_probing
+//! ```
+//!
+//! Theorem 2's probing bound is `O((w/ε²)·log(n/w)·log n)` — for fixed
+//! width the cost is *polylogarithmic* in `n`. This demo classifies a
+//! width-4 dataset of growing size and prints the shrinking fraction of
+//! labels the algorithm needs, together with the achieved error against
+//! the exact optimum.
+
+use monotone_classification::core::passive::solve_passive_1d;
+use monotone_classification::core::{ActiveParams, ActiveSolver, InMemoryOracle};
+use monotone_classification::data::controlled_width::{generate, ControlledWidthConfig};
+use monotone_classification::geom::WeightedSet;
+
+fn main() {
+    let width = 4;
+    let noise = 0.05;
+    println!(
+        "width-{width} data, {:.0}% label noise, ε = 1.0\n",
+        noise * 100.0
+    );
+    println!(
+        "{:>9} {:>10} {:>10} {:>8} {:>8}",
+        "n", "probes", "probes/n", "k*", "err"
+    );
+
+    for n in [25_000usize, 50_000, 100_000, 200_000, 400_000] {
+        let ds = generate(&ControlledWidthConfig {
+            n,
+            width,
+            noise,
+            seed: 0xACE,
+        });
+
+        // Exact optimum: chains are mutually incomparable, so k* is the
+        // sum of per-chain 1D optima.
+        let k_star: f64 = ds
+            .chains
+            .iter()
+            .map(|chain| {
+                let mut ws = WeightedSet::empty(1);
+                for (pos, &idx) in chain.iter().enumerate() {
+                    ws.push(&[pos as f64], ds.data.label(idx), 1.0);
+                }
+                solve_passive_1d(&ws).weighted_error
+            })
+            .sum();
+
+        let mut oracle = InMemoryOracle::from_labeled(&ds.data);
+        let solver = ActiveSolver::new(ActiveParams::new(1.0).with_seed(1));
+        let sol = solver.solve_with_chains(ds.data.points(), &ds.chains, &mut oracle);
+        let err = sol.classifier.error_on(&ds.data);
+        println!(
+            "{:>9} {:>10} {:>10.3} {:>8} {:>8}",
+            n,
+            sol.probes_used,
+            sol.probes_used as f64 / n as f64,
+            k_star,
+            err
+        );
+    }
+
+    println!("\nAs n grows at fixed width, the probed fraction falls — the");
+    println!("polylogarithmic regime of Theorem 2 — while the error stays");
+    println!("within (1+ε) of the optimum.");
+}

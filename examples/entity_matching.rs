@@ -1,0 +1,88 @@
+//! Entity matching with a costly labeling oracle — the paper's motivating
+//! application (Section 1.1).
+//!
+//! ```bash
+//! cargo run --release --example entity_matching
+//! ```
+//!
+//! Simulates record pairs scored on `d` similarity metrics where each
+//! match/non-match verdict requires (simulated) human inspection. The
+//! active algorithm learns an explainable (monotone) matcher while
+//! probing a fraction of the labels; we compare against probing
+//! everything and against a uniform-sampling baseline.
+
+use monotone_classification::core::baselines::{probe_all, uniform_sample};
+use monotone_classification::core::passive::solve_passive;
+use monotone_classification::core::{ActiveParams, ActiveSolver, InMemoryOracle};
+use monotone_classification::data::entity_matching::{generate, EntityMatchingConfig};
+
+fn main() {
+    let config = EntityMatchingConfig {
+        pairs: 2000,
+        metrics: 3,
+        match_rate: 0.3,
+        reliability: 0.85,
+        seed: 42,
+    };
+    let ds = generate(&config);
+    println!(
+        "simulated {} record pairs on {} similarity metrics ({} true matches)",
+        config.pairs, config.metrics, ds.true_matches
+    );
+
+    // Ground-truth optimum (requires all labels — only for reporting).
+    let k_star = solve_passive(&ds.data.with_unit_weights()).weighted_error;
+    println!("optimal monotone error k* = {k_star}\n");
+    println!(
+        "{:<22} {:>10} {:>10} {:>8}",
+        "strategy", "probes", "error", "err/k*"
+    );
+
+    let report = |name: &str, probes: usize, err: u64| {
+        println!(
+            "{:<22} {:>10} {:>10} {:>8.2}",
+            name,
+            probes,
+            err,
+            err as f64 / k_star.max(1.0)
+        );
+    };
+
+    // Probe everything (exact but expensive).
+    let mut oracle = InMemoryOracle::from_labeled(&ds.data);
+    let sol = probe_all(ds.data.points(), &mut oracle);
+    report(
+        "probe-all",
+        sol.probes_used,
+        sol.classifier.error_on(&ds.data),
+    );
+
+    // The paper's active algorithm at two accuracy targets.
+    for eps in [0.5, 1.0] {
+        let mut oracle = InMemoryOracle::from_labeled(&ds.data);
+        let solver = ActiveSolver::new(ActiveParams::new(eps).with_seed(7));
+        let sol = solver.solve(ds.data.points(), &mut oracle);
+        report(
+            &format!("active (ε = {eps})"),
+            sol.probes_used,
+            sol.classifier.error_on(&ds.data),
+        );
+    }
+
+    // Uniform sampling with half the labels.
+    let mut oracle = InMemoryOracle::from_labeled(&ds.data);
+    let sol = uniform_sample(ds.data.points(), &mut oracle, config.pairs / 2, 7);
+    report(
+        "uniform (n/2 budget)",
+        sol.probes_used,
+        sol.classifier.error_on(&ds.data),
+    );
+
+    println!(
+        "\nNote: on similarity data of this size the dominance width is large\n\
+         relative to n, so the active algorithm's sample sizes cover most\n\
+         chains (it degrades gracefully to probing them exhaustively). Its\n\
+         probing advantage appears on long-chain inputs — see\n\
+         `cargo run --release -p mc-bench --bin exp_probe_scaling`."
+    );
+}

@@ -1,0 +1,118 @@
+//! Integration test: the full active pipeline across crates
+//! (chains + sampling + flow-based passive solve), with probe accounting
+//! and approximation guarantees checked against exact optima.
+
+use monotone_classification::core::baselines::{chain_binary_search, probe_all, uniform_sample};
+use monotone_classification::core::passive::{solve_passive, solve_passive_1d};
+use monotone_classification::core::{ActiveParams, ActiveSolver, InMemoryOracle, LabelOracle};
+use monotone_classification::data::controlled_width::{generate, ControlledWidthConfig};
+use monotone_classification::data::entity_matching::{self, EntityMatchingConfig};
+use monotone_classification::data::planted::{planted_sum_concept, PlantedConfig};
+use monotone_classification::geom::WeightedSet;
+
+#[test]
+fn entity_matching_pipeline() {
+    let ds = entity_matching::generate(&EntityMatchingConfig {
+        pairs: 600,
+        metrics: 3,
+        match_rate: 0.3,
+        reliability: 0.9,
+        seed: 1,
+    });
+    let k_star = solve_passive(&ds.data.with_unit_weights()).weighted_error;
+    let mut oracle = InMemoryOracle::from_labeled(&ds.data);
+    let sol =
+        ActiveSolver::new(ActiveParams::new(1.0).with_seed(2)).solve(ds.data.points(), &mut oracle);
+    let err = sol.classifier.error_on(&ds.data) as f64;
+    assert!(
+        err <= 2.0 * k_star + 1e-9,
+        "error {err} exceeds (1+ε)k* = {}",
+        2.0 * k_star
+    );
+    assert_eq!(sol.probes_used, oracle.probes_used());
+    assert!(sol.probes_used <= ds.data.len());
+}
+
+#[test]
+fn probe_accounting_is_consistent_across_strategies() {
+    let ds = planted_sum_concept(&PlantedConfig::new(300, 2, 0.1, 11));
+    for strategy in 0..4 {
+        let mut oracle = InMemoryOracle::from_labeled(&ds.data);
+        let probes = match strategy {
+            0 => probe_all(ds.data.points(), &mut oracle).probes_used,
+            1 => uniform_sample(ds.data.points(), &mut oracle, 120, 0).probes_used,
+            2 => chain_binary_search(ds.data.points(), &mut oracle).probes_used,
+            _ => {
+                ActiveSolver::with_epsilon(0.5)
+                    .solve(ds.data.points(), &mut oracle)
+                    .probes_used
+            }
+        };
+        assert_eq!(probes, oracle.probes_used(), "strategy {strategy}");
+        assert!(probes <= ds.data.len());
+    }
+}
+
+#[test]
+fn active_sublinear_probing_with_guarantee_on_long_chains() {
+    let n = 60_000;
+    let ds = generate(&ControlledWidthConfig {
+        n,
+        width: 2,
+        noise: 0.05,
+        seed: 3,
+    });
+    // Exact k*: chains are mutually incomparable.
+    let k_star: f64 = ds
+        .chains
+        .iter()
+        .map(|chain| {
+            let mut ws = WeightedSet::empty(1);
+            for (pos, &idx) in chain.iter().enumerate() {
+                ws.push(&[pos as f64], ds.data.label(idx), 1.0);
+            }
+            solve_passive_1d(&ws).weighted_error
+        })
+        .sum();
+    let mut oracle = InMemoryOracle::from_labeled(&ds.data);
+    // Fixed δ: the 1/n² default inflates the Lemma-5 sample sizes with an
+    // extra log n that delays the sublinear regime at this scale.
+    let solver = ActiveSolver::new(ActiveParams::new(1.0).with_seed(4).with_delta(0.05));
+    let sol = solver.solve_with_chains(ds.data.points(), &ds.chains, &mut oracle);
+    assert!(
+        sol.probes_used < n / 2,
+        "expected sublinear probing, used {}/{n}",
+        sol.probes_used
+    );
+    let err = sol.classifier.error_on(&ds.data) as f64;
+    assert!(
+        err <= 2.0 * k_star + 1e-9,
+        "error {err} exceeds 2·k* = {}",
+        2.0 * k_star
+    );
+}
+
+#[test]
+fn sigma_is_a_valid_weighted_set() {
+    let ds = planted_sum_concept(&PlantedConfig::new(400, 3, 0.1, 5));
+    let mut oracle = InMemoryOracle::from_labeled(&ds.data);
+    let sol = ActiveSolver::with_epsilon(0.5).solve(ds.data.points(), &mut oracle);
+    assert!(!sol.sigma.is_empty());
+    assert_eq!(sol.sigma.dim(), 3);
+    // All weights positive (enforced by WeightedSet) and the objective
+    // value reported matches a re-evaluation of the classifier on Σ.
+    let re_eval = sol.classifier.weighted_error_on(&sol.sigma);
+    assert!((re_eval - sol.sigma_weighted_error).abs() < 1e-6);
+}
+
+#[test]
+fn repeated_runs_are_deterministic() {
+    let ds = planted_sum_concept(&PlantedConfig::new(200, 2, 0.1, 6));
+    let run = || {
+        let mut oracle = InMemoryOracle::from_labeled(&ds.data);
+        ActiveSolver::new(ActiveParams::new(0.5).with_seed(99))
+            .solve(ds.data.points(), &mut oracle)
+            .probes_used
+    };
+    assert_eq!(run(), run());
+}

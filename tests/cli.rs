@@ -1,0 +1,197 @@
+//! End-to-end tests of the `mcc` CLI binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn mcc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mcc"))
+}
+
+fn write_temp(name: &str, contents: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mcc-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+const DEMO: &str = "x,y,label\n0.1,0.2,0\n0.9,0.8,1\n0.7,0.9,1\n0.3,0.1,0\n0.8,0.2,0\n0.2,0.9,1\n";
+
+#[test]
+fn stats_reports_structure() {
+    let data = write_temp("stats.csv", DEMO);
+    let out = mcc().arg("stats").arg(&data).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("n = 6, d = 2"));
+    assert!(stdout.contains("dominance width w = 2"));
+    assert!(stdout.contains("k* = 0"));
+}
+
+#[test]
+fn passive_writes_classifier_and_eval_reads_it() {
+    let data = write_temp("roundtrip.csv", DEMO);
+    let model = write_temp("model.csv", "");
+    let out = mcc()
+        .args(["passive"])
+        .arg(&data)
+        .args(["--out"])
+        .arg(&model)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("optimal weighted error = 0"));
+
+    let out = mcc().arg("eval").arg(&data).arg(&model).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("errors = 0"), "{stdout}");
+    assert!(stdout.contains("accuracy = 1.0000"));
+}
+
+#[test]
+fn active_reports_probes() {
+    let data = write_temp("active.csv", DEMO);
+    let out = mcc()
+        .args(["active"])
+        .arg(&data)
+        .args(["--epsilon", "0.5", "--seed", "3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("probed 6 / 6 labels"));
+}
+
+#[test]
+fn weighted_passive() {
+    let weighted = "x,label,weight\n1,1,10\n2,0,2\n";
+    let data = write_temp("weighted.csv", weighted);
+    let out = mcc()
+        .args(["passive"])
+        .arg(&data)
+        .arg("--weighted")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("optimal weighted error = 2"));
+}
+
+#[test]
+fn bad_input_fails_with_usage() {
+    let out = mcc().arg("bogus").output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown command"));
+    assert!(stderr.contains("usage:"));
+}
+
+#[test]
+fn missing_file_reports_error() {
+    let out = mcc()
+        .args(["stats", "/nonexistent/definitely-missing.csv"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn generate_then_full_pipeline() {
+    let dir = std::env::temp_dir().join(format!("mcc-gen-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let data = dir.join("gen.csv");
+    let out = mcc()
+        .args(["generate", "width-3"])
+        .arg(&data)
+        .args(["--n", "200", "--noise", "0.05", "--seed", "1"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = mcc().arg("stats").arg(&data).output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("dominance width w = 3"));
+
+    let out = mcc()
+        .args(["crossval"])
+        .arg(&data)
+        .args(["--folds", "3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("3-fold cross-validation"));
+}
+
+#[test]
+fn generate_rejects_unknown_family() {
+    let out = mcc()
+        .args(["generate", "nonsense", "/tmp/never.csv"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown family"));
+}
+
+#[test]
+fn certify_audits_optimality() {
+    let data = write_temp(
+        "certify.csv",
+        "x,label\n1,1\n2,0\n3,1\n4,0\n", // two inversions at unit weight
+    );
+    let out = mcc().arg("certify").arg(&data).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("VERIFIED"), "{stdout}");
+}
+
+#[test]
+fn crossval_rejects_one_fold_cleanly() {
+    let data = write_temp("folds.csv", DEMO);
+    let out = mcc()
+        .args(["crossval"])
+        .arg(&data)
+        .args(["--folds", "1"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--folds must be at least 2"), "{stderr}");
+    assert!(
+        !stderr.contains("panicked"),
+        "panic leaked to the user: {stderr}"
+    );
+}
+
+#[test]
+fn active_rejects_bad_epsilon_cleanly() {
+    let data = write_temp("eps.csv", DEMO);
+    for eps in ["0", "1.5", "-0.1"] {
+        let out = mcc()
+            .args(["active"])
+            .arg(&data)
+            .args(["--epsilon", eps])
+            .output()
+            .unwrap();
+        assert!(!out.status.success(), "--epsilon {eps} should fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("--epsilon must lie in (0, 1]"), "{stderr}");
+        assert!(!stderr.contains("panicked"), "panic leaked: {stderr}");
+    }
+}

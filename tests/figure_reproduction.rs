@@ -1,0 +1,76 @@
+//! Integration test: the paper's Figures 1 and 2, reproduced end to end
+//! through the public umbrella API.
+
+use monotone_classification::chains::{dominance_width, ChainDecomposition};
+use monotone_classification::core::passive::{
+    solve_passive, solve_passive_brute_force, ContendingPoints,
+};
+use monotone_classification::core::{ActiveSolver, InMemoryOracle};
+use monotone_classification::data::paper_example::{
+    figure1_labeled, figure1_points, figure2_weighted, FIGURE1_OPTIMAL_ERROR, FIGURE1_WIDTH,
+    FIGURE2_OPTIMAL_WEIGHTED_ERROR,
+};
+
+#[test]
+fn figure1_structure() {
+    let points = figure1_points();
+    assert_eq!(points.len(), 16);
+    assert_eq!(dominance_width(&points), FIGURE1_WIDTH);
+    let dec = ChainDecomposition::compute(&points);
+    dec.validate(&points).unwrap();
+    assert_eq!(dec.width(), 6);
+    assert_eq!(dec.antichain().len(), 6);
+}
+
+#[test]
+fn figure1_unweighted_optimum() {
+    let ls = figure1_labeled();
+    let sol = solve_passive(&ls.with_unit_weights());
+    assert_eq!(sol.weighted_error, FIGURE1_OPTIMAL_ERROR as f64);
+    assert_eq!(
+        solve_passive_brute_force(&ls.with_unit_weights()).weighted_error,
+        3.0
+    );
+}
+
+#[test]
+fn figure2_weighted_optimum() {
+    let ws = figure2_weighted();
+    let sol = solve_passive(&ws);
+    assert_eq!(sol.weighted_error, FIGURE2_OPTIMAL_WEIGHTED_ERROR);
+    // The paper's statement: the unweighted optimum costs 220 here.
+    let unweighted = solve_passive(&figure1_labeled().with_unit_weights());
+    assert_eq!(unweighted.classifier.weighted_error_on(&ws), 220.0);
+}
+
+#[test]
+fn figure2_contending_matches_paper() {
+    let con = ContendingPoints::compute(&figure2_weighted());
+    assert_eq!(con.zeros.len(), 5);
+    assert_eq!(con.ones.len(), 5);
+    // Non-contending points: p6, p7, p8 (whites), p10, p12, p16 (blacks).
+    let contending: Vec<usize> = con
+        .zeros
+        .iter()
+        .chain(con.ones.iter())
+        .map(|&i| i + 1)
+        .collect();
+    for excluded in [6, 7, 8, 10, 12, 16] {
+        assert!(
+            !contending.contains(&excluded),
+            "p{excluded} must not contend"
+        );
+    }
+}
+
+#[test]
+fn active_on_figure1_is_near_optimal() {
+    // n = 16 is far below the sampling threshold, so the active solver
+    // probes everything and must return an exactly optimal classifier.
+    let ls = figure1_labeled();
+    let mut oracle = InMemoryOracle::from_labeled(&ls);
+    let sol = ActiveSolver::with_epsilon(0.5).solve(ls.points(), &mut oracle);
+    assert_eq!(sol.probes_used, 16);
+    assert_eq!(sol.classifier.error_on(&ls), 3);
+    assert_eq!(sol.width, 6);
+}

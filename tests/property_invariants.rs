@@ -1,0 +1,135 @@
+//! Cross-crate property-based tests (proptest): the structural invariants
+//! the paper's proofs rely on, checked on randomized inputs.
+
+use monotone_classification::chains::{brute::brute_force_width, ChainDecomposition};
+use monotone_classification::core::classifier::find_monotonicity_violation;
+use monotone_classification::core::passive::{
+    solve_passive, solve_passive_1d, solve_passive_brute_force,
+};
+use monotone_classification::core::MonotoneClassifier;
+use monotone_classification::flow::{all_algorithms, FlowNetwork};
+use monotone_classification::geom::{Label, PointSet, WeightedSet};
+use proptest::prelude::*;
+
+fn small_weighted_set(max_n: usize, dim: usize) -> impl Strategy<Value = WeightedSet> {
+    prop::collection::vec(
+        (
+            prop::collection::vec(0.0f64..6.0, dim),
+            prop::bool::ANY,
+            1u32..20,
+        ),
+        0..max_n,
+    )
+    .prop_map(move |rows| {
+        let mut ws = WeightedSet::empty(dim);
+        for (coords, label, weight) in rows {
+            // Snap to a grid so dominance ties actually occur.
+            let snapped: Vec<f64> = coords.iter().map(|c| c.round()).collect();
+            ws.push(&snapped, Label::from_bool(label), weight as f64);
+        }
+        ws
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 4: the flow solver always matches the exponential oracle.
+    #[test]
+    fn passive_flow_equals_brute_force(ws in small_weighted_set(12, 2)) {
+        let flow = solve_passive(&ws);
+        let brute = solve_passive_brute_force(&ws);
+        prop_assert!((flow.weighted_error - brute.weighted_error).abs() < 1e-9);
+        // And the classifier's real error matches the reported optimum.
+        prop_assert!(
+            (flow.classifier.weighted_error_on(&ws) - flow.weighted_error).abs() < 1e-9
+        );
+    }
+
+    /// Lemma 16: the passive solution is monotone on the input points.
+    #[test]
+    fn passive_assignment_is_monotone(ws in small_weighted_set(16, 3)) {
+        let sol = solve_passive(&ws);
+        prop_assert_eq!(
+            find_monotonicity_violation(ws.points(), &sol.assignment),
+            None
+        );
+    }
+
+    /// In 1D, the sweep solver and the flow solver agree.
+    #[test]
+    fn passive_1d_sweep_equals_flow(ws in small_weighted_set(25, 1)) {
+        let sweep = solve_passive_1d(&ws);
+        let flow = solve_passive(&ws);
+        prop_assert!((sweep.weighted_error - flow.weighted_error).abs() < 1e-9);
+    }
+
+    /// Dilworth duality: chain count = max antichain, and the
+    /// decomposition is structurally valid.
+    #[test]
+    fn chain_decomposition_duality(
+        rows in prop::collection::vec(prop::collection::vec(0.0f64..5.0, 2), 0..14)
+    ) {
+        let points = if rows.is_empty() {
+            PointSet::new(2)
+        } else {
+            let snapped: Vec<Vec<f64>> = rows
+                .iter()
+                .map(|r| r.iter().map(|c| c.round()).collect())
+                .collect();
+            PointSet::from_rows(2, &snapped)
+        };
+        let dec = ChainDecomposition::compute(&points);
+        prop_assert!(dec.validate(&points).is_ok());
+        prop_assert_eq!(dec.width(), brute_force_width(&points));
+    }
+
+    /// Max-flow = min-cut, across all three solvers.
+    #[test]
+    fn max_flow_min_cut_duality(
+        edges in prop::collection::vec((0usize..8, 0usize..8, 0u32..30), 0..24)
+    ) {
+        let mut net = FlowNetwork::new(8, 0, 7);
+        for (u, v, c) in edges {
+            if u != v && v != 0 && u != 7 {
+                net.add_edge(u, v, c as f64);
+            }
+        }
+        let mut values = Vec::new();
+        for algo in all_algorithms() {
+            let sol = algo.solve(&net);
+            prop_assert!(sol.validate(&net).is_ok());
+            let cut = sol.min_cut(&net);
+            prop_assert!((cut.weight - sol.value()).abs() < 1e-6);
+            values.push(sol.value());
+        }
+        prop_assert!((values[0] - values[1]).abs() < 1e-6);
+        prop_assert!((values[0] - values[2]).abs() < 1e-6);
+    }
+
+    /// Anchor classifiers are monotone on arbitrary point pairs.
+    #[test]
+    fn classifier_monotonicity(
+        anchors in prop::collection::vec(prop::collection::vec(-3.0f64..3.0, 2), 0..5),
+        base in prop::collection::vec(-4.0f64..4.0, 2),
+        delta in prop::collection::vec(0.0f64..2.0, 2),
+    ) {
+        let h = MonotoneClassifier::from_anchors(2, anchors);
+        let above: Vec<f64> = base.iter().zip(&delta).map(|(b, d)| b + d).collect();
+        prop_assert!(h.classify(&above) >= h.classify(&base));
+    }
+
+    /// Weighted error is monotone under weight scaling: doubling all
+    /// weights doubles the optimum (cut linearity).
+    #[test]
+    fn passive_scales_linearly_with_weights(ws in small_weighted_set(10, 2)) {
+        let doubled = WeightedSet::new(
+            ws.points().clone(),
+            ws.labels().to_vec(),
+            ws.weights().iter().map(|w| w * 2.0).collect(),
+        );
+        let base = solve_passive(&ws).weighted_error;
+        let scaled = solve_passive(&doubled).weighted_error;
+        prop_assert!((scaled - 2.0 * base).abs() < 1e-9);
+    }
+}
