@@ -1,6 +1,6 @@
 //! Minimum chain decomposition via Dilworth's theorem (Lemma 6).
 //!
-//! Dilworth [10]: the minimum number of chains that partition a poset
+//! Dilworth \[10\]: the minimum number of chains that partition a poset
 //! equals the maximum antichain size (the *dominance width* `w`). The
 //! constructive route, used by the paper's Lemma 6:
 //!

@@ -132,7 +132,7 @@ impl TwoDimDecomposition {
         &self.antichain
     }
 
-    /// Converts into the generic [`ChainDecomposition`]-style validation:
+    /// Converts into the generic [`ChainDecomposition`](crate::ChainDecomposition)-style validation:
     /// checks partition, chain validity, certificate antichain-ness and
     /// Dilworth equality.
     pub fn validate(&self, points: &PointSet) -> Result<(), String> {

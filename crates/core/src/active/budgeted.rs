@@ -23,8 +23,10 @@
 
 use crate::classifier::MonotoneClassifier;
 use crate::decompose::minimum_chains;
-use crate::oracle::LabelOracle;
+use crate::error::McError;
+use crate::oracle::{FallibleOracle, InfallibleAdapter, LabelOracle};
 use crate::passive::solver::solve_passive;
+use crate::report::SolveReport;
 use mc_geom::{PointSet, WeightedSet};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -38,6 +40,9 @@ pub struct BudgetedSolution {
     pub probes_used: usize,
     /// The importance-weighted sample the classifier was fit on.
     pub sigma: WeightedSet,
+    /// How the solve fared against the oracle (all-clean for the
+    /// infallible entry point).
+    pub report: SolveReport,
 }
 
 /// Learns a monotone classifier probing at most `budget` distinct labels.
@@ -51,15 +56,38 @@ pub fn solve_with_budget(
     budget: usize,
     seed: u64,
 ) -> BudgetedSolution {
-    assert_eq!(points.len(), oracle.len(), "oracle must cover the input");
+    let mut adapter = InfallibleAdapter::new(oracle);
+    try_solve_with_budget(points, &mut adapter, budget, seed).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Failure-tolerant variant of [`solve_with_budget`]: probes go through
+/// a [`FallibleOracle`], failed probes are dropped from the sample (the
+/// survivors' weights are rescaled), and the budget is still respected —
+/// failed probes are never billed. `Err` is reserved for invalid inputs;
+/// oracle failures degrade the result instead (see
+/// [`BudgetedSolution::report`]).
+pub fn try_solve_with_budget(
+    points: &PointSet,
+    oracle: &mut dyn FallibleOracle,
+    budget: usize,
+    seed: u64,
+) -> Result<BudgetedSolution, McError> {
+    if points.len() != oracle.size() {
+        return Err(McError::OracleSizeMismatch {
+            oracle: oracle.size(),
+            points: points.len(),
+        });
+    }
     let n = points.len();
-    let before = oracle.probes_used();
+    let before = oracle.probes_charged();
+    let stats_before = oracle.stats();
     if n == 0 || budget == 0 {
-        return BudgetedSolution {
+        return Ok(BudgetedSolution {
             classifier: MonotoneClassifier::all_zero(points.dim().max(1)),
             probes_used: 0,
             sigma: WeightedSet::empty(points.dim().max(1)),
-        };
+            report: SolveReport::default(),
+        });
     }
     let chains = minimum_chains(points);
     let budget = budget.min(n);
@@ -97,6 +125,7 @@ pub fn solve_with_budget(
     }
 
     let mut rng = StdRng::seed_from_u64(seed);
+    let mut report = SolveReport::default();
     let mut sigma = WeightedSet::empty(points.dim());
     for (c, chain) in chains.iter().enumerate() {
         let m = chain.len();
@@ -106,7 +135,13 @@ pub fn solve_with_budget(
         }
         if t >= m {
             for &i in chain {
-                sigma.push(points.point(i), oracle.probe(i), 1.0);
+                report.attempts += 1;
+                match oracle.try_probe(i) {
+                    Ok(label) => {
+                        sigma.push(points.point(i), label, 1.0);
+                    }
+                    Err(_) => report.abstentions += 1,
+                }
             }
             continue;
         }
@@ -116,19 +151,34 @@ pub fn solve_with_budget(
             let j = rng.gen_range(k..m);
             positions.swap(k, j);
         }
-        let weight = m as f64 / t as f64;
+        // Collect the answered probes first: failed ones are dropped and
+        // the weight rescales to the survivors, keeping the chain's total
+        // Σ weight near m.
+        let mut answered: Vec<(usize, mc_geom::Label)> = Vec::with_capacity(t);
         for &pos in &positions[..t] {
             let i = chain[pos];
-            sigma.push(points.point(i), oracle.probe(i), weight);
+            report.attempts += 1;
+            match oracle.try_probe(i) {
+                Ok(label) => answered.push((i, label)),
+                Err(_) => report.abstentions += 1,
+            }
+        }
+        if !answered.is_empty() {
+            let weight = m as f64 / answered.len() as f64;
+            for (i, label) in answered {
+                sigma.push(points.point(i), label, weight);
+            }
         }
     }
+    report.finalize(&stats_before, &oracle.stats());
 
     let sol = solve_passive(&sigma);
-    BudgetedSolution {
+    Ok(BudgetedSolution {
         classifier: sol.classifier,
-        probes_used: oracle.probes_used() - before,
+        probes_used: oracle.probes_charged() - before,
         sigma,
-    }
+        report,
+    })
 }
 
 #[cfg(test)]
@@ -206,6 +256,51 @@ mod tests {
         let mut oracle = InMemoryOracle::from_labeled(&ls);
         let sol = solve_with_budget(ls.points(), &mut oracle, 10, 4);
         assert_eq!(sol.probes_used, 0);
+    }
+
+    #[test]
+    fn budget_respected_under_failure_injection() {
+        use crate::oracle::{FlakyOracle, MeteredOracle, RetryOracle, RetryPolicy};
+        let ls = staircase_2d(800);
+        for budget in [25usize, 100, 400] {
+            let flaky = FlakyOracle::from_labeled(&ls, 0.25, 31);
+            let metered = MeteredOracle::new(flaky, budget);
+            let mut oracle =
+                RetryOracle::new(metered, RetryPolicy::default().with_max_attempts(12));
+            let sol = try_solve_with_budget(ls.points(), &mut oracle, budget, 4).unwrap();
+            assert!(
+                sol.probes_used <= budget,
+                "budget {budget}: used {}",
+                sol.probes_used
+            );
+            assert!(sol.sigma.len() <= budget);
+        }
+    }
+
+    #[test]
+    fn abstentions_degrade_budgeted_solve() {
+        use crate::classifier::find_monotonicity_violation;
+        use crate::oracle::AbstainingOracle;
+        let ls = staircase_2d(500);
+        let mut oracle = AbstainingOracle::from_labeled(&ls, 0.15, 8);
+        let sol = try_solve_with_budget(ls.points(), &mut oracle, 500, 2).unwrap();
+        assert!(sol.report.degraded);
+        assert!(sol.report.abstentions > 0);
+        assert!(find_monotonicity_violation(
+            ls.points(),
+            &sol.classifier.classify_set(ls.points())
+        )
+        .is_none());
+        assert!(sol.probes_used < 500);
+    }
+
+    #[test]
+    fn try_budget_rejects_size_mismatch() {
+        use crate::oracle::InMemoryOracle;
+        let ls = staircase_2d(10);
+        let mut oracle = InMemoryOracle::new(vec![mc_geom::Label::One; 4]);
+        let mut adapter = crate::oracle::InfallibleAdapter::new(&mut oracle);
+        assert!(try_solve_with_budget(ls.points(), &mut adapter, 5, 0).is_err());
     }
 
     #[test]

@@ -46,7 +46,9 @@
 //! assert_eq!(sample.sigma.len(), 100);
 //! ```
 
-use crate::oracle::LabelOracle;
+use crate::error::McError;
+use crate::oracle::{FallibleOracle, InfallibleAdapter, LabelOracle};
+use crate::report::SolveReport;
 use crate::sampling::lemma5_sample_size;
 use mc_geom::Label;
 use rand::rngs::StdRng;
@@ -87,23 +89,38 @@ impl OneDimParams {
         }
     }
 
+    /// Checks the parameters, reporting the first violation as a typed
+    /// error. The panicking entry points funnel through this so both
+    /// flavours agree on the messages.
+    pub fn try_validate(&self) -> Result<(), McError> {
+        if !(self.epsilon > 0.0 && self.epsilon <= 1.0) {
+            return Err(McError::invalid_parameter(format!(
+                "ε must lie in (0, 1], got {}",
+                self.epsilon
+            )));
+        }
+        if !(self.delta > 0.0 && self.delta <= 1.0) {
+            return Err(McError::invalid_parameter(format!(
+                "δ must lie in (0, 1], got {}",
+                self.delta
+            )));
+        }
+        if self.phi_divisor < 8.0 {
+            return Err(McError::invalid_parameter(format!(
+                "phi_divisor must be ≥ 8, got {}",
+                self.phi_divisor
+            )));
+        }
+        if self.recursion_cutoff < 1 {
+            return Err(McError::invalid_parameter("cutoff must be ≥ 1"));
+        }
+        Ok(())
+    }
+
     fn validate(&self) {
-        assert!(
-            self.epsilon > 0.0 && self.epsilon <= 1.0,
-            "ε must lie in (0, 1], got {}",
-            self.epsilon
-        );
-        assert!(
-            self.delta > 0.0 && self.delta <= 1.0,
-            "δ must lie in (0, 1], got {}",
-            self.delta
-        );
-        assert!(
-            self.phi_divisor >= 8.0,
-            "phi_divisor must be ≥ 8, got {}",
-            self.phi_divisor
-        );
-        assert!(self.recursion_cutoff >= 1, "cutoff must be ≥ 1");
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
     }
 
     fn phi(&self) -> f64 {
@@ -142,14 +159,36 @@ pub fn weighted_sample_1d(
     rng: &mut StdRng,
 ) -> OneDimSample {
     params.validate();
-    let m = oracle.len();
+    let mut adapter = InfallibleAdapter::new(oracle);
+    let mut report = SolveReport::default();
+    try_weighted_sample_1d(&mut adapter, params, rng, &mut report)
+        .expect("parameters validated and the oracle cannot fail")
+}
+
+/// Failure-tolerant variant of [`weighted_sample_1d`]: probes go through
+/// a [`FallibleOracle`], and draws whose probe permanently fails are
+/// *dropped* from Σ (counted in `report.abstentions`) while every
+/// level's weight is rescaled to the draws that did answer. With a
+/// fault-free oracle the output — including RNG consumption — is
+/// identical to [`weighted_sample_1d`].
+///
+/// Only parameter validation produces an `Err`; oracle failures degrade
+/// the sample instead of aborting the run.
+pub fn try_weighted_sample_1d(
+    oracle: &mut dyn FallibleOracle,
+    params: &OneDimParams,
+    rng: &mut StdRng,
+    report: &mut SolveReport,
+) -> Result<OneDimSample, McError> {
+    params.try_validate()?;
+    let m = oracle.size();
     let mut out = OneDimSample {
         sigma: Vec::new(),
         levels: 0,
         draws: 0,
     };
     if m == 0 {
-        return out;
+        return Ok(out);
     }
     // Lemma 10 shrinks by 5/8 per level; cap depth so the probing bound
     // holds on every run even if an estimate fails.
@@ -157,13 +196,39 @@ pub fn weighted_sample_1d(
     // δ budget per level, following Section 3.4: δ/(2·h·(|P|+1)) per
     // estimated classifier, folded into the Lemma-5 call for the whole
     // effective family at once.
-    recurse(oracle, params, rng, 0, m, 0, max_depth, &mut out);
-    out
+    recurse(oracle, params, rng, 0, m, 0, max_depth, &mut out, report);
+    Ok(out)
+}
+
+/// Probes `pos`, pushing a Σ entry on success and recording an
+/// abstention (point dropped) on permanent failure.
+fn probe_into(
+    oracle: &mut dyn FallibleOracle,
+    pos: usize,
+    weight: f64,
+    out: &mut OneDimSample,
+    report: &mut SolveReport,
+) -> Option<Label> {
+    report.attempts += 1;
+    match oracle.try_probe(pos) {
+        Ok(label) => {
+            out.sigma.push(SigmaEntry {
+                position: pos,
+                label,
+                weight,
+            });
+            Some(label)
+        }
+        Err(_) => {
+            report.abstentions += 1;
+            None
+        }
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
 fn recurse(
-    oracle: &mut dyn LabelOracle,
+    oracle: &mut dyn FallibleOracle,
     params: &OneDimParams,
     rng: &mut StdRng,
     lo: usize,
@@ -171,6 +236,7 @@ fn recurse(
     depth: usize,
     max_depth: usize,
     out: &mut OneDimSample,
+    report: &mut SolveReport,
 ) {
     let m = hi - lo;
     if m == 0 {
@@ -186,39 +252,48 @@ fn recurse(
     // range, or depth cap reached → probe everything exactly (weight 1).
     if m <= params.recursion_cutoff || t >= m || depth >= max_depth {
         for pos in lo..hi {
-            let label = oracle.probe(pos);
-            out.sigma.push(SigmaEntry {
-                position: pos,
-                label,
-                weight: 1.0,
-            });
+            probe_into(oracle, pos, 1.0, out, report);
         }
         return;
     }
 
     // --- g1: sample S1 with replacement from [lo, hi). ---
     // counts[rel] = (label-1 draws, label-0 draws) at relative position rel.
+    // Failed draws still consume RNG state (so fault-free runs match the
+    // infallible path exactly) but contribute nothing; the level weight
+    // rescales to the successful draws.
     let mut ones = vec![0u32; m];
     let mut zeros = vec![0u32; m];
     let mut s1: Vec<(usize, Label)> = Vec::with_capacity(t);
     for _ in 0..t {
         let pos = rng.gen_range(lo..hi);
-        let label = oracle.probe(pos);
-        s1.push((pos, label));
-        if label.is_one() {
-            ones[pos - lo] += 1;
-        } else {
-            zeros[pos - lo] += 1;
+        report.attempts += 1;
+        match oracle.try_probe(pos) {
+            Ok(label) => {
+                s1.push((pos, label));
+                if label.is_one() {
+                    ones[pos - lo] += 1;
+                } else {
+                    zeros[pos - lo] += 1;
+                }
+            }
+            Err(_) => report.abstentions += 1,
         }
     }
     out.draws += t;
+    let answered = s1.len();
+    if answered == 0 {
+        // Nothing answered: no estimate is possible, and Σ gains nothing
+        // for this range. Heavy degradation, reflected in the report.
+        return;
+    }
 
     // err_{S1}(b) for boundary b (relative): positions < b predicted 0,
     // positions ≥ b predicted 1. Misses = 1-draws below b + 0-draws at/above b.
     let total_zeros: u32 = zeros.iter().sum();
     // Scan boundaries b = 0..=m; qualifying: g1(b) < m·(1/4 − φ).
     let thresh = m as f64 * (0.25 - phi);
-    let scale = m as f64 / t as f64;
+    let scale = m as f64 / answered as f64;
     let mut b_lo: Option<usize> = None;
     let mut b_hi: Option<usize> = None;
     let mut ones_below = 0u64;
@@ -241,7 +316,7 @@ fn recurse(
     let (b_lo, b_hi) = match (b_lo, b_hi) {
         (Some(a), Some(b)) => (a, b),
         _ => {
-            // α, β do not exist: f = g1; Σ gains S1 at weight m/t.
+            // α, β do not exist: f = g1; Σ gains S1 at weight m/|S1|.
             for (pos, label) in s1 {
                 out.sigma.push(SigmaEntry {
                     position: pos,
@@ -265,18 +340,13 @@ fn recurse(
     let rest = left_len + right_len;
     if rest > 0 {
         let t2 = lemma5_sample_size(phi, delta_level.clamp(f64::MIN_POSITIVE, 1.0));
-        let scale2 = rest as f64 / t2 as f64;
         if t2 >= rest {
             // Degrade to exact: probe the whole complement at weight 1.
             for pos in (lo..start).chain(end..hi) {
-                let label = oracle.probe(pos);
-                out.sigma.push(SigmaEntry {
-                    position: pos,
-                    label,
-                    weight: 1.0,
-                });
+                probe_into(oracle, pos, 1.0, out, report);
             }
         } else {
+            let mut s2: Vec<(usize, Label)> = Vec::with_capacity(t2);
             for _ in 0..t2 {
                 let r = rng.gen_range(0..rest);
                 let pos = if r < left_len {
@@ -284,18 +354,37 @@ fn recurse(
                 } else {
                     end + (r - left_len)
                 };
-                let label = oracle.probe(pos);
-                out.sigma.push(SigmaEntry {
-                    position: pos,
-                    label,
-                    weight: scale2,
-                });
+                report.attempts += 1;
+                match oracle.try_probe(pos) {
+                    Ok(label) => s2.push((pos, label)),
+                    Err(_) => report.abstentions += 1,
+                }
             }
             out.draws += t2;
+            if !s2.is_empty() {
+                let scale2 = rest as f64 / s2.len() as f64;
+                for (pos, label) in s2 {
+                    out.sigma.push(SigmaEntry {
+                        position: pos,
+                        label,
+                        weight: scale2,
+                    });
+                }
+            }
         }
     }
 
-    recurse(oracle, params, rng, start, end, depth + 1, max_depth, out);
+    recurse(
+        oracle,
+        params,
+        rng,
+        start,
+        end,
+        depth + 1,
+        max_depth,
+        out,
+        report,
+    );
 }
 
 /// Evaluates `w-err_Σ(h^b)` for every boundary `b ∈ 0..=m` in
@@ -357,7 +446,7 @@ mod tests {
     fn best_boundary(sigma: &[SigmaEntry], m: usize) -> usize {
         let errs = sigma_errors_by_boundary(sigma, m);
         (0..=m)
-            .min_by(|&a, &b| errs[a].partial_cmp(&errs[b]).unwrap())
+            .min_by(|&a, &b| f64::total_cmp(&errs[a], &errs[b]))
             .unwrap()
     }
 
@@ -502,6 +591,77 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let params = OneDimParams::new(1.5, 0.1);
         weighted_sample_1d(&mut oracle, &params, &mut rng);
+    }
+
+    #[test]
+    fn fallible_path_matches_infallible_when_fault_free() {
+        use crate::oracle::FlakyOracle;
+        let m = 20_000;
+        let labels = labels_from_boundary(m, 8_000);
+        let params = OneDimParams::new(1.0, 0.1);
+
+        let mut plain = InMemoryOracle::new(labels.clone());
+        let mut rng = StdRng::seed_from_u64(5);
+        let baseline = weighted_sample_1d(&mut plain, &params, &mut rng);
+
+        // A FlakyOracle with rate 0 is fault-free; the try path must
+        // reproduce the infallible run bit-for-bit.
+        let mut zero_fault = FlakyOracle::new(labels, 0.0, 99);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut report = SolveReport::default();
+        let faultless =
+            try_weighted_sample_1d(&mut zero_fault, &params, &mut rng, &mut report).unwrap();
+        assert_eq!(baseline.sigma, faultless.sigma);
+        assert_eq!(baseline.draws, faultless.draws);
+        assert_eq!(report.abstentions, 0);
+        assert!(report.attempts > 0);
+    }
+
+    #[test]
+    fn dropped_draws_rescale_weights() {
+        use crate::oracle::AbstainingOracle;
+        let m = 20_000;
+        let labels = labels_from_boundary(m, 7_000);
+        let mut oracle = AbstainingOracle::new(labels, 0.1, 21);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut report = SolveReport::default();
+        let params = OneDimParams::new(1.0, 0.1);
+        let res = try_weighted_sample_1d(&mut oracle, &params, &mut rng, &mut report).unwrap();
+        assert!(report.abstentions > 0, "10% abstention must drop draws");
+        // Σ never contains an unanswerable point.
+        for e in &res.sigma {
+            assert!(!oracle.is_unanswerable(e.position));
+        }
+        // Rescaled weights keep total Σ weight near the population size.
+        let total: f64 = res.sigma.iter().map(|e| e.weight).sum();
+        assert!(
+            (total - m as f64).abs() < 0.4 * m as f64,
+            "Σ weight {total} far from {m}"
+        );
+    }
+
+    #[test]
+    fn fully_dead_oracle_yields_empty_sigma() {
+        use crate::oracle::AbstainingOracle;
+        let labels = labels_from_boundary(5_000, 100);
+        let n = labels.len();
+        let mut oracle = AbstainingOracle::with_unanswerable(labels, &(0..n).collect::<Vec<_>>());
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut report = SolveReport::default();
+        let params = OneDimParams::new(1.0, 0.1);
+        let res = try_weighted_sample_1d(&mut oracle, &params, &mut rng, &mut report).unwrap();
+        assert!(res.sigma.is_empty(), "no answers → no Σ, but no panic");
+        assert!(report.abstentions > 0);
+    }
+
+    #[test]
+    fn try_path_rejects_bad_epsilon_without_panicking() {
+        let mut oracle = InMemoryOracle::new(vec![Label::One]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut report = SolveReport::default();
+        let params = OneDimParams::new(1.5, 0.1);
+        let err = try_weighted_sample_1d(&mut oracle, &params, &mut rng, &mut report).unwrap_err();
+        assert!(err.to_string().contains("ε must lie in (0, 1]"));
     }
 
     #[test]

@@ -32,10 +32,12 @@
 //! assert!(sol.probes_used <= 50);
 //! ```
 
-use crate::active::one_dim::{weighted_sample_1d, OneDimParams};
+use crate::active::one_dim::{try_weighted_sample_1d, OneDimParams};
 use crate::classifier::MonotoneClassifier;
-use crate::oracle::{LabelOracle, SubsetOracle};
+use crate::error::McError;
+use crate::oracle::{FallibleOracle, FallibleSubsetOracle, InfallibleAdapter, LabelOracle};
 use crate::passive::solver::{PassiveSolution, PassiveSolver};
+use crate::report::SolveReport;
 use mc_geom::{PointSet, WeightedSet};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -51,7 +53,7 @@ pub struct ActiveParams {
     pub delta: Option<f64>,
     /// `φ = ε/phi_divisor` in the per-chain sampler (256 = paper
     /// constants, 8 = practical default; see
-    /// [`OneDimParams`](crate::active::one_dim::OneDimParams)).
+    /// [`OneDimParams`]).
     pub phi_divisor: f64,
     /// Exhaustive-probing cutoff of the recursion (paper: 7).
     pub recursion_cutoff: usize,
@@ -112,6 +114,9 @@ pub struct ActiveSolution {
     pub sampling_time: Duration,
     /// Wall-clock time of the passive solve on Σ.
     pub passive_time: Duration,
+    /// How the solve fared against the oracle (all-clean for the
+    /// infallible entry points).
+    pub report: SolveReport,
 }
 
 /// The active solver (Problem 1).
@@ -145,17 +150,37 @@ impl ActiveSolver {
     ///
     /// Panics if `oracle.len() != points.len()` or ε ∉ (0, 1].
     pub fn solve(&self, points: &PointSet, oracle: &mut dyn LabelOracle) -> ActiveSolution {
+        let mut adapter = InfallibleAdapter::new(oracle);
+        self.try_solve(points, &mut adapter)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Failure-tolerant variant of [`ActiveSolver::solve`]: probes go
+    /// through a [`FallibleOracle`]; transient failures are the wrapped
+    /// oracle's business (e.g. a [`RetryOracle`](crate::oracle::RetryOracle)
+    /// absorbs them), while permanently unanswerable points are dropped
+    /// from the sample Σ and the solve continues. The returned
+    /// [`ActiveSolution::report`] says whether and how the result
+    /// degraded.
+    ///
+    /// `Err` is reserved for invalid inputs (oracle/points size
+    /// mismatch, ε ∉ (0, 1], …); oracle failures never abort the solve.
+    pub fn try_solve(
+        &self,
+        points: &PointSet,
+        oracle: &mut dyn FallibleOracle,
+    ) -> Result<ActiveSolution, McError> {
         if points.is_empty() {
-            return self.solve_with_chains(points, &[], oracle);
+            return self.try_solve_with_chains(points, &[], oracle);
         }
         // Phase 1: minimum chain decomposition (Lemma 6, dispatched on
         // dimensionality — see `crate::decompose::minimum_chains`).
         let t0 = Instant::now();
         let chains = crate::decompose::minimum_chains(points);
         let decomposition_time = t0.elapsed();
-        let mut sol = self.solve_with_chains(points, &chains, oracle);
+        let mut sol = self.try_solve_with_chains(points, &chains, oracle)?;
         sol.decomposition_time = decomposition_time;
-        sol
+        Ok(sol)
     }
 
     /// Runs only the probing phases (chain sampling, Sections 3–4),
@@ -170,7 +195,10 @@ impl ActiveSolver {
         chains: &[Vec<usize>],
         oracle: &mut dyn LabelOracle,
     ) -> (WeightedSet, usize) {
-        let partial = self.solve_sampling_phase(points, chains, oracle);
+        let mut adapter = InfallibleAdapter::new(oracle);
+        let partial = self
+            .try_sampling_phase(points, chains, &mut adapter)
+            .unwrap_or_else(|e| panic!("{e}"));
         (partial.sigma, partial.probes_used)
     }
 
@@ -191,10 +219,31 @@ impl ActiveSolver {
         chains: &[Vec<usize>],
         oracle: &mut dyn LabelOracle,
     ) -> ActiveSolution {
-        let partial = self.solve_sampling_phase(points, chains, oracle);
+        let mut adapter = InfallibleAdapter::new(oracle);
+        self.try_solve_with_chains(points, chains, &mut adapter)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Failure-tolerant variant of [`ActiveSolver::solve_with_chains`];
+    /// see [`ActiveSolver::try_solve`] for the failure semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chains do not partition the point indices (that is
+    /// a caller bug, not an input-data problem).
+    pub fn try_solve_with_chains(
+        &self,
+        points: &PointSet,
+        chains: &[Vec<usize>],
+        oracle: &mut dyn FallibleOracle,
+    ) -> Result<ActiveSolution, McError> {
+        let partial = self.try_sampling_phase(points, chains, oracle)?;
 
         // Phase 3: minimize w-err_Σ over monotone classifiers = Problem 2
-        // on Σ (Theorem 3's reduction to the passive solver).
+        // on Σ (Theorem 3's reduction to the passive solver). Under
+        // degradation Σ is missing the unanswerable points, but it is
+        // still a fully-labeled weighted set — the reduction is
+        // unaffected and the result stays monotone.
         let t2 = Instant::now();
         let PassiveSolution {
             classifier,
@@ -203,7 +252,7 @@ impl ActiveSolver {
         } = PassiveSolver::new().solve(&partial.sigma);
         let passive_time = t2.elapsed();
 
-        ActiveSolution {
+        Ok(ActiveSolution {
             classifier,
             probes_used: partial.probes_used,
             sigma: partial.sigma,
@@ -212,29 +261,33 @@ impl ActiveSolver {
             decomposition_time: Duration::ZERO,
             sampling_time: partial.sampling_time,
             passive_time,
-        }
+            report: partial.report,
+        })
     }
 
-    fn solve_sampling_phase(
+    fn try_sampling_phase(
         &self,
         points: &PointSet,
         chains: &[Vec<usize>],
-        oracle: &mut dyn LabelOracle,
-    ) -> SamplingPhase {
-        assert_eq!(
-            points.len(),
-            oracle.len(),
-            "oracle must cover exactly the input points"
-        );
+        oracle: &mut dyn FallibleOracle,
+    ) -> Result<SamplingPhase, McError> {
+        if points.len() != oracle.size() {
+            return Err(McError::OracleSizeMismatch {
+                oracle: oracle.size(),
+                points: points.len(),
+            });
+        }
         let n = points.len();
-        let probes_before = oracle.probes_used();
+        let probes_before = oracle.probes_charged();
+        let stats_before = oracle.stats();
         if n == 0 {
-            return SamplingPhase {
+            return Ok(SamplingPhase {
                 sigma: WeightedSet::empty(points.dim().max(1)),
                 probes_used: 0,
                 width: 0,
                 sampling_time: Duration::ZERO,
-            };
+                report: SolveReport::default(),
+            });
         }
         let covered: usize = chains.iter().map(Vec::len).sum();
         assert_eq!(covered, n, "chains must partition the point indices");
@@ -262,6 +315,7 @@ impl ActiveSolver {
         // — equivalent for w-err_Σ and it keeps the passive solve small.
         let t1 = Instant::now();
         let mut rng = StdRng::seed_from_u64(self.params.seed);
+        let mut report = SolveReport::default();
         let mut merged: Vec<Option<(mc_geom::Label, f64)>> = vec![None; n];
         let one_dim_params = OneDimParams {
             epsilon: self.params.epsilon,
@@ -270,8 +324,9 @@ impl ActiveSolver {
             recursion_cutoff: self.params.recursion_cutoff,
         };
         for chain in chains {
-            let mut chain_oracle = SubsetOracle::new(oracle, chain);
-            let sample = weighted_sample_1d(&mut chain_oracle, &one_dim_params, &mut rng);
+            let mut chain_oracle = FallibleSubsetOracle::new(oracle, chain);
+            let sample =
+                try_weighted_sample_1d(&mut chain_oracle, &one_dim_params, &mut rng, &mut report)?;
             for entry in sample.sigma {
                 let global = chain[entry.position];
                 match &mut merged[global] {
@@ -290,13 +345,15 @@ impl ActiveSolver {
             }
         }
         let sampling_time = t1.elapsed();
+        report.finalize(&stats_before, &oracle.stats());
 
-        SamplingPhase {
+        Ok(SamplingPhase {
             sigma,
-            probes_used: oracle.probes_used() - probes_before,
+            probes_used: oracle.probes_charged() - probes_before,
             width: w,
             sampling_time,
-        }
+            report,
+        })
     }
 }
 
@@ -306,6 +363,7 @@ struct SamplingPhase {
     probes_used: usize,
     width: usize,
     sampling_time: Duration,
+    report: SolveReport,
 }
 
 #[cfg(test)]
@@ -411,6 +469,94 @@ mod tests {
         let (p2, c2) = run();
         assert_eq!(p1, p2);
         assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn transient_failures_do_not_change_the_answer() {
+        use crate::oracle::{FlakyOracle, RetryOracle, RetryPolicy};
+        // 30% of calls fail transiently; with retries the solve must
+        // produce the *same* classifier as the fault-free run (the RNG
+        // draws are solver-side and unaffected by retries).
+        let ls = planted_2d(300, 0.05, 13);
+        let solver = ActiveSolver::new(ActiveParams::new(0.5).with_seed(7));
+
+        let mut clean_oracle = InMemoryOracle::from_labeled(&ls);
+        let clean = solver.solve(ls.points(), &mut clean_oracle);
+
+        let flaky = FlakyOracle::from_labeled(&ls, 0.3, 99);
+        let mut retrying = RetryOracle::new(flaky, RetryPolicy::default().with_max_attempts(20));
+        let faulty = solver.try_solve(ls.points(), &mut retrying).unwrap();
+
+        assert_eq!(clean.classifier, faulty.classifier);
+        assert_eq!(clean.probes_used, faulty.probes_used);
+        assert!(faulty.report.retries > 0, "30% failures must cause retries");
+        assert_eq!(faulty.report.abstentions, 0);
+        assert!(!faulty.report.degraded);
+        assert!(clean.report.is_clean());
+    }
+
+    #[test]
+    fn abstentions_degrade_gracefully() {
+        use crate::classifier::find_monotonicity_violation;
+        use crate::oracle::AbstainingOracle;
+        let ls = planted_2d(300, 0.05, 17);
+        let mut oracle = AbstainingOracle::from_labeled(&ls, 0.1, 5);
+        assert!(oracle.unanswerable() > 0);
+        let solver = ActiveSolver::with_epsilon(0.5);
+        let sol = solver.try_solve(ls.points(), &mut oracle).unwrap();
+        assert!(sol.report.degraded);
+        assert!(sol.report.abstentions > 0);
+        // The degraded classifier is still monotone and Σ contains no
+        // unanswerable point.
+        assert!(find_monotonicity_violation(
+            ls.points(),
+            &sol.classifier.classify_set(ls.points())
+        )
+        .is_none());
+        for i in 0..sol.sigma.len() {
+            let coords = sol.sigma.points().point(i);
+            let j = (0..ls.len())
+                .find(|&j| ls.points().point(j) == coords)
+                .unwrap();
+            assert!(!oracle.is_unanswerable(j));
+        }
+    }
+
+    #[test]
+    fn dead_oracle_trips_breaker_and_still_returns() {
+        use crate::oracle::{FlakyOracle, RetryOracle, RetryPolicy};
+        let ls = planted_2d(200, 0.0, 23);
+        let flaky = FlakyOracle::from_labeled(&ls, 1.0, 3); // everything fails
+        let mut retrying = RetryOracle::new(
+            flaky,
+            RetryPolicy::default()
+                .with_max_attempts(3)
+                .with_breaker_threshold(10),
+        );
+        let sol = ActiveSolver::with_epsilon(0.5)
+            .try_solve(ls.points(), &mut retrying)
+            .unwrap();
+        assert!(sol.report.breaker_tripped);
+        assert!(sol.report.degraded);
+        assert_eq!(sol.probes_used, 0);
+        // The all-zero fallback is trivially monotone.
+        assert!(sol.sigma.is_empty());
+    }
+
+    #[test]
+    fn try_solve_rejects_size_mismatch() {
+        let ls = planted_2d(10, 0.0, 1);
+        let mut oracle = InMemoryOracle::new(vec![mc_geom::Label::One; 3]);
+        let err = ActiveSolver::with_epsilon(0.5)
+            .try_solve(ls.points(), &mut oracle)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::McError::OracleSizeMismatch {
+                oracle: 3,
+                points: 10
+            }
+        ));
     }
 
     #[test]

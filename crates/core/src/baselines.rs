@@ -9,7 +9,7 @@
 //!   `Θ(1/ε²)`-style sampling cost of disagreement-based learners such
 //!   as A² without their width-adaptivity (see DESIGN.md).
 //! * [`chain_binary_search`] — a reimplementation of the probing profile
-//!   of Tao'18 [25]: one binary search per chain (`O(w·log(n/w))`
+//!   of Tao'18 \[25\]: one binary search per chain (`O(w·log(n/w))`
 //!   probes), which is probe-frugal but only weakly error-controlled —
 //!   exactly the gap Theorem 2 closes.
 //!

@@ -10,7 +10,11 @@
 //!   `O((w/ε²)·log(n/w)·log n)` probes (Theorems 2 and 3), built on the
 //!   Section-3 recursive 1D sampler and the Section-4 chain reduction.
 //! * [`sampling`] — Lemma 5 sample-size machinery.
-//! * [`oracle`] — probe-counting label oracles.
+//! * [`oracle`] — probe-counting label oracles, both infallible
+//!   ([`LabelOracle`]) and fallible ([`FallibleOracle`]) with retry,
+//!   circuit-breaking and fault-injection adapters.
+//! * [`error`] / [`report`] — typed errors ([`McError`]) and resilience
+//!   reporting ([`SolveReport`]) for the `try_*` solver paths.
 //! * [`baselines`] — ProbeAll, UniformSample and chain-binary-search
 //!   comparators used in the experiments.
 
@@ -18,14 +22,22 @@ pub mod active;
 pub mod baselines;
 pub mod classifier;
 pub mod decompose;
+pub mod error;
 pub mod metrics;
 pub mod oracle;
 pub mod passive;
+pub mod report;
 pub mod sampling;
 
 pub use active::{ActiveParams, ActiveSolution, ActiveSolver};
 pub use classifier::{find_monotonicity_violation, MonotoneClassifier};
 pub use decompose::minimum_chains;
+pub use error::McError;
 pub use metrics::{cross_validate_passive, train_test_split, ConfusionMatrix};
-pub use oracle::{InMemoryOracle, LabelOracle, NoisyOracle, SubsetOracle};
+pub use oracle::{
+    AbstainingOracle, FallibleOracle, FallibleSubsetOracle, FlakyOracle, InMemoryOracle,
+    InfallibleAdapter, LabelOracle, MeteredOracle, NoisyOracle, OracleError, OracleStats,
+    RetryOracle, RetryPolicy, SubsetOracle,
+};
 pub use passive::{solve_passive, PassiveSolution, PassiveSolver};
+pub use report::SolveReport;

@@ -1,0 +1,271 @@
+//! Fallible label oracles: typed probe failures and probe-level stats.
+//!
+//! The paper's model assumes every probe answers. Real labeling
+//! backends — crowd workers, flaky RPC services, rate-limited APIs — do
+//! not: answers time out, workers abstain, budgets run dry. This module
+//! introduces [`FallibleOracle`], whose `try_probe` returns
+//! `Result<Label, OracleError>`, and the machinery for the solvers to
+//! degrade gracefully instead of panicking (see
+//! [`SolveReport`](crate::report::SolveReport)).
+//!
+//! Every infallible [`LabelOracle`] is automatically a [`FallibleOracle`]
+//! (blanket impl); [`InfallibleAdapter`] wraps a `&mut dyn LabelOracle`
+//! so trait objects can cross the boundary too.
+
+use crate::oracle::LabelOracle;
+use mc_geom::Label;
+use std::fmt;
+use std::time::Duration;
+
+/// Why a probe failed.
+///
+/// The split matters to callers: [`Transient`](OracleError::Transient)
+/// and [`Timeout`](OracleError::Timeout) are worth retrying;
+/// [`Abstain`](OracleError::Abstain) and
+/// [`BudgetExhausted`](OracleError::BudgetExhausted) are permanent — the
+/// solvers drop the point from the sample Σ and continue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleError {
+    /// A momentary failure (dropped connection, worker unavailable);
+    /// retrying the same probe may succeed.
+    Transient {
+        /// The probe that failed.
+        probe: usize,
+    },
+    /// The backend did not answer in time; retrying may succeed.
+    Timeout {
+        /// The probe that timed out.
+        probe: usize,
+    },
+    /// The backend permanently declines to label this point
+    /// (e.g. an annotator cannot decide). Retrying never helps.
+    Abstain {
+        /// The probe that was declined.
+        probe: usize,
+    },
+    /// The probe budget is spent; no *new* point can be labeled.
+    /// Re-probing already-revealed points stays free.
+    BudgetExhausted {
+        /// The budget that was exhausted.
+        budget: usize,
+    },
+}
+
+impl OracleError {
+    /// `true` iff retrying the same probe can possibly succeed.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            OracleError::Transient { .. } | OracleError::Timeout { .. }
+        )
+    }
+
+    /// The probe index the failure refers to, if any.
+    pub fn probe(&self) -> Option<usize> {
+        match *self {
+            OracleError::Transient { probe }
+            | OracleError::Timeout { probe }
+            | OracleError::Abstain { probe } => Some(probe),
+            OracleError::BudgetExhausted { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for OracleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OracleError::Transient { probe } => {
+                write!(f, "transient failure probing point {probe}")
+            }
+            OracleError::Timeout { probe } => write!(f, "timeout probing point {probe}"),
+            OracleError::Abstain { probe } => {
+                write!(f, "oracle abstained on point {probe}")
+            }
+            OracleError::BudgetExhausted { budget } => {
+                write!(f, "probe budget of {budget} exhausted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OracleError {}
+
+/// Cumulative counters maintained by resilience layers such as
+/// [`RetryOracle`](crate::oracle::RetryOracle). Plain oracles report the
+/// default (all zeros).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OracleStats {
+    /// Total `try_probe` attempts issued against the underlying backend
+    /// (first tries plus retries).
+    pub attempts: usize,
+    /// Attempts beyond the first per probe request.
+    pub retries: usize,
+    /// `true` once a circuit breaker opened.
+    pub breaker_tripped: bool,
+    /// Total backoff delay accumulated (slept or simulated).
+    pub total_backoff: Duration,
+}
+
+/// A label oracle whose probes can fail.
+///
+/// Like [`LabelOracle`], cost is counted per *distinct successfully
+/// probed point* — failed attempts are free (the backend never answered)
+/// and re-probing a revealed point is free. The counter methods carry
+/// different names (`size`, `probes_charged`) so types implementing both
+/// traits stay unambiguous to call.
+pub trait FallibleOracle {
+    /// Attempts to reveal the label of point `idx`.
+    fn try_probe(&mut self, idx: usize) -> Result<Label, OracleError>;
+
+    /// Number of points behind the oracle.
+    fn size(&self) -> usize;
+
+    /// Number of *distinct* points successfully probed so far.
+    fn probes_charged(&self) -> usize;
+
+    /// Resilience counters; plain oracles report all zeros.
+    fn stats(&self) -> OracleStats {
+        OracleStats::default()
+    }
+}
+
+/// Every infallible oracle is trivially fallible: probes always succeed.
+impl<T: LabelOracle + ?Sized> FallibleOracle for T {
+    fn try_probe(&mut self, idx: usize) -> Result<Label, OracleError> {
+        Ok(self.probe(idx))
+    }
+
+    fn size(&self) -> usize {
+        self.len()
+    }
+
+    fn probes_charged(&self) -> usize {
+        self.probes_used()
+    }
+}
+
+/// Adapts a `&mut dyn LabelOracle` into a (sized) [`FallibleOracle`].
+///
+/// Rust cannot coerce `&mut dyn LabelOracle` directly into
+/// `&mut dyn FallibleOracle` (trait-object-to-trait-object unsizing), so
+/// the infallible solver entry points wrap their oracle in this adapter
+/// before delegating to the `try_*` code paths.
+pub struct InfallibleAdapter<'a> {
+    inner: &'a mut dyn LabelOracle,
+}
+
+impl<'a> InfallibleAdapter<'a> {
+    /// Wraps an infallible oracle trait object.
+    pub fn new(inner: &'a mut dyn LabelOracle) -> Self {
+        Self { inner }
+    }
+}
+
+impl LabelOracle for InfallibleAdapter<'_> {
+    fn probe(&mut self, idx: usize) -> Label {
+        self.inner.probe(idx)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn probes_used(&self) -> usize {
+        self.inner.probes_used()
+    }
+}
+
+/// Fallible counterpart of [`SubsetOracle`](crate::oracle::SubsetOracle):
+/// restricts a fallible oracle to a subset of points, exposing positions
+/// `0..items.len()`. Failure payloads keep the *global* probe index,
+/// which is what reports and logs want.
+pub struct FallibleSubsetOracle<'a> {
+    inner: &'a mut dyn FallibleOracle,
+    items: &'a [usize],
+}
+
+impl<'a> FallibleSubsetOracle<'a> {
+    /// Restricts `inner` to the points listed in `items`; position `i`
+    /// maps to global index `items[i]`.
+    pub fn new(inner: &'a mut dyn FallibleOracle, items: &'a [usize]) -> Self {
+        Self { inner, items }
+    }
+}
+
+impl FallibleOracle for FallibleSubsetOracle<'_> {
+    fn try_probe(&mut self, idx: usize) -> Result<Label, OracleError> {
+        self.inner.try_probe(self.items[idx])
+    }
+
+    fn size(&self) -> usize {
+        self.items.len()
+    }
+
+    fn probes_charged(&self) -> usize {
+        self.inner.probes_charged()
+    }
+
+    fn stats(&self) -> OracleStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::InMemoryOracle;
+
+    #[test]
+    fn infallible_oracles_never_fail() {
+        let mut o = InMemoryOracle::new(vec![Label::One, Label::Zero]);
+        assert_eq!(FallibleOracle::try_probe(&mut o, 0), Ok(Label::One));
+        assert_eq!(FallibleOracle::size(&o), 2);
+        assert_eq!(FallibleOracle::probes_charged(&o), 1);
+        assert_eq!(o.stats(), OracleStats::default());
+    }
+
+    #[test]
+    fn adapter_bridges_trait_objects() {
+        let mut o = InMemoryOracle::new(vec![Label::Zero, Label::One]);
+        let inner: &mut dyn LabelOracle = &mut o;
+        let mut adapter = InfallibleAdapter::new(inner);
+        let fallible: &mut dyn FallibleOracle = &mut adapter;
+        assert_eq!(fallible.try_probe(1), Ok(Label::One));
+        assert_eq!(fallible.size(), 2);
+        assert_eq!(fallible.probes_charged(), 1);
+    }
+
+    #[test]
+    fn fallible_subset_maps_positions() {
+        let mut o = InMemoryOracle::new(vec![Label::Zero, Label::One, Label::Zero]);
+        let items = [2usize, 1];
+        let mut sub = FallibleSubsetOracle::new(&mut o, &items);
+        assert_eq!(sub.size(), 2);
+        assert_eq!(sub.try_probe(1), Ok(Label::One)); // global 1
+        assert_eq!(sub.probes_charged(), 1);
+        assert!(o.was_probed(1));
+        assert!(!o.was_probed(2));
+    }
+
+    #[test]
+    fn retryability_split() {
+        assert!(OracleError::Transient { probe: 0 }.is_retryable());
+        assert!(OracleError::Timeout { probe: 0 }.is_retryable());
+        assert!(!OracleError::Abstain { probe: 0 }.is_retryable());
+        assert!(!OracleError::BudgetExhausted { budget: 5 }.is_retryable());
+        assert_eq!(OracleError::Abstain { probe: 3 }.probe(), Some(3));
+        assert_eq!(OracleError::BudgetExhausted { budget: 5 }.probe(), None);
+    }
+
+    #[test]
+    fn errors_display() {
+        assert_eq!(
+            OracleError::Timeout { probe: 7 }.to_string(),
+            "timeout probing point 7"
+        );
+        assert_eq!(
+            OracleError::BudgetExhausted { budget: 9 }.to_string(),
+            "probe budget of 9 exhausted"
+        );
+    }
+}

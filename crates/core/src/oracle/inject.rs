@@ -1,0 +1,379 @@
+//! Fault-injection oracles for testing resilience.
+//!
+//! Three failure modes, matching the taxonomy of
+//! [`OracleError`]:
+//!
+//! * [`FlakyOracle`] — each *call* independently fails with a transient
+//!   error (retrying helps);
+//! * [`AbstainingOracle`] — a fixed random subset of points is
+//!   permanently unanswerable (retrying never helps);
+//! * [`MeteredOracle`] — a hard cap on distinct probes, failing with
+//!   [`OracleError::BudgetExhausted`]
+//!   once spent.
+//!
+//! All are seeded and deterministic. Failed calls are never billed: the
+//! paper's cost metric charges for *revealed labels*, and a failed call
+//! reveals nothing.
+
+use crate::oracle::fallible::{FallibleOracle, OracleError};
+use crate::oracle::{InMemoryOracle, LabelOracle};
+use mc_geom::{Label, LabeledSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An oracle whose calls fail transiently at a fixed rate.
+///
+/// Each `try_probe` call independently fails with probability
+/// `failure_rate`, alternating (randomly) between
+/// [`OracleError::Transient`] and [`OracleError::Timeout`]. Failures are
+/// per-*call*, so retrying genuinely helps — wrap in a
+/// [`RetryOracle`](crate::oracle::RetryOracle) to absorb them.
+#[derive(Debug, Clone)]
+pub struct FlakyOracle {
+    inner: InMemoryOracle,
+    failure_rate: f64,
+    rng: StdRng,
+    calls: usize,
+    failures_injected: usize,
+}
+
+impl FlakyOracle {
+    /// Wraps ground-truth labels with a per-call failure probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `failure_rate` is outside `[0, 1]`. A rate of `1.0`
+    /// makes every call fail — useful for breaker tests.
+    pub fn new(labels: Vec<Label>, failure_rate: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&failure_rate),
+            "failure rate must be in [0, 1], got {failure_rate}"
+        );
+        Self {
+            inner: InMemoryOracle::new(labels),
+            failure_rate,
+            rng: StdRng::seed_from_u64(seed),
+            calls: 0,
+            failures_injected: 0,
+        }
+    }
+
+    /// Builds a flaky oracle hiding the labels of a fully-labeled set.
+    pub fn from_labeled(data: &LabeledSet, failure_rate: f64, seed: u64) -> Self {
+        Self::new(data.labels().to_vec(), failure_rate, seed)
+    }
+
+    /// Total `try_probe` calls received.
+    pub fn calls(&self) -> usize {
+        self.calls
+    }
+
+    /// Number of calls that were failed on purpose.
+    pub fn failures_injected(&self) -> usize {
+        self.failures_injected
+    }
+}
+
+impl FallibleOracle for FlakyOracle {
+    fn try_probe(&mut self, idx: usize) -> Result<Label, OracleError> {
+        self.calls += 1;
+        if self.failure_rate > 0.0 && self.rng.gen_bool(self.failure_rate) {
+            self.failures_injected += 1;
+            return Err(if self.rng.gen_bool(0.5) {
+                OracleError::Transient { probe: idx }
+            } else {
+                OracleError::Timeout { probe: idx }
+            });
+        }
+        Ok(self.inner.probe(idx))
+    }
+
+    fn size(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn probes_charged(&self) -> usize {
+        self.inner.probes_used()
+    }
+}
+
+/// An oracle with a fixed set of permanently unanswerable points.
+///
+/// The unanswerable subset is drawn once, at construction (each point
+/// independently with probability `abstain_rate`), modeling an annotator
+/// who consistently cannot decide certain items. Probing such a point
+/// always yields [`OracleError::Abstain`]; retrying never helps, and the
+/// solvers respond by dropping the point from the sample Σ.
+#[derive(Debug, Clone)]
+pub struct AbstainingOracle {
+    inner: InMemoryOracle,
+    abstains: Vec<bool>,
+}
+
+impl AbstainingOracle {
+    /// Wraps ground-truth labels, marking each point unanswerable with
+    /// probability `abstain_rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `abstain_rate` is outside `[0, 1]`.
+    pub fn new(labels: Vec<Label>, abstain_rate: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&abstain_rate),
+            "abstain rate must be in [0, 1], got {abstain_rate}"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let abstains = (0..labels.len())
+            .map(|_| abstain_rate > 0.0 && rng.gen_bool(abstain_rate))
+            .collect();
+        Self {
+            inner: InMemoryOracle::new(labels),
+            abstains,
+        }
+    }
+
+    /// Builds an abstaining oracle hiding the labels of a fully-labeled
+    /// set.
+    pub fn from_labeled(data: &LabeledSet, abstain_rate: f64, seed: u64) -> Self {
+        Self::new(data.labels().to_vec(), abstain_rate, seed)
+    }
+
+    /// Wraps labels with an explicit unanswerable set (for deterministic
+    /// tests).
+    pub fn with_unanswerable(labels: Vec<Label>, indices: &[usize]) -> Self {
+        let mut abstains = vec![false; labels.len()];
+        for &i in indices {
+            abstains[i] = true;
+        }
+        Self {
+            inner: InMemoryOracle::new(labels),
+            abstains,
+        }
+    }
+
+    /// Number of permanently unanswerable points.
+    pub fn unanswerable(&self) -> usize {
+        self.abstains.iter().filter(|&&a| a).count()
+    }
+
+    /// `true` iff point `idx` always abstains.
+    pub fn is_unanswerable(&self, idx: usize) -> bool {
+        self.abstains[idx]
+    }
+}
+
+impl FallibleOracle for AbstainingOracle {
+    fn try_probe(&mut self, idx: usize) -> Result<Label, OracleError> {
+        if self.abstains[idx] {
+            Err(OracleError::Abstain { probe: idx })
+        } else {
+            Ok(self.inner.probe(idx))
+        }
+    }
+
+    fn size(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn probes_charged(&self) -> usize {
+        self.inner.probes_used()
+    }
+}
+
+/// A hard probe-budget wrapper around any fallible oracle.
+///
+/// Revealing a *new* point when `budget` distinct points have already
+/// been revealed through this wrapper fails with
+/// [`OracleError::BudgetExhausted`]; re-probing already-revealed points
+/// stays free, matching the paper's cost metric.
+#[derive(Debug, Clone)]
+pub struct MeteredOracle<O> {
+    inner: O,
+    budget: usize,
+    seen: Vec<bool>,
+    spent: usize,
+}
+
+impl<O: FallibleOracle> MeteredOracle<O> {
+    /// Caps `inner` at `budget` distinct successful probes.
+    pub fn new(inner: O, budget: usize) -> Self {
+        let n = inner.size();
+        Self {
+            inner,
+            budget,
+            seen: vec![false; n],
+            spent: 0,
+        }
+    }
+
+    /// Distinct points revealed through this wrapper so far.
+    pub fn spent(&self) -> usize {
+        self.spent
+    }
+
+    /// The wrapped oracle.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+}
+
+impl<O: FallibleOracle> FallibleOracle for MeteredOracle<O> {
+    fn try_probe(&mut self, idx: usize) -> Result<Label, OracleError> {
+        if self.seen[idx] {
+            return self.inner.try_probe(idx);
+        }
+        if self.spent >= self.budget {
+            return Err(OracleError::BudgetExhausted {
+                budget: self.budget,
+            });
+        }
+        let label = self.inner.try_probe(idx)?;
+        self.seen[idx] = true;
+        self.spent += 1;
+        Ok(label)
+    }
+
+    fn size(&self) -> usize {
+        self.inner.size()
+    }
+
+    fn probes_charged(&self) -> usize {
+        self.inner.probes_charged()
+    }
+
+    fn stats(&self) -> crate::oracle::OracleStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(n: usize) -> Vec<Label> {
+        (0..n).map(|i| Label::from_bool(i % 2 == 0)).collect()
+    }
+
+    #[test]
+    fn flaky_failures_are_transient_and_unbilled() {
+        let mut o = FlakyOracle::new(labels(100), 0.5, 3);
+        let mut failures = 0;
+        for i in 0..100 {
+            match o.try_probe(i) {
+                Ok(l) => assert_eq!(l, Label::from_bool(i % 2 == 0)),
+                Err(e) => {
+                    assert!(e.is_retryable());
+                    assert_eq!(e.probe(), Some(i));
+                    failures += 1;
+                }
+            }
+        }
+        assert!(failures > 10, "rate 0.5 should fail often, got {failures}");
+        assert_eq!(o.failures_injected(), failures);
+        assert_eq!(
+            o.probes_charged(),
+            100 - failures,
+            "failed calls are never billed"
+        );
+    }
+
+    #[test]
+    fn flaky_retry_eventually_succeeds() {
+        let mut o = FlakyOracle::new(labels(4), 0.7, 9);
+        // Brute-force retrying must terminate: failures are per-call.
+        for i in 0..4 {
+            let mut tries = 0;
+            let label = loop {
+                tries += 1;
+                assert!(tries < 10_000);
+                if let Ok(l) = o.try_probe(i) {
+                    break l;
+                }
+            };
+            assert_eq!(label, Label::from_bool(i % 2 == 0));
+        }
+        assert_eq!(o.probes_charged(), 4);
+    }
+
+    #[test]
+    fn flaky_zero_rate_is_reliable() {
+        let mut o = FlakyOracle::new(labels(20), 0.0, 1);
+        for i in 0..20 {
+            assert!(o.try_probe(i).is_ok());
+        }
+        assert_eq!(o.failures_injected(), 0);
+    }
+
+    #[test]
+    fn flaky_is_deterministic_by_seed() {
+        let run = |seed| {
+            let mut o = FlakyOracle::new(labels(50), 0.4, seed);
+            (0..50).map(|i| o.try_probe(i).is_ok()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6), "different seeds, different faults");
+    }
+
+    #[test]
+    fn abstentions_are_permanent() {
+        let mut o = AbstainingOracle::with_unanswerable(labels(10), &[2, 7]);
+        assert_eq!(o.unanswerable(), 2);
+        for _ in 0..3 {
+            assert_eq!(o.try_probe(2), Err(OracleError::Abstain { probe: 2 }));
+        }
+        assert_eq!(o.try_probe(3), Ok(Label::Zero));
+        assert_eq!(o.probes_charged(), 1, "abstentions are never billed");
+        assert!(o.is_unanswerable(7));
+        assert!(!o.is_unanswerable(0));
+    }
+
+    #[test]
+    fn abstaining_rate_draws_fixed_subset() {
+        let o = AbstainingOracle::new(labels(1000), 0.1, 42);
+        let k = o.unanswerable();
+        assert!((50..200).contains(&k), "rate 0.1 of 1000, got {k}");
+        // Same seed, same subset.
+        let o2 = AbstainingOracle::new(labels(1000), 0.1, 42);
+        for i in 0..1000 {
+            assert_eq!(o.is_unanswerable(i), o2.is_unanswerable(i));
+        }
+    }
+
+    #[test]
+    fn metered_budget_enforced_but_reprobes_free() {
+        let mut o = MeteredOracle::new(InMemoryOracle::new(labels(5)), 2);
+        assert!(o.try_probe(0).is_ok());
+        assert!(o.try_probe(1).is_ok());
+        assert_eq!(
+            o.try_probe(2),
+            Err(OracleError::BudgetExhausted { budget: 2 })
+        );
+        // Already-revealed points stay accessible.
+        assert!(o.try_probe(0).is_ok());
+        assert!(o.try_probe(1).is_ok());
+        assert_eq!(o.spent(), 2);
+        assert_eq!(o.probes_charged(), 2);
+    }
+
+    #[test]
+    fn metered_does_not_spend_budget_on_inner_failures() {
+        let flaky = FlakyOracle::new(labels(10), 1.0, 0);
+        let mut o = MeteredOracle::new(flaky, 3);
+        for i in 0..10 {
+            assert!(o.try_probe(i).unwrap_err().is_retryable());
+        }
+        assert_eq!(o.spent(), 0, "failed probes must not consume budget");
+    }
+
+    #[test]
+    #[should_panic(expected = "failure rate")]
+    fn flaky_rejects_bad_rate() {
+        FlakyOracle::new(labels(1), 1.5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "abstain rate")]
+    fn abstaining_rejects_bad_rate() {
+        AbstainingOracle::new(labels(1), -0.1, 0);
+    }
+}

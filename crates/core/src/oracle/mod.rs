@@ -18,6 +18,16 @@
 //! assert_eq!(oracle.probes_used(), 1);
 //! ```
 
+pub mod fallible;
+pub mod inject;
+pub mod retry;
+
+pub use fallible::{
+    FallibleOracle, FallibleSubsetOracle, InfallibleAdapter, OracleError, OracleStats,
+};
+pub use inject::{AbstainingOracle, FlakyOracle, MeteredOracle};
+pub use retry::{RetryOracle, RetryPolicy};
+
 use mc_geom::{Label, LabeledSet};
 
 /// A source of hidden labels with probe accounting.

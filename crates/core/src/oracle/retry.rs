@@ -1,0 +1,444 @@
+//! Retrying oracle adapter: bounded attempts, seeded exponential backoff
+//! with jitter, and a circuit breaker.
+//!
+//! [`RetryOracle`] wraps any [`FallibleOracle`] and absorbs *retryable*
+//! failures ([`OracleError::is_retryable`]): each probe request is
+//! attempted up to [`RetryPolicy::max_attempts`] times with an
+//! exponentially growing, jittered delay between attempts. Permanent
+//! failures (abstentions, budget exhaustion) pass straight through.
+//!
+//! The circuit breaker guards against a *down* backend: after
+//! [`RetryPolicy::breaker_threshold`] consecutive failed attempts the
+//! breaker opens and every subsequent request fails fast with the error
+//! that tripped it, without touching the backend. This bounds the time a
+//! solve can waste on a dead oracle; the solver then degrades gracefully
+//! (see [`SolveReport`](crate::report::SolveReport)).
+//!
+//! All randomness (the jitter) is seeded, so runs are reproducible. By
+//! default delays are *recorded, not slept* — tests and simulations stay
+//! fast — and [`RetryPolicy::sleep`] opts into real waiting.
+
+use crate::oracle::fallible::{FallibleOracle, OracleError, OracleStats};
+use mc_geom::Label;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// Retry/backoff/breaker configuration for [`RetryOracle`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Maximum attempts per probe request (≥ 1; 1 disables retrying).
+    pub max_attempts: u32,
+    /// Delay before the first retry.
+    pub base_delay: Duration,
+    /// Cap on the per-retry delay.
+    pub max_delay: Duration,
+    /// Multiplier applied to the delay after each failed attempt (≥ 1).
+    pub multiplier: f64,
+    /// Jitter fraction in `[0, 1]`: each delay is drawn uniformly from
+    /// `[d·(1 − jitter), d]`, de-synchronizing concurrent clients.
+    pub jitter: f64,
+    /// Consecutive failed attempts (across probe requests) that open the
+    /// circuit breaker; `0` disables the breaker. Any success resets the
+    /// count.
+    pub breaker_threshold: u32,
+    /// Seed for the jitter RNG (runs are reproducible).
+    pub seed: u64,
+    /// `true` to actually `thread::sleep` the backoff delays; `false`
+    /// (default) only records them in [`OracleStats::total_backoff`].
+    pub sleep: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(100),
+            multiplier: 2.0,
+            jitter: 0.5,
+            breaker_threshold: 16,
+            seed: 0x5EED,
+            sleep: false,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Replaces the attempt cap.
+    pub fn with_max_attempts(mut self, max_attempts: u32) -> Self {
+        self.max_attempts = max_attempts;
+        self
+    }
+
+    /// Replaces the breaker threshold (`0` disables the breaker).
+    pub fn with_breaker_threshold(mut self, threshold: u32) -> Self {
+        self.breaker_threshold = threshold;
+        self
+    }
+
+    /// Replaces the jitter RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the backoff schedule.
+    pub fn with_backoff(mut self, base: Duration, max: Duration, multiplier: f64) -> Self {
+        self.base_delay = base;
+        self.max_delay = max;
+        self.multiplier = multiplier;
+        self
+    }
+
+    /// Replaces the jitter fraction.
+    pub fn with_jitter(mut self, jitter: f64) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Opts into real sleeping between attempts.
+    pub fn with_sleep(mut self, sleep: bool) -> Self {
+        self.sleep = sleep;
+        self
+    }
+
+    fn validate(&self) {
+        assert!(self.max_attempts >= 1, "max_attempts must be at least 1");
+        assert!(
+            (0.0..=1.0).contains(&self.jitter),
+            "jitter must lie in [0, 1], got {}",
+            self.jitter
+        );
+        assert!(
+            self.multiplier >= 1.0,
+            "multiplier must be at least 1, got {}",
+            self.multiplier
+        );
+    }
+}
+
+/// A [`FallibleOracle`] adapter adding retries, backoff and a circuit
+/// breaker around an inner oracle.
+#[derive(Debug, Clone)]
+pub struct RetryOracle<O> {
+    inner: O,
+    policy: RetryPolicy,
+    rng: StdRng,
+    consecutive_failures: u32,
+    /// `Some(err)` once the breaker opened; `err` is what tripped it and
+    /// is what every fail-fast request returns from then on.
+    open: Option<OracleError>,
+    attempts: usize,
+    retries: usize,
+    total_backoff: Duration,
+}
+
+impl<O: FallibleOracle> RetryOracle<O> {
+    /// Wraps `inner` under the given policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is malformed (`max_attempts == 0`, jitter
+    /// outside `[0, 1]`, multiplier below 1).
+    pub fn new(inner: O, policy: RetryPolicy) -> Self {
+        policy.validate();
+        let rng = StdRng::seed_from_u64(policy.seed);
+        Self {
+            inner,
+            policy,
+            rng,
+            consecutive_failures: 0,
+            open: None,
+            attempts: 0,
+            retries: 0,
+            total_backoff: Duration::ZERO,
+        }
+    }
+
+    /// Wraps `inner` under [`RetryPolicy::default`].
+    pub fn with_defaults(inner: O) -> Self {
+        Self::new(inner, RetryPolicy::default())
+    }
+
+    /// The wrapped oracle.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+
+    /// Unwraps, returning the inner oracle.
+    pub fn into_inner(self) -> O {
+        self.inner
+    }
+
+    /// `true` iff the circuit breaker has opened.
+    pub fn breaker_open(&self) -> bool {
+        self.open.is_some()
+    }
+
+    /// Total backoff delay accumulated (slept or simulated).
+    pub fn total_backoff(&self) -> Duration {
+        self.total_backoff
+    }
+
+    /// Jittered exponential delay before retry number `retry_no` (1-based).
+    fn backoff_delay(&mut self, retry_no: u32) -> Duration {
+        let exp = self.policy.base_delay.as_secs_f64().max(0.0)
+            * self
+                .policy
+                .multiplier
+                .powi(retry_no.saturating_sub(1) as i32);
+        let capped = exp.min(self.policy.max_delay.as_secs_f64());
+        // Uniform in [capped·(1 − jitter), capped].
+        let fraction = 1.0 - self.policy.jitter * self.rng.gen_range(0.0..1.0);
+        Duration::from_secs_f64(capped * fraction)
+    }
+}
+
+impl<O: FallibleOracle> FallibleOracle for RetryOracle<O> {
+    fn try_probe(&mut self, idx: usize) -> Result<Label, OracleError> {
+        if let Some(err) = self.open {
+            // Breaker open: fail fast without touching the backend.
+            return Err(err);
+        }
+        for attempt in 1..=self.policy.max_attempts {
+            self.attempts += 1;
+            if attempt > 1 {
+                self.retries += 1;
+            }
+            match self.inner.try_probe(idx) {
+                Ok(label) => {
+                    self.consecutive_failures = 0;
+                    return Ok(label);
+                }
+                Err(err) => {
+                    self.consecutive_failures += 1;
+                    if self.policy.breaker_threshold > 0
+                        && self.consecutive_failures >= self.policy.breaker_threshold
+                    {
+                        self.open = Some(err);
+                        return Err(err);
+                    }
+                    if !err.is_retryable() || attempt == self.policy.max_attempts {
+                        return Err(err);
+                    }
+                    let delay = self.backoff_delay(attempt);
+                    self.total_backoff += delay;
+                    if self.policy.sleep {
+                        std::thread::sleep(delay);
+                    }
+                }
+            }
+        }
+        unreachable!("the loop returns on the last attempt")
+    }
+
+    fn size(&self) -> usize {
+        self.inner.size()
+    }
+
+    fn probes_charged(&self) -> usize {
+        self.inner.probes_charged()
+    }
+
+    fn stats(&self) -> OracleStats {
+        OracleStats {
+            attempts: self.attempts,
+            retries: self.retries,
+            breaker_tripped: self.open.is_some(),
+            total_backoff: self.total_backoff,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::inject::FlakyOracle;
+    use crate::oracle::InMemoryOracle;
+
+    /// Fails the first `fail_first` attempts of every probe request,
+    /// then answers `Label::One`.
+    struct NthTimeLucky {
+        fail_first: u32,
+        seen: u32,
+        err: OracleError,
+    }
+
+    impl FallibleOracle for NthTimeLucky {
+        fn try_probe(&mut self, _idx: usize) -> Result<Label, OracleError> {
+            if self.seen < self.fail_first {
+                self.seen += 1;
+                Err(self.err)
+            } else {
+                self.seen = 0;
+                Ok(Label::One)
+            }
+        }
+
+        fn size(&self) -> usize {
+            64
+        }
+
+        fn probes_charged(&self) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn transient_failures_absorbed() {
+        let inner = NthTimeLucky {
+            fail_first: 2,
+            seen: 0,
+            err: OracleError::Transient { probe: 0 },
+        };
+        let mut o = RetryOracle::new(inner, RetryPolicy::default().with_max_attempts(3));
+        assert_eq!(o.try_probe(0), Ok(Label::One));
+        let stats = o.stats();
+        assert_eq!(stats.attempts, 3);
+        assert_eq!(stats.retries, 2);
+        assert!(!stats.breaker_tripped);
+        assert!(stats.total_backoff > Duration::ZERO);
+    }
+
+    #[test]
+    fn attempts_bounded() {
+        let inner = NthTimeLucky {
+            fail_first: u32::MAX,
+            seen: 0,
+            err: OracleError::Timeout { probe: 3 },
+        };
+        let policy = RetryPolicy::default()
+            .with_max_attempts(3)
+            .with_breaker_threshold(0);
+        let mut o = RetryOracle::new(inner, policy);
+        assert_eq!(o.try_probe(3), Err(OracleError::Timeout { probe: 3 }));
+        assert_eq!(o.stats().attempts, 3);
+    }
+
+    #[test]
+    fn permanent_failures_not_retried() {
+        let inner = NthTimeLucky {
+            fail_first: u32::MAX,
+            seen: 0,
+            err: OracleError::Abstain { probe: 5 },
+        };
+        let mut o = RetryOracle::new(inner, RetryPolicy::default().with_max_attempts(10));
+        assert_eq!(o.try_probe(5), Err(OracleError::Abstain { probe: 5 }));
+        assert_eq!(o.stats().attempts, 1, "abstentions must not be retried");
+    }
+
+    #[test]
+    fn breaker_trips_and_fails_fast() {
+        let inner = NthTimeLucky {
+            fail_first: u32::MAX,
+            seen: 0,
+            err: OracleError::Transient { probe: 1 },
+        };
+        let policy = RetryPolicy::default()
+            .with_max_attempts(4)
+            .with_breaker_threshold(6);
+        let mut o = RetryOracle::new(inner, policy);
+        // Request 1: 4 attempts, all fail (consecutive = 4).
+        assert!(o.try_probe(1).is_err());
+        assert!(!o.breaker_open());
+        // Request 2: trips at the 6th consecutive failed attempt.
+        assert!(o.try_probe(1).is_err());
+        assert!(o.breaker_open());
+        let attempts_at_trip = o.stats().attempts;
+        assert_eq!(attempts_at_trip, 6);
+        // Fail-fast: the backend is no longer touched.
+        assert_eq!(o.try_probe(2), Err(OracleError::Transient { probe: 1 }));
+        assert_eq!(o.stats().attempts, attempts_at_trip);
+        assert!(o.stats().breaker_tripped);
+    }
+
+    #[test]
+    fn success_resets_consecutive_count() {
+        // Alternating fail/success never accumulates enough consecutive
+        // failures to trip a threshold of 2.
+        let inner = NthTimeLucky {
+            fail_first: 1,
+            seen: 0,
+            err: OracleError::Transient { probe: 0 },
+        };
+        let policy = RetryPolicy::default()
+            .with_max_attempts(2)
+            .with_breaker_threshold(2);
+        let mut o = RetryOracle::new(inner, policy);
+        for _ in 0..20 {
+            assert_eq!(o.try_probe(0), Ok(Label::One));
+        }
+        assert!(!o.breaker_open());
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let policy = RetryPolicy {
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(25),
+            multiplier: 2.0,
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        let inner = InMemoryOracle::new(vec![Label::One]);
+        let mut o = RetryOracle::new(inner, policy);
+        assert_eq!(o.backoff_delay(1), Duration::from_millis(10));
+        assert_eq!(o.backoff_delay(2), Duration::from_millis(20));
+        assert_eq!(o.backoff_delay(3), Duration::from_millis(25), "capped");
+    }
+
+    #[test]
+    fn jitter_is_seeded_and_bounded() {
+        let make = |seed| {
+            let policy = RetryPolicy {
+                base_delay: Duration::from_millis(100),
+                max_delay: Duration::from_millis(100),
+                jitter: 0.5,
+                seed,
+                ..RetryPolicy::default()
+            };
+            let mut o = RetryOracle::new(InMemoryOracle::new(vec![Label::One]), policy);
+            (0..16).map(|i| o.backoff_delay(1 + i)).collect::<Vec<_>>()
+        };
+        let a = make(7);
+        let b = make(7);
+        assert_eq!(a, b, "same seed, same jitter");
+        for d in &a {
+            assert!(*d >= Duration::from_millis(50) && *d <= Duration::from_millis(100));
+        }
+        assert!(a.iter().any(|d| *d < Duration::from_millis(100)));
+    }
+
+    #[test]
+    fn passthrough_on_healthy_oracle() {
+        let inner = InMemoryOracle::new(vec![Label::Zero, Label::One]);
+        let mut o = RetryOracle::with_defaults(inner);
+        assert_eq!(o.try_probe(0), Ok(Label::Zero));
+        assert_eq!(o.try_probe(0), Ok(Label::Zero));
+        assert_eq!(o.probes_charged(), 1, "re-probing stays free");
+        assert_eq!(o.size(), 2);
+        assert_eq!(o.stats().retries, 0);
+    }
+
+    #[test]
+    fn flaky_backend_eventually_answers_everything() {
+        let labels: Vec<Label> = (0..200).map(|i| Label::from_bool(i % 3 == 0)).collect();
+        let flaky = FlakyOracle::new(labels.clone(), 0.3, 11);
+        let mut o = RetryOracle::new(flaky, RetryPolicy::default().with_max_attempts(16));
+        for (i, &expect) in labels.iter().enumerate() {
+            assert_eq!(o.try_probe(i), Ok(expect));
+        }
+        assert_eq!(o.probes_charged(), 200);
+        assert!(o.stats().retries > 0, "30% failure rate must cause retries");
+    }
+
+    #[test]
+    #[should_panic(expected = "max_attempts")]
+    fn zero_attempts_rejected() {
+        RetryOracle::new(
+            InMemoryOracle::new(vec![]),
+            RetryPolicy::default().with_max_attempts(0),
+        );
+    }
+}

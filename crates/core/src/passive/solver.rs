@@ -70,6 +70,24 @@ impl<A: MaxFlowAlgorithm> PassiveSolver<A> {
         Self { algorithm }
     }
 
+    /// Validating variant of [`PassiveSolver::solve`] for user-supplied
+    /// data: rejects non-finite coordinates (which would poison every
+    /// dominance comparison) with a typed error instead of computing
+    /// nonsense. Weights and lengths are already guaranteed by
+    /// [`WeightedSet`]'s constructors.
+    pub fn try_solve(&self, data: &WeightedSet) -> Result<PassiveSolution, crate::error::McError> {
+        for (index, p) in data.points().iter().enumerate() {
+            for (axis, &value) in p.iter().enumerate() {
+                if !value.is_finite() {
+                    return Err(
+                        mc_geom::GeomError::NonFiniteCoordinate { index, axis, value }.into(),
+                    );
+                }
+            }
+        }
+        Ok(self.solve(data))
+    }
+
     /// Solves Problem 2 on `data`, returning an optimal monotone
     /// classifier and its weighted error.
     pub fn solve(&self, data: &WeightedSet) -> PassiveSolution {

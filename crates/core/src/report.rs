@@ -1,0 +1,99 @@
+//! Solve-level resilience reporting.
+//!
+//! Every `try_*` solver path produces a [`SolveReport`] describing how
+//! the run interacted with a fallible oracle: how many probe requests it
+//! issued, how many it permanently gave up on, whether a circuit breaker
+//! opened, and — the headline bit — whether the result is *degraded*
+//! (fit on a sample missing points the fault-free run would have had).
+
+use crate::oracle::OracleStats;
+
+/// How a solve fared against a fallible oracle.
+///
+/// A fault-free run reports all-zero counters except `attempts` and
+/// `degraded == false`. `degraded == true` means at least one probe
+/// request was permanently unanswerable (or the breaker opened), so the
+/// classifier was fit on a sample Σ missing those points; the result is
+/// still monotone and still minimizes `w-err_Σ` on what *was* answered,
+/// but the paper's `(1+ε)` guarantee no longer covers the dropped
+/// points.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SolveReport {
+    /// Probe requests issued by the solver (with-replacement draws plus
+    /// exhaustive probes; a retry layer may multiply these into more
+    /// backend attempts — see `retries`).
+    pub attempts: usize,
+    /// Extra backend attempts spent by a retry layer beyond the first
+    /// per request (0 for oracles without one).
+    pub retries: usize,
+    /// Probe requests permanently given up on; the corresponding draws
+    /// or points were dropped from the sample Σ.
+    pub abstentions: usize,
+    /// `true` iff a circuit breaker opened during the solve.
+    pub breaker_tripped: bool,
+    /// `true` iff the result was fit on a sample degraded by permanent
+    /// failures.
+    pub degraded: bool,
+}
+
+impl SolveReport {
+    /// `true` iff the run saw no failures at all (retries included).
+    pub fn is_clean(&self) -> bool {
+        self.retries == 0 && self.abstentions == 0 && !self.breaker_tripped && !self.degraded
+    }
+
+    /// Folds in the oracle-layer counter movement across the solve
+    /// (`after − before`) and computes the `degraded` verdict.
+    pub(crate) fn finalize(&mut self, before: &OracleStats, after: &OracleStats) {
+        self.retries += after.retries.saturating_sub(before.retries);
+        self.breaker_tripped |= after.breaker_tripped;
+        self.degraded = self.abstentions > 0 || self.breaker_tripped;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_by_default() {
+        let r = SolveReport::default();
+        assert!(r.is_clean());
+        assert!(!r.degraded);
+    }
+
+    #[test]
+    fn finalize_folds_stats_delta() {
+        let mut r = SolveReport {
+            attempts: 10,
+            abstentions: 2,
+            ..SolveReport::default()
+        };
+        let before = OracleStats {
+            retries: 3,
+            ..OracleStats::default()
+        };
+        let after = OracleStats {
+            retries: 8,
+            breaker_tripped: true,
+            ..OracleStats::default()
+        };
+        r.finalize(&before, &after);
+        assert_eq!(r.retries, 5);
+        assert!(r.breaker_tripped);
+        assert!(r.degraded);
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn no_failures_is_not_degraded() {
+        let mut r = SolveReport {
+            attempts: 4,
+            ..SolveReport::default()
+        };
+        let stats = OracleStats::default();
+        r.finalize(&stats, &stats);
+        assert!(!r.degraded);
+        assert!(r.is_clean());
+    }
+}

@@ -31,6 +31,13 @@ pub enum CsvError {
         /// Cell contents.
         value: String,
     },
+    /// A feature cell parsed as NaN or ±∞. Only classifier anchor files
+    /// may carry infinities (as `-inf` sentinels); data points must be
+    /// finite so dominance comparisons are well defined.
+    NonFinite {
+        /// 1-based line number.
+        line: usize,
+    },
 }
 
 impl std::fmt::Display for CsvError {
@@ -44,6 +51,12 @@ impl std::fmt::Display for CsvError {
                 value,
             } => {
                 write!(f, "line {line}, column {column}: cannot parse {value:?}")
+            }
+            CsvError::NonFinite { line } => {
+                write!(
+                    f,
+                    "line {line}: feature values must be finite (no NaN or ±inf)"
+                )
             }
         }
     }
@@ -114,6 +127,7 @@ pub fn parse_labeled(text: &str) -> Result<LabeledSet, CsvError> {
     let dim = cols - 1;
     let mut out = LabeledSet::empty(dim);
     for (line, row) in rows {
+        check_finite_features(&row[..dim], line)?;
         let label = label_from(row[dim], line, dim)?;
         out.push(&row[..dim], label);
     }
@@ -131,6 +145,7 @@ pub fn parse_weighted(text: &str) -> Result<WeightedSet, CsvError> {
     let dim = cols - 2;
     let mut out = WeightedSet::empty(dim);
     for (line, row) in rows {
+        check_finite_features(&row[..dim], line)?;
         let label = label_from(row[dim], line, dim)?;
         let weight = row[dim + 1];
         if !(weight > 0.0 && weight.is_finite()) {
@@ -143,6 +158,13 @@ pub fn parse_weighted(text: &str) -> Result<WeightedSet, CsvError> {
         out.push(&row[..dim], label, weight);
     }
     Ok(out)
+}
+
+fn check_finite_features(features: &[f64], line: usize) -> Result<(), CsvError> {
+    if features.iter().any(|v| !v.is_finite()) {
+        return Err(CsvError::NonFinite { line });
+    }
+    Ok(())
 }
 
 fn label_from(v: f64, line: usize, column: usize) -> Result<Label, CsvError> {
@@ -236,6 +258,26 @@ mod tests {
     #[test]
     fn empty_rejected() {
         assert_eq!(parse_labeled("# nothing\n").unwrap_err(), CsvError::Empty);
+    }
+
+    #[test]
+    fn labeled_rejects_nan_feature() {
+        let err = parse_labeled("x,y,label\n1,2,1\nNaN,0.5,0\n").unwrap_err();
+        assert_eq!(err, CsvError::NonFinite { line: 3 });
+    }
+
+    #[test]
+    fn labeled_rejects_infinite_feature() {
+        for cell in ["inf", "-inf"] {
+            let err = parse_labeled(&format!("1,2,1\n{cell},0.5,0\n")).unwrap_err();
+            assert_eq!(err, CsvError::NonFinite { line: 2 });
+        }
+    }
+
+    #[test]
+    fn weighted_rejects_non_finite_feature() {
+        let err = parse_weighted("1.0,1,2.5\nNaN,0,1.0\n").unwrap_err();
+        assert_eq!(err, CsvError::NonFinite { line: 2 });
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //!   standing in for human-labeled benchmark data (see DESIGN.md);
 //! * [`controlled_width`] — datasets whose dominance width is an exact
 //!   knob (for the probes-vs-`w` sweep);
-//! * [`hard_family`] — the Section-6 `P00/P11` lower-bound family behind
+//! * [`mod@hard_family`] — the Section-6 `P00/P11` lower-bound family behind
 //!   Theorem 1.
 
 pub mod controlled_width;

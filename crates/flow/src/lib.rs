@@ -8,7 +8,7 @@
 //!   capacities (for the paper's type-3 edges);
 //! * three interchangeable solvers behind [`MaxFlowAlgorithm`]:
 //!   [`Dinic`] (the default), [`PushRelabel`] (Goldberg–Tarjan `O(V³)`,
-//!   reference [14] of the paper), and [`EdmondsKarp`] (slow reference);
+//!   reference \[14\] of the paper), and [`EdmondsKarp`] (slow reference);
 //! * [`FlowSolution::min_cut`] — extraction of a minimum cut-edge set from
 //!   the residual graph, realizing the constructive proof of Lemma 8.
 //!

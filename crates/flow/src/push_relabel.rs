@@ -1,5 +1,5 @@
 //! FIFO push-relabel (Goldberg–Tarjan 1988), `O(V³)` — the algorithm the
-//! paper cites [14] when instantiating `T_maxflow(n)` in Theorem 4.
+//! paper cites \[14\] when instantiating `T_maxflow(n)` in Theorem 4.
 //!
 //! Implements the FIFO vertex selection rule with the *gap heuristic*
 //! (when some height `g < n` has no vertices, every vertex with height in

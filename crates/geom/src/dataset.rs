@@ -17,6 +17,7 @@
 //! ```
 
 use crate::dominance::{self, Dominance};
+use crate::error::{check_coords, check_weight, GeomError};
 use crate::label::Label;
 use crate::point::Point;
 
@@ -77,6 +78,41 @@ impl PointSet {
             set.push(r);
         }
         set
+    }
+
+    /// Fallible variant of [`PointSet::new`]: rejects `dim == 0` with a
+    /// [`GeomError`] instead of panicking.
+    pub fn try_new(dim: usize) -> Result<Self, GeomError> {
+        if dim == 0 {
+            return Err(GeomError::ZeroDimension);
+        }
+        Ok(Self {
+            dim,
+            coords: Vec::new(),
+        })
+    }
+
+    /// Fallible variant of [`PointSet::from_rows`]: validates every row's
+    /// arity *and* that every coordinate is finite. Unlike the panicking
+    /// constructors (which admit `±∞` sentinels used internally by
+    /// classifier anchors), this is the strict entry point for
+    /// user-supplied data.
+    pub fn try_from_rows(dim: usize, rows: &[Vec<f64>]) -> Result<Self, GeomError> {
+        let mut set = Self::try_new(dim)?;
+        set.coords.reserve(dim * rows.len());
+        for (i, r) in rows.iter().enumerate() {
+            check_coords(dim, i, r)?;
+            set.coords.extend_from_slice(r);
+        }
+        Ok(set)
+    }
+
+    /// Fallible variant of [`PointSet::push`]: rejects arity mismatches
+    /// and non-finite coordinates instead of panicking.
+    pub fn try_push(&mut self, coords: &[f64]) -> Result<usize, GeomError> {
+        check_coords(self.dim, self.len(), coords)?;
+        self.coords.extend_from_slice(coords);
+        Ok(self.len() - 1)
     }
 
     /// Convenience constructor for 1-dimensional data.
@@ -178,6 +214,19 @@ impl LabeledSet {
             labels.len()
         );
         Self { points, labels }
+    }
+
+    /// Fallible variant of [`LabeledSet::new`]: reports a length mismatch
+    /// as a [`GeomError`] instead of panicking.
+    pub fn try_new(points: PointSet, labels: Vec<Label>) -> Result<Self, GeomError> {
+        if points.len() != labels.len() {
+            return Err(GeomError::LengthMismatch {
+                points: points.len(),
+                other: labels.len(),
+                what: "labels",
+            });
+        }
+        Ok(Self { points, labels })
     }
 
     /// Empty labeled set of the given dimensionality.
@@ -292,6 +341,37 @@ impl WeightedSet {
         }
     }
 
+    /// Fallible variant of [`WeightedSet::new`]: reports length mismatches
+    /// and invalid weights as [`GeomError`]s instead of panicking.
+    pub fn try_new(
+        points: PointSet,
+        labels: Vec<Label>,
+        weights: Vec<f64>,
+    ) -> Result<Self, GeomError> {
+        if points.len() != labels.len() {
+            return Err(GeomError::LengthMismatch {
+                points: points.len(),
+                other: labels.len(),
+                what: "labels",
+            });
+        }
+        if points.len() != weights.len() {
+            return Err(GeomError::LengthMismatch {
+                points: points.len(),
+                other: weights.len(),
+                what: "weights",
+            });
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            check_weight(i, w)?;
+        }
+        Ok(Self {
+            points,
+            labels,
+            weights,
+        })
+    }
+
     /// Empty weighted set of the given dimensionality.
     pub fn empty(dim: usize) -> Self {
         Self {
@@ -299,6 +379,20 @@ impl WeightedSet {
             labels: Vec::new(),
             weights: Vec::new(),
         }
+    }
+
+    /// Fallible variant of [`WeightedSet::push`].
+    pub fn try_push(
+        &mut self,
+        coords: &[f64],
+        label: Label,
+        weight: f64,
+    ) -> Result<usize, GeomError> {
+        check_weight(self.len(), weight)?;
+        let idx = self.points.try_push(coords)?;
+        self.labels.push(label);
+        self.weights.push(weight);
+        Ok(idx)
     }
 
     /// Appends a weighted labeled point; returns its index.
@@ -499,6 +593,69 @@ mod tests {
         assert_eq!(ps.dim(), 1);
         assert_eq!(ps.len(), 3);
         assert_eq!(ps.point(0), &[3.0]);
+    }
+
+    #[test]
+    fn try_push_validates_arity_and_finiteness() {
+        let mut ps = PointSet::try_new(2).unwrap();
+        assert_eq!(ps.try_push(&[1.0, 2.0]), Ok(0));
+        assert_eq!(
+            ps.try_push(&[1.0]),
+            Err(GeomError::DimensionMismatch {
+                expected: 2,
+                actual: 1
+            })
+        );
+        // NaN != NaN, so match on the variant rather than comparing values.
+        assert!(matches!(
+            ps.try_push(&[f64::NAN, 0.0]),
+            Err(GeomError::NonFiniteCoordinate {
+                index: 1,
+                axis: 0,
+                ..
+            })
+        ));
+        // The failed pushes must not have appended anything.
+        assert_eq!(ps.len(), 1);
+    }
+
+    #[test]
+    fn try_from_rows_rejects_infinity() {
+        let err = PointSet::try_from_rows(1, &[vec![1.0], vec![f64::INFINITY]]).unwrap_err();
+        assert!(matches!(
+            err,
+            GeomError::NonFiniteCoordinate {
+                index: 1,
+                axis: 0,
+                ..
+            }
+        ));
+        assert!(PointSet::try_new(0).is_err());
+    }
+
+    #[test]
+    fn try_new_weighted_reports_each_failure() {
+        let ps = sample_points();
+        let err = WeightedSet::try_new(ps.clone(), vec![Label::Zero; 2], vec![1.0; 3]).unwrap_err();
+        assert_eq!(
+            err,
+            GeomError::LengthMismatch {
+                points: 3,
+                other: 2,
+                what: "labels"
+            }
+        );
+        let err = WeightedSet::try_new(ps.clone(), vec![Label::Zero; 3], vec![1.0, -2.0, 1.0])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            GeomError::NonPositiveWeight {
+                index: 1,
+                weight: -2.0
+            }
+        );
+        assert!(WeightedSet::try_new(ps, vec![Label::Zero; 3], vec![1.0; 3]).is_ok());
+        assert!(LabeledSet::try_new(sample_points(), vec![Label::One]).is_err());
     }
 
     #[test]

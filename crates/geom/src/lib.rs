@@ -21,6 +21,7 @@
 
 pub mod dataset;
 pub mod dominance;
+pub mod error;
 pub mod label;
 pub mod pareto;
 pub mod point;
@@ -28,6 +29,7 @@ pub mod transform;
 
 pub use dataset::{LabeledSet, PointSet, WeightedSet};
 pub use dominance::{dominates, incomparable, strictly_dominates, Dominance};
+pub use error::GeomError;
 pub use label::Label;
 pub use pareto::{maxima, minima, minima_2d};
 pub use point::Point;

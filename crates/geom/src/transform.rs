@@ -115,9 +115,20 @@ struct RankTable {
 }
 
 impl RankTable {
+    /// Maps `-0.0` to `0.0` so lookups via `total_cmp` (which separates
+    /// the two zeros) agree with the numeric `==` used to group
+    /// duplicates.
+    fn canonical(v: f64) -> f64 {
+        if v == 0.0 {
+            0.0
+        } else {
+            v
+        }
+    }
+
     fn build(points: &PointSet, axis: usize) -> Self {
         let n = points.len();
-        let mut values: Vec<f64> = points.iter().map(|p| p[axis]).collect();
+        let mut values: Vec<f64> = points.iter().map(|p| Self::canonical(p[axis])).collect();
         values.sort_by(f64::total_cmp);
         let mut entries = Vec::new();
         let mut i = 0;
@@ -137,6 +148,7 @@ impl RankTable {
     }
 
     fn rank01(&self, v: f64) -> f64 {
+        let v = Self::canonical(v);
         let idx = self
             .entries
             .binary_search_by(|(val, _)| val.total_cmp(&v))
@@ -220,6 +232,16 @@ mod tests {
         assert_eq!(mapped.point(1)[0], 0.5);
         assert_eq!(mapped.point(2)[0], 0.5);
         assert_eq!(mapped.point(3)[0], 1.0);
+    }
+
+    #[test]
+    fn rank_handles_negative_zero() {
+        // -0.0 and 0.0 are numerically equal but differ under total_cmp;
+        // the rank table must treat them as one value.
+        let points = PointSet::from_values_1d(&[-0.0, 0.0, 1.0]);
+        let mapped = transform_pointset(&points, &[AxisTransform::Rank]);
+        assert_eq!(mapped.point(0)[0], mapped.point(1)[0]);
+        assert!(mapped.point(2)[0] > mapped.point(0)[0]);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Hopcroft–Karp maximum bipartite matching, `O(E·sqrt(V))` [16].
+//! Hopcroft–Karp maximum bipartite matching, `O(E·sqrt(V))` \[16\].
 //!
 //! This is the algorithm Lemma 6 of the paper relies on to compute a
 //! minimum chain decomposition in `O(dn² + n^2.5)` time.

@@ -2,7 +2,7 @@
 //!
 //! The paper computes a chain decomposition with exactly `w` chains
 //! (`w` = dominance width) by reducing minimum path cover to maximum
-//! bipartite matching and running Hopcroft–Karp [16] in `O(E·sqrt(V))`.
+//! bipartite matching and running Hopcroft–Karp \[16\] in `O(E·sqrt(V))`.
 //! This crate supplies:
 //!
 //! * [`BipartiteGraph`] / [`Matching`];

@@ -12,23 +12,92 @@
 //! `--weighted`). A non-numeric header row is skipped. Classifiers are
 //! stored as anchor rows (`d` columns; `h(x) = 1` iff `x` dominates an
 //! anchor).
+//!
+//! ## Exit codes
+//!
+//! Failures map to distinct exit codes so scripts can branch on *why*
+//! a run failed without parsing stderr:
+//!
+//! | code | class | examples |
+//! |------|-------|----------|
+//! | 0 | success | |
+//! | 2 | usage | unknown command, unknown flag, missing argument |
+//! | 3 | I/O | unreadable input, unwritable output |
+//! | 4 | data | malformed CSV, non-finite feature, bad label |
+//! | 5 | parameter | `--epsilon 1.5`, `--folds 1`, rates outside [0, 1] |
+//! | 6 | oracle | oracle/input size mismatch, unrecoverable oracle failure |
 
 use monotone_classification::chains::{AntichainPartition, ChainDecomposition};
 use monotone_classification::core::metrics::ConfusionMatrix;
 use monotone_classification::core::passive::{solve_passive, ContendingPoints};
 use monotone_classification::core::{ActiveParams, ActiveSolver, InMemoryOracle};
 use monotone_classification::data::csv;
+use monotone_classification::{
+    AbstainingOracle, FallibleOracle, FlakyOracle, InfallibleAdapter, Label, McError, OracleError,
+    RetryOracle, RetryPolicy,
+};
 use std::process::ExitCode;
+
+/// A CLI failure, classified for its exit code.
+#[derive(Debug)]
+enum CliError {
+    /// Bad invocation: unknown command/flag, missing argument. Exit 2.
+    Usage(String),
+    /// Filesystem trouble reading or writing. Exit 3.
+    Io(String),
+    /// The input parsed but is not valid data. Exit 4.
+    Data(String),
+    /// A flag value is out of range or unparsable. Exit 5.
+    Param(String),
+    /// The oracle could not serve the solve. Exit 6.
+    Oracle(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Io(_) => 3,
+            CliError::Data(_) => 4,
+            CliError::Param(_) => 5,
+            CliError::Oracle(_) => 6,
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m)
+            | CliError::Io(m)
+            | CliError::Data(m)
+            | CliError::Param(m)
+            | CliError::Oracle(m) => m,
+        }
+    }
+}
+
+impl From<McError> for CliError {
+    fn from(e: McError) -> Self {
+        match e {
+            McError::Geom(_) => CliError::Data(e.to_string()),
+            McError::InvalidParameter { .. } => CliError::Param(e.to_string()),
+            McError::Oracle(_) | McError::OracleSizeMismatch { .. } => {
+                CliError::Oracle(e.to_string())
+            }
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("error: {message}");
-            eprintln!();
-            eprintln!("{USAGE}");
-            ExitCode::FAILURE
+        Err(error) => {
+            eprintln!("error: {}", error.message());
+            if matches!(error, CliError::Usage(_)) {
+                eprintln!();
+                eprintln!("{USAGE}");
+            }
+            ExitCode::from(error.exit_code())
         }
     }
 }
@@ -36,6 +105,8 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   mcc passive  <data.csv> [--weighted] [--out classifier.csv]
   mcc active   <data.csv> [--epsilon E] [--seed S] [--out classifier.csv]
+               [--flaky-rate P] [--abstain-rate P] [--retry-attempts N]
+               [--fault-seed S]
   mcc eval     <data.csv> <classifier.csv>
   mcc stats    <data.csv>
   mcc crossval <data.csv> [--folds K] [--seed S]
@@ -43,8 +114,10 @@ const USAGE: &str = "usage:
   mcc generate <family> <out.csv> [--n N] [--noise P] [--seed S]
                families: planted | entity-matching | hard-family | width-W";
 
-fn run(args: &[String]) -> Result<(), String> {
-    let command = args.first().ok_or("missing command")?;
+fn run(args: &[String]) -> Result<(), CliError> {
+    let command = args
+        .first()
+        .ok_or_else(|| CliError::Usage("missing command".into()))?;
     match command.as_str() {
         "passive" => cmd_passive(&args[1..]),
         "active" => cmd_active(&args[1..]),
@@ -53,7 +126,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "crossval" => cmd_crossval(&args[1..]),
         "certify" => cmd_certify(&args[1..]),
         "generate" => cmd_generate(&args[1..]),
-        other => Err(format!("unknown command {other:?}")),
+        other => Err(CliError::Usage(format!("unknown command {other:?}"))),
     }
 }
 
@@ -63,7 +136,7 @@ fn parse_flags(
     args: &[String],
     valued: &[&str],
     bare: &[&str],
-) -> Result<(Vec<String>, Vec<(String, String)>, Vec<String>), String> {
+) -> Result<(Vec<String>, Vec<(String, String)>, Vec<String>), CliError> {
     let mut positional = Vec::new();
     let mut values = Vec::new();
     let mut flags = Vec::new();
@@ -77,10 +150,10 @@ fn parse_flags(
                 i += 1;
                 let v = args
                     .get(i)
-                    .ok_or_else(|| format!("--{name} requires a value"))?;
+                    .ok_or_else(|| CliError::Usage(format!("--{name} requires a value")))?;
                 values.push((name.to_string(), v.clone()));
             } else {
-                return Err(format!("unknown flag --{name}"));
+                return Err(CliError::Usage(format!("unknown flag --{name}")));
             }
         } else {
             positional.push(a.clone());
@@ -98,20 +171,43 @@ fn get_value(values: &[(String, String)], name: &str) -> Option<String> {
         .map(|(_, v)| v.clone())
 }
 
-fn read_file(path: &str) -> Result<String, String> {
-    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+/// Parses `--name value` as a number, or returns `default` when absent.
+fn parse_num<T: std::str::FromStr>(
+    values: &[(String, String)],
+    name: &str,
+    default: T,
+) -> Result<T, CliError> {
+    get_value(values, name)
+        .map(|v| {
+            v.parse()
+                .map_err(|_| CliError::Param(format!("bad --{name} {v:?}")))
+        })
+        .transpose()
+        .map(|o| o.unwrap_or(default))
 }
 
-fn cmd_passive(args: &[String]) -> Result<(), String> {
+fn read_file(path: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))
+}
+
+fn write_file(path: &str, contents: &str) -> Result<(), CliError> {
+    std::fs::write(path, contents).map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))
+}
+
+fn parse_data(text: &str) -> Result<monotone_classification::LabeledSet, CliError> {
+    csv::parse_labeled(text).map_err(|e| CliError::Data(e.to_string()))
+}
+
+fn cmd_passive(args: &[String]) -> Result<(), CliError> {
     let (pos, values, flags) = parse_flags(args, &["out"], &["weighted"])?;
-    let path = pos.first().ok_or("passive: missing <data.csv>")?;
+    let path = pos
+        .first()
+        .ok_or_else(|| CliError::Usage("passive: missing <data.csv>".into()))?;
     let text = read_file(path)?;
     let weighted = if flags.contains(&"weighted".to_string()) {
-        csv::parse_weighted(&text).map_err(|e| e.to_string())?
+        csv::parse_weighted(&text).map_err(|e| CliError::Data(e.to_string()))?
     } else {
-        csv::parse_labeled(&text)
-            .map_err(|e| e.to_string())?
-            .with_unit_weights()
+        parse_data(&text)?.with_unit_weights()
     };
     let sol = solve_passive(&weighted);
     println!(
@@ -123,32 +219,96 @@ fn cmd_passive(args: &[String]) -> Result<(), String> {
     println!("optimal weighted error = {}", sol.weighted_error);
     println!("classifier anchors = {}", sol.classifier.anchors().len());
     if let Some(out) = get_value(&values, "out") {
-        std::fs::write(&out, csv::classifier_to_csv(&sol.classifier))
-            .map_err(|e| format!("cannot write {out}: {e}"))?;
+        write_file(&out, &csv::classifier_to_csv(&sol.classifier))?;
         println!("wrote classifier to {out}");
     }
     Ok(())
 }
 
-fn cmd_active(args: &[String]) -> Result<(), String> {
-    let (pos, values, _) = parse_flags(args, &["epsilon", "seed", "out"], &[])?;
-    let path = pos.first().ok_or("active: missing <data.csv>")?;
-    let epsilon: f64 = get_value(&values, "epsilon")
-        .map(|v| v.parse().map_err(|_| format!("bad --epsilon {v:?}")))
-        .transpose()?
-        .unwrap_or(0.5);
-    let seed: u64 = get_value(&values, "seed")
-        .map(|v| v.parse().map_err(|_| format!("bad --seed {v:?}")))
-        .transpose()?
-        .unwrap_or(0);
+/// Injects the `--flaky-rate` / `--abstain-rate` faults into a
+/// ground-truth oracle: a fixed subset permanently abstains, every other
+/// call fails transiently at the flaky rate.
+struct InjectedOracle {
+    flaky: FlakyOracle,
+    abstain_mask: AbstainingOracle,
+}
+
+impl FallibleOracle for InjectedOracle {
+    fn try_probe(&mut self, idx: usize) -> Result<Label, OracleError> {
+        if self.abstain_mask.is_unanswerable(idx) {
+            return Err(OracleError::Abstain { probe: idx });
+        }
+        self.flaky.try_probe(idx)
+    }
+
+    fn size(&self) -> usize {
+        self.flaky.size()
+    }
+
+    fn probes_charged(&self) -> usize {
+        self.flaky.probes_charged()
+    }
+}
+
+fn cmd_active(args: &[String]) -> Result<(), CliError> {
+    let (pos, values, _) = parse_flags(
+        args,
+        &[
+            "epsilon",
+            "seed",
+            "out",
+            "flaky-rate",
+            "abstain-rate",
+            "retry-attempts",
+            "fault-seed",
+        ],
+        &[],
+    )?;
+    let path = pos
+        .first()
+        .ok_or_else(|| CliError::Usage("active: missing <data.csv>".into()))?;
+    let epsilon: f64 = parse_num(&values, "epsilon", 0.5)?;
+    let seed: u64 = parse_num(&values, "seed", 0)?;
+    let flaky_rate: f64 = parse_num(&values, "flaky-rate", 0.0)?;
+    let abstain_rate: f64 = parse_num(&values, "abstain-rate", 0.0)?;
+    let retry_attempts: u32 = parse_num(&values, "retry-attempts", 4)?;
+    let fault_seed: u64 = parse_num(&values, "fault-seed", 1)?;
     if !(epsilon > 0.0 && epsilon <= 1.0) {
-        return Err(format!("--epsilon must lie in (0, 1], got {epsilon}"));
+        return Err(CliError::Param(format!(
+            "--epsilon must lie in (0, 1], got {epsilon}"
+        )));
+    }
+    for (name, rate) in [("flaky-rate", flaky_rate), ("abstain-rate", abstain_rate)] {
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(CliError::Param(format!(
+                "--{name} must lie in [0, 1], got {rate}"
+            )));
+        }
+    }
+    if retry_attempts == 0 {
+        return Err(CliError::Param(
+            "--retry-attempts must be at least 1".into(),
+        ));
     }
     let text = read_file(path)?;
-    let data = csv::parse_labeled(&text).map_err(|e| e.to_string())?;
-    let mut oracle = InMemoryOracle::from_labeled(&data);
+    let data = parse_data(&text)?;
     let solver = ActiveSolver::new(ActiveParams::new(epsilon).with_seed(seed));
-    let sol = solver.solve(data.points(), &mut oracle);
+    let inject_faults = flaky_rate > 0.0 || abstain_rate > 0.0;
+    let sol = if inject_faults {
+        let injected = InjectedOracle {
+            flaky: FlakyOracle::from_labeled(&data, flaky_rate, fault_seed),
+            abstain_mask: AbstainingOracle::from_labeled(&data, abstain_rate, fault_seed ^ 0xA5),
+        };
+        let policy = RetryPolicy::default()
+            .with_max_attempts(retry_attempts)
+            .with_seed(fault_seed ^ 0x5A);
+        let mut oracle = RetryOracle::new(injected, policy);
+        solver.try_solve(data.points(), &mut oracle)?
+    } else {
+        let mut oracle = InMemoryOracle::from_labeled(&data);
+        let mut adapter = InfallibleAdapter::new(&mut oracle);
+        solver.try_solve(data.points(), &mut adapter)?
+    };
     println!(
         "n = {}, d = {}, dominance width = {}",
         data.len(),
@@ -161,26 +321,44 @@ fn cmd_active(args: &[String]) -> Result<(), String> {
         data.len(),
         100.0 * sol.probes_used as f64 / data.len().max(1) as f64
     );
+    if inject_faults {
+        let r = &sol.report;
+        println!(
+            "oracle report: {} attempts, {} retries, {} abstentions{}",
+            r.attempts,
+            r.retries,
+            r.abstentions,
+            if r.breaker_tripped {
+                ", circuit breaker tripped"
+            } else {
+                ""
+            }
+        );
+        if r.degraded {
+            println!("result DEGRADED: unanswerable points were dropped from the sample");
+        }
+    }
     println!(
         "classifier error on probed-truth data = {}",
         sol.classifier.error_on(&data)
     );
     if let Some(out) = get_value(&values, "out") {
-        std::fs::write(&out, csv::classifier_to_csv(&sol.classifier))
-            .map_err(|e| format!("cannot write {out}: {e}"))?;
+        write_file(&out, &csv::classifier_to_csv(&sol.classifier))?;
         println!("wrote classifier to {out}");
     }
     Ok(())
 }
 
-fn cmd_eval(args: &[String]) -> Result<(), String> {
+fn cmd_eval(args: &[String]) -> Result<(), CliError> {
     let (pos, _, _) = parse_flags(args, &[], &[])?;
     let [data_path, classifier_path] = pos.as_slice() else {
-        return Err("eval: need <data.csv> <classifier.csv>".into());
+        return Err(CliError::Usage(
+            "eval: need <data.csv> <classifier.csv>".into(),
+        ));
     };
-    let data = csv::parse_labeled(&read_file(data_path)?).map_err(|e| e.to_string())?;
+    let data = parse_data(&read_file(data_path)?)?;
     let classifier = csv::classifier_from_csv(&read_file(classifier_path)?, data.dim())
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| CliError::Data(e.to_string()))?;
     let m = ConfusionMatrix::evaluate(&classifier, &data);
     println!("n = {}, errors = {}", m.total(), m.errors());
     println!(
@@ -197,10 +375,12 @@ fn cmd_eval(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_stats(args: &[String]) -> Result<(), String> {
+fn cmd_stats(args: &[String]) -> Result<(), CliError> {
     let (pos, _, _) = parse_flags(args, &[], &[])?;
-    let path = pos.first().ok_or("stats: missing <data.csv>")?;
-    let data = csv::parse_labeled(&read_file(path)?).map_err(|e| e.to_string())?;
+    let path = pos
+        .first()
+        .ok_or_else(|| CliError::Usage("stats: missing <data.csv>".into()))?;
+    let data = parse_data(&read_file(path)?)?;
     println!("n = {}, d = {}", data.len(), data.dim());
     println!(
         "labels: {} ones, {} zeros",
@@ -225,26 +405,24 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_crossval(args: &[String]) -> Result<(), String> {
+fn cmd_crossval(args: &[String]) -> Result<(), CliError> {
     let (pos, values, _) = parse_flags(args, &["folds", "seed"], &[])?;
-    let path = pos.first().ok_or("crossval: missing <data.csv>")?;
-    let folds: usize = get_value(&values, "folds")
-        .map(|v| v.parse().map_err(|_| format!("bad --folds {v:?}")))
-        .transpose()?
-        .unwrap_or(5);
-    let seed: u64 = get_value(&values, "seed")
-        .map(|v| v.parse().map_err(|_| format!("bad --seed {v:?}")))
-        .transpose()?
-        .unwrap_or(0);
-    let data = csv::parse_labeled(&read_file(path)?).map_err(|e| e.to_string())?;
+    let path = pos
+        .first()
+        .ok_or_else(|| CliError::Usage("crossval: missing <data.csv>".into()))?;
+    let folds: usize = parse_num(&values, "folds", 5)?;
+    let seed: u64 = parse_num(&values, "seed", 0)?;
+    let data = parse_data(&read_file(path)?)?;
     if folds < 2 {
-        return Err(format!("--folds must be at least 2, got {folds}"));
+        return Err(CliError::Param(format!(
+            "--folds must be at least 2, got {folds}"
+        )));
     }
     if folds > data.len() {
-        return Err(format!(
+        return Err(CliError::Param(format!(
             "--folds {folds} exceeds the number of points ({})",
             data.len()
-        ));
+        )));
     }
     let results =
         monotone_classification::core::metrics::cross_validate_passive(&data, folds, seed);
@@ -271,24 +449,15 @@ fn cmd_crossval(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_generate(args: &[String]) -> Result<(), String> {
+fn cmd_generate(args: &[String]) -> Result<(), CliError> {
     use monotone_classification::data as mcd;
     let (pos, values, _) = parse_flags(args, &["n", "noise", "seed"], &[])?;
     let [family, out] = pos.as_slice() else {
-        return Err("generate: need <family> <out.csv>".into());
+        return Err(CliError::Usage("generate: need <family> <out.csv>".into()));
     };
-    let n: usize = get_value(&values, "n")
-        .map(|v| v.parse().map_err(|_| format!("bad --n {v:?}")))
-        .transpose()?
-        .unwrap_or(1000);
-    let noise: f64 = get_value(&values, "noise")
-        .map(|v| v.parse().map_err(|_| format!("bad --noise {v:?}")))
-        .transpose()?
-        .unwrap_or(0.05);
-    let seed: u64 = get_value(&values, "seed")
-        .map(|v| v.parse().map_err(|_| format!("bad --seed {v:?}")))
-        .transpose()?
-        .unwrap_or(0);
+    let n: usize = parse_num(&values, "n", 1000)?;
+    let noise: f64 = parse_num(&values, "noise", 0.05)?;
+    let seed: u64 = parse_num(&values, "seed", 0)?;
     let data = match family.as_str() {
         "planted" => {
             mcd::planted::planted_sum_concept(&mcd::planted::PlantedConfig::new(n, 2, noise, seed))
@@ -317,7 +486,7 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
                 .strip_prefix("width-")
                 .and_then(|w| w.parse::<usize>().ok())
             else {
-                return Err(format!("unknown family {other:?}"));
+                return Err(CliError::Usage(format!("unknown family {other:?}")));
             };
             mcd::controlled_width::generate(&mcd::controlled_width::ControlledWidthConfig {
                 n,
@@ -336,7 +505,7 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         text.push_str(&data.label(i).to_string());
         text.push('\n');
     }
-    std::fs::write(out, text).map_err(|e| format!("cannot write {out}: {e}"))?;
+    write_file(out, &text)?;
     println!(
         "wrote {} points (d = {}) of family {family} to {out}",
         data.len(),
@@ -345,20 +514,20 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_certify(args: &[String]) -> Result<(), String> {
+fn cmd_certify(args: &[String]) -> Result<(), CliError> {
     let (pos, _, flags) = parse_flags(args, &[], &["weighted"])?;
-    let path = pos.first().ok_or("certify: missing <data.csv>")?;
+    let path = pos
+        .first()
+        .ok_or_else(|| CliError::Usage("certify: missing <data.csv>".into()))?;
     let text = read_file(path)?;
     let data = if flags.contains(&"weighted".to_string()) {
-        csv::parse_weighted(&text).map_err(|e| e.to_string())?
+        csv::parse_weighted(&text).map_err(|e| CliError::Data(e.to_string()))?
     } else {
-        csv::parse_labeled(&text)
-            .map_err(|e| e.to_string())?
-            .with_unit_weights()
+        parse_data(&text)?.with_unit_weights()
     };
     let (sol, cert) = monotone_classification::core::passive::certify_passive(&data);
     cert.verify(&data)
-        .map_err(|e| format!("certificate failed audit: {e}"))?;
+        .map_err(|e| CliError::Data(format!("certificate failed audit: {e}")))?;
     println!("optimal weighted error = {}", sol.weighted_error);
     println!(
         "dual certificate: {} inversion charges totalling {}",
@@ -401,5 +570,33 @@ mod tests {
     #[test]
     fn unknown_command_errors() {
         assert!(run(&["bogus".to_string()]).is_err());
+    }
+
+    #[test]
+    fn error_classes_have_distinct_exit_codes() {
+        let errors = [
+            CliError::Usage(String::new()),
+            CliError::Io(String::new()),
+            CliError::Data(String::new()),
+            CliError::Param(String::new()),
+            CliError::Oracle(String::new()),
+        ];
+        let mut codes: Vec<u8> = errors.iter().map(|e| e.exit_code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), errors.len(), "exit codes must be distinct");
+        assert!(codes.iter().all(|&c| c != 0 && c != 1));
+    }
+
+    #[test]
+    fn mc_errors_map_to_expected_classes() {
+        let e: CliError = McError::OracleSizeMismatch {
+            oracle: 3,
+            points: 5,
+        }
+        .into();
+        assert_eq!(e.exit_code(), 6);
+        let e: CliError = McError::invalid_parameter("ε must lie in (0, 1], got 2").into();
+        assert_eq!(e.exit_code(), 5);
     }
 }

@@ -51,3 +51,13 @@ pub use mc_core::{
     PassiveSolver,
 };
 pub use mc_geom::{Label, LabeledSet, Point, PointSet, WeightedSet};
+
+// Fault-tolerance layer: typed errors, fallible oracles, degradation
+// reports (see `mc_core::oracle` and the "Failure model" section of
+// docs/ALGORITHMS.md).
+pub use mc_core::active::{solve_with_budget, try_solve_with_budget};
+pub use mc_core::{
+    AbstainingOracle, FallibleOracle, FlakyOracle, InfallibleAdapter, McError, MeteredOracle,
+    OracleError, OracleStats, RetryOracle, RetryPolicy, SolveReport,
+};
+pub use mc_geom::GeomError;

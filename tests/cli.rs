@@ -180,6 +180,110 @@ fn crossval_rejects_one_fold_cleanly() {
 }
 
 #[test]
+fn exit_codes_distinguish_failure_classes() {
+    // usage → 2
+    let out = mcc().arg("bogus").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    // I/O → 3
+    let out = mcc()
+        .args(["stats", "/nonexistent/definitely-missing.csv"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3));
+    // data → 4
+    let bad = write_temp("nonfinite.csv", "x,y,label\nNaN,0.5,0\n");
+    let out = mcc().arg("stats").arg(&bad).output().unwrap();
+    assert_eq!(out.status.code(), Some(4));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("must be finite"));
+    // parameter → 5
+    let data = write_temp("codes.csv", DEMO);
+    let out = mcc()
+        .args(["active"])
+        .arg(&data)
+        .args(["--epsilon", "7"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(5));
+}
+
+#[test]
+fn active_with_transient_faults_matches_clean_run() {
+    let data = write_temp("faulty.csv", DEMO);
+    let clean = mcc()
+        .args(["active"])
+        .arg(&data)
+        .args(["--seed", "3"])
+        .output()
+        .unwrap();
+    assert!(clean.status.success());
+    let faulty = mcc()
+        .args(["active"])
+        .arg(&data)
+        .args([
+            "--seed",
+            "3",
+            "--flaky-rate",
+            "0.3",
+            "--retry-attempts",
+            "20",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        faulty.status.success(),
+        "{}",
+        String::from_utf8_lossy(&faulty.stderr)
+    );
+    let clean_out = String::from_utf8_lossy(&clean.stdout);
+    let faulty_out = String::from_utf8_lossy(&faulty.stdout);
+    assert!(faulty_out.contains("oracle report:"), "{faulty_out}");
+    // Retries absorb the transients: same probes, same classifier error.
+    let probed = |s: &str| {
+        s.lines()
+            .find(|l| l.starts_with("probed"))
+            .map(str::to_string)
+    };
+    assert_eq!(probed(&clean_out), probed(&faulty_out));
+    assert!(!faulty_out.contains("DEGRADED"), "{faulty_out}");
+}
+
+#[test]
+fn active_reports_degradation_under_abstentions() {
+    let data = write_temp("abstain.csv", DEMO);
+    let out = mcc()
+        .args(["active"])
+        .arg(&data)
+        .args(["--abstain-rate", "0.4", "--fault-seed", "7"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("oracle report:"), "{stdout}");
+    assert!(stdout.contains("DEGRADED"), "{stdout}");
+}
+
+#[test]
+fn active_rejects_bad_fault_rates_cleanly() {
+    let data = write_temp("rates.csv", DEMO);
+    for (flag, value) in [("--flaky-rate", "1.5"), ("--abstain-rate", "-0.2")] {
+        let out = mcc()
+            .args(["active"])
+            .arg(&data)
+            .args([flag, value])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(5), "{flag} {value}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("must lie in [0, 1]"), "{stderr}");
+        assert!(!stderr.contains("panicked"), "panic leaked: {stderr}");
+    }
+}
+
+#[test]
 fn active_rejects_bad_epsilon_cleanly() {
     let data = write_temp("eps.csv", DEMO);
     for eps in ["0", "1.5", "-0.1"] {

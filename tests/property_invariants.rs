@@ -133,3 +133,101 @@ proptest! {
         prop_assert!((scaled - 2.0 * base).abs() < 1e-9);
     }
 }
+
+// ---------------------------------------------------------------------
+// Fault-tolerance invariants: the fallible oracle layer must preserve
+// the paper's cost accounting (distinct successful probes only) and the
+// solvers' structural guarantees (budgets, monotonicity) under
+// arbitrary failure injection.
+
+mod fault_tolerance {
+    use super::*;
+    use monotone_classification::core::active::try_solve_with_budget;
+    use monotone_classification::geom::LabeledSet;
+    use monotone_classification::{
+        AbstainingOracle, ActiveParams, ActiveSolver, FallibleOracle, FlakyOracle, RetryOracle,
+        RetryPolicy,
+    };
+
+    fn grid_staircase(n: usize) -> LabeledSet {
+        let mut ls = LabeledSet::empty(2);
+        for i in 0..n {
+            let x = (i % 12) as f64;
+            let y = (i / 12) as f64;
+            ls.push(&[x, y], Label::from_bool(x + y >= 9.0));
+        }
+        ls
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The retry layer never double-bills: however flaky the backend
+        /// and however often points are re-requested, the charged probes
+        /// equal the number of *distinct* points actually revealed.
+        #[test]
+        fn retry_oracle_never_double_bills(
+            rate in 0.0f64..0.85,
+            seed in 0u64..1_000,
+            n in 1usize..60,
+        ) {
+            let labels: Vec<Label> = (0..n).map(|i| Label::from_bool(i % 3 == 0)).collect();
+            let flaky = FlakyOracle::new(labels, rate, seed);
+            let mut oracle = RetryOracle::new(
+                flaky,
+                RetryPolicy::default().with_max_attempts(64).with_seed(seed ^ 0xFF),
+            );
+            let mut revealed = std::collections::HashSet::new();
+            for _pass in 0..2 {
+                for i in 0..n {
+                    if oracle.try_probe(i).is_ok() {
+                        revealed.insert(i);
+                    }
+                }
+            }
+            prop_assert_eq!(oracle.probes_charged(), revealed.len());
+        }
+
+        /// A probe budget holds no matter what fraction of calls fail:
+        /// failed calls are free and successful re-probes are free, so
+        /// distinct charged probes never exceed the budget.
+        #[test]
+        fn budget_respected_under_failure_injection(
+            rate in 0.0f64..0.6,
+            budget in 0usize..90,
+            seed in 0u64..500,
+        ) {
+            let ls = grid_staircase(120);
+            let flaky = FlakyOracle::from_labeled(&ls, rate, seed);
+            let mut oracle = RetryOracle::new(
+                flaky,
+                RetryPolicy::default().with_max_attempts(16).with_seed(seed),
+            );
+            let sol = try_solve_with_budget(ls.points(), &mut oracle, budget, seed).unwrap();
+            prop_assert!(sol.probes_used <= budget.min(ls.len()));
+            prop_assert!(sol.probes_used <= oracle.probes_charged());
+        }
+
+        /// However many points permanently abstain, the degraded
+        /// classifier is still a *monotone* classifier, and the solve
+        /// reports the degradation honestly.
+        #[test]
+        fn degraded_classifier_is_still_monotone(
+            abstain in 0.0f64..0.5,
+            seed in 0u64..400,
+        ) {
+            let ls = grid_staircase(96);
+            let mut oracle = AbstainingOracle::from_labeled(&ls, abstain, seed);
+            let solver = ActiveSolver::new(ActiveParams::new(1.0).with_seed(seed ^ 0xA));
+            let sol = solver.try_solve(ls.points(), &mut oracle).unwrap();
+            prop_assert_eq!(
+                find_monotonicity_violation(
+                    ls.points(),
+                    &sol.classifier.classify_set(ls.points()),
+                ),
+                None
+            );
+            prop_assert_eq!(sol.report.degraded, sol.report.abstentions > 0);
+        }
+    }
+}

@@ -100,3 +100,79 @@ fn extreme_weight_ratios() {
     assert!(sol.assignment[0].is_one());
     assert!(sol.assignment[1].is_one(), "the cheap zero flips");
 }
+
+/// Acceptance: a 30% transient failure rate behind a retry layer must
+/// not change the outcome at all — the solve completes with the *same*
+/// classifier and the same probe bill as a fault-free run.
+#[test]
+fn transient_failures_are_invisible_behind_retries() {
+    use monotone_classification::{
+        ActiveParams, FlakyOracle, InMemoryOracle, RetryOracle, RetryPolicy,
+    };
+    let ds = planted_sum_concept(&PlantedConfig::new(400, 2, 0.1, 21));
+    let solver = ActiveSolver::new(ActiveParams::new(0.5).with_seed(9));
+
+    let mut clean_oracle = InMemoryOracle::from_labeled(&ds.data);
+    let clean = solver.solve(ds.data.points(), &mut clean_oracle);
+
+    let flaky = FlakyOracle::from_labeled(&ds.data, 0.3, 77);
+    let mut retrying = RetryOracle::new(
+        flaky,
+        RetryPolicy::default().with_max_attempts(30).with_seed(5),
+    );
+    let faulty = solver.try_solve(ds.data.points(), &mut retrying).unwrap();
+
+    assert_eq!(faulty.classifier, clean.classifier);
+    assert_eq!(faulty.probes_used, clean.probes_used);
+    assert!(
+        faulty.report.retries > 0,
+        "30% flake rate must cause retries"
+    );
+    assert!(!faulty.report.degraded);
+    assert!(faulty.report.is_clean() || faulty.report.retries > 0);
+}
+
+/// Acceptance: 10% permanent abstentions degrade gracefully — the solve
+/// still returns a monotone classifier, flags the degradation, and
+/// never panics.
+#[test]
+fn permanent_abstentions_degrade_gracefully() {
+    use monotone_classification::core::classifier::find_monotonicity_violation;
+    use monotone_classification::{AbstainingOracle, ActiveParams};
+    let ds = planted_sum_concept(&PlantedConfig::new(400, 2, 0.05, 4));
+    let mut oracle = AbstainingOracle::from_labeled(&ds.data, 0.1, 13);
+    let unanswerable = oracle.unanswerable();
+    assert!(unanswerable > 0);
+    let solver = ActiveSolver::new(ActiveParams::new(0.5).with_seed(2));
+    let sol = solver.try_solve(ds.data.points(), &mut oracle).unwrap();
+    assert!(sol.report.degraded);
+    assert!(sol.report.abstentions > 0);
+    assert!(find_monotonicity_violation(
+        ds.data.points(),
+        &sol.classifier.classify_set(ds.data.points())
+    )
+    .is_none());
+}
+
+/// A dead oracle (every call fails) trips the circuit breaker; the solve
+/// still terminates with an empty sample instead of hammering the
+/// backend or panicking.
+#[test]
+fn dead_oracle_trips_breaker_without_panicking() {
+    use monotone_classification::{FallibleOracle, FlakyOracle, RetryOracle, RetryPolicy};
+    let ds = planted_sum_concept(&PlantedConfig::new(200, 2, 0.0, 1));
+    let dead = FlakyOracle::from_labeled(&ds.data, 1.0, 3);
+    let mut oracle = RetryOracle::new(
+        dead,
+        RetryPolicy::default()
+            .with_max_attempts(3)
+            .with_breaker_threshold(12),
+    );
+    let solver = ActiveSolver::new(ActiveParams::new(1.0).with_seed(0));
+    let sol = solver.try_solve(ds.data.points(), &mut oracle).unwrap();
+    assert!(sol.report.breaker_tripped);
+    assert!(sol.report.degraded);
+    assert_eq!(sol.probes_used, 0);
+    assert!(sol.sigma.is_empty());
+    assert_eq!(oracle.probes_charged(), 0);
+}

@@ -1,0 +1,409 @@
+//! Offline shim for the subset of the `proptest` API this workspace uses.
+//!
+//! The build environment has no network access, so the real crates.io
+//! `proptest` cannot be fetched. This vendored stand-in supports the
+//! surface the workspace's property tests consume: the [`proptest!`]
+//! macro, the [`Strategy`] trait with `prop_map`/`prop_flat_map`,
+//! range/tuple/[`Just`] strategies, `prop::collection::vec`,
+//! `prop::bool::ANY`, `prop::option::weighted`, the `prop_assert*`
+//! macros, and [`ProptestConfig::with_cases`].
+//!
+//! Differences from the real crate, acceptable for this repository:
+//! inputs are generated from a deterministic per-case RNG (fully
+//! reproducible runs), and failing cases are reported without shrinking.
+
+pub mod test_runner;
+
+use test_runner::TestRng;
+
+/// Runner configuration (only `cases` is consulted).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A generator of test inputs.
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a second strategy from each generated value and draws from
+    /// it.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone, Debug)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty => $unsigned:ty),* $(,)?) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as $unsigned).wrapping_sub(self.start as $unsigned);
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as $unsigned;
+                self.start.wrapping_add(hi as $t)
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty strategy range");
+                let span = (end as $unsigned).wrapping_sub(start as $unsigned);
+                if span == <$unsigned>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let hi = ((rng.next_u64() as u128 * (span as u128 + 1)) >> 64) as $unsigned;
+                start.wrapping_add(hi as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategy! {
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize,
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+}
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + (self.end - self.start) * rng.unit_f64() as $t
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+pub mod bool {
+    //! Boolean strategies.
+    use super::{Strategy, TestRng};
+
+    /// Strategy yielding uniformly random booleans.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// The canonical boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+    use super::{Strategy, TestRng};
+
+    /// Inclusive-of-low, exclusive-of-high length range for [`vec()`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(len: usize) -> Self {
+            Self {
+                lo: len,
+                hi: len + 1,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s whose elements are drawn from `element`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A `Vec` strategy with the given element strategy and size range.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = if self.size.hi - self.size.lo <= 1 {
+                self.size.lo
+            } else {
+                self.size.lo + (rng.next_u64() % (self.size.hi - self.size.lo) as u64) as usize
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+    use super::{Strategy, TestRng};
+
+    /// Strategy yielding `Some` with the given probability.
+    #[derive(Clone, Debug)]
+    pub struct Weighted<S> {
+        probability: f64,
+        inner: S,
+    }
+
+    /// `Some(inner)` with probability `probability`, else `None`.
+    pub fn weighted<S: Strategy>(probability: f64, inner: S) -> Weighted<S> {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "probability {probability} outside [0, 1]"
+        );
+        Weighted { probability, inner }
+    }
+
+    impl<S: Strategy> Strategy for Weighted<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.unit_f64() < self.probability {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod num {
+    //! Numeric strategy helpers (ranges implement [`Strategy`](crate::Strategy) directly).
+}
+
+pub mod prelude {
+    //! Everything a property-test file needs.
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy};
+
+    pub mod prop {
+        //! The `prop::` namespace of the real crate.
+        pub use crate::bool;
+        pub use crate::collection;
+        pub use crate::num;
+        pub use crate::option;
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that checks the body against `cases` generated
+/// inputs (deterministically seeded per case; no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng =
+                        $crate::test_runner::TestRng::for_case(__case as u64);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure — this shim
+/// does not shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_vecs_generate_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_case(3);
+        let strat = prop::collection::vec((0usize..7, prop::bool::ANY), 2..9);
+        for _ in 0..200 {
+            let v = Strategy::generate(&strat, &mut rng);
+            assert!((2..9).contains(&v.len()));
+            assert!(v.iter().all(|(x, _)| *x < 7));
+        }
+    }
+
+    #[test]
+    fn flat_map_links_strategies() {
+        let mut rng = crate::test_runner::TestRng::for_case(4);
+        let strat = (1usize..5).prop_flat_map(|n| (Just(n), prop::collection::vec(0usize..n, n)));
+        for _ in 0..100 {
+            let (n, v) = Strategy::generate(&strat, &mut rng);
+            assert_eq!(v.len(), n);
+            assert!(v.iter().all(|&x| x < n));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_round_trip(x in 0i32..100, flag in prop::bool::ANY) {
+            prop_assert!((0..100).contains(&x));
+            prop_assert_eq!(flag, flag);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_default_config(opt in prop::option::weighted(0.5, 0u32..10)) {
+            if let Some(v) = opt {
+                prop_assert!(v < 10);
+            }
+        }
+    }
+}
