@@ -3,8 +3,12 @@
 //! Following the proof of Lemma 6 (Appendix B of the paper): build an
 //! acyclic directed graph with one vertex per point and an edge `u -> v`
 //! whenever `v` strictly dominates `u` (so edges point "upward" and a
-//! directed path is a chain in ascending dominance order). The construction
-//! costs `O(d·n²)` time.
+//! directed path is a chain in ascending dominance order). The naive
+//! construction costs `O(d·n²)` pairwise float compares; the default
+//! build instead reads the edges off a shared [`DominanceIndex`] (rank
+//! compression + bitset rows — see `mc_geom::index`), which fills in
+//! `O(n²/64)` word operations for `d ≤ 2` and with a parallel blocked
+//! compare kernel otherwise.
 //!
 //! Duplicate coordinate vectors — which the paper's set semantics excludes
 //! but real data contains — are handled by breaking ties on index: equal
@@ -13,7 +17,7 @@
 //! larger. This preserves both Dilworth duality and classifier semantics
 //! (a classifier necessarily assigns equal points the same label).
 
-use mc_geom::{Dominance, PointSet};
+use mc_geom::{iter_ones, parallel_chunks, Dominance, DominanceIndex, PointSet};
 
 /// The dominance DAG over a [`PointSet`]. Because dominance is transitive,
 /// this graph equals its own transitive closure, which is exactly what the
@@ -27,9 +31,52 @@ pub struct DominanceDag {
 }
 
 impl DominanceDag {
-    /// Builds the DAG in `O(d·n²)` time.
-    #[allow(clippy::needless_range_loop)] // paired i/j index scans
+    /// Builds the DAG via a freshly built [`DominanceIndex`]. Callers
+    /// that already hold an index should use [`DominanceDag::from_index`]
+    /// to avoid rebuilding it.
     pub fn build(points: &PointSet) -> Self {
+        Self::from_index(&DominanceIndex::build(points))
+    }
+
+    /// Alias of [`DominanceDag::build`], kept for callers of the old
+    /// dual sequential/parallel API: the index build parallelizes
+    /// internally (see `mc_geom::parallel` for the `MC_PAR_THRESHOLD` /
+    /// `MC_THREADS` tunables).
+    pub fn build_parallel(points: &PointSet) -> Self {
+        Self::build(points)
+    }
+
+    /// Reads the DAG off a prebuilt index: successors of `u` are the set
+    /// bits of `u`'s dominator row, minus `u` itself, with equal points
+    /// oriented small-index → large-index. Runs in parallel row chunks.
+    pub fn from_index(index: &DominanceIndex) -> Self {
+        let n = index.len();
+        let chunks = parallel_chunks(n, |range| {
+            let mut local: Vec<Vec<u32>> = Vec::with_capacity(range.len());
+            for u in range {
+                let mut row = Vec::new();
+                for v in iter_ones(index.dominators(u)) {
+                    if v == u || (index.equal_points(u, v) && v < u) {
+                        continue;
+                    }
+                    row.push(v as u32);
+                }
+                local.push(row);
+            }
+            local
+        });
+        let mut succ: Vec<Vec<u32>> = Vec::with_capacity(n);
+        for chunk in chunks {
+            succ.extend(chunk);
+        }
+        let num_edges = succ.iter().map(Vec::len).sum();
+        Self { n, succ, num_edges }
+    }
+
+    /// The pre-index `O(d·n²)` pairwise scan, kept as the reference
+    /// implementation for tests and benchmarks.
+    #[allow(clippy::needless_range_loop)] // paired i/j index scans
+    pub fn build_naive(points: &PointSet) -> Self {
         let n = points.len();
         let mut succ = vec![Vec::new(); n];
         let mut num_edges = 0;
@@ -49,55 +96,6 @@ impl DominanceDag {
                 }
             }
         }
-        Self { n, succ, num_edges }
-    }
-
-    /// Builds the DAG using all available cores: the `O(d·n²)` pair scan
-    /// is embarrassingly parallel over source vertices. Falls back to the
-    /// sequential path for small inputs where thread startup dominates.
-    pub fn build_parallel(points: &PointSet) -> Self {
-        let n = points.len();
-        let threads = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1);
-        if n < 2_000 || threads <= 1 {
-            return Self::build(points);
-        }
-        let chunk = n.div_ceil(threads);
-        let mut succ: Vec<Vec<u32>> = Vec::with_capacity(n);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|t| {
-                    let lo = t * chunk;
-                    let hi = ((t + 1) * chunk).min(n);
-                    scope.spawn(move || {
-                        let mut local: Vec<Vec<u32>> = Vec::with_capacity(hi.saturating_sub(lo));
-                        for u in lo..hi {
-                            let mut row = Vec::new();
-                            for v in 0..n {
-                                if u == v {
-                                    continue;
-                                }
-                                let comparable_up = match points.compare(u, v) {
-                                    Dominance::DominatedBy => true,
-                                    Dominance::Equal => u < v,
-                                    _ => false,
-                                };
-                                if comparable_up {
-                                    row.push(v as u32);
-                                }
-                            }
-                            local.push(row);
-                        }
-                        local
-                    })
-                })
-                .collect();
-            for handle in handles {
-                succ.extend(handle.join().expect("DAG build worker panicked"));
-            }
-        });
-        let num_edges = succ.iter().map(Vec::len).sum();
         Self { n, succ, num_edges }
     }
 
@@ -170,34 +168,45 @@ mod tests {
 }
 
 #[cfg(test)]
-mod parallel_tests {
+mod index_equivalence_tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
+    /// The index-backed build must reproduce the naive scan's edge set
+    /// exactly, across dimensions and both sides of the parallel cutoff.
     #[test]
-    fn parallel_matches_sequential() {
+    fn indexed_matches_naive() {
         let mut rng = StdRng::seed_from_u64(0x9AA);
-        for &n in &[0usize, 1, 100, 2500] {
+        for &(n, dim) in &[
+            (0usize, 3usize),
+            (1, 3),
+            (100, 1),
+            (150, 2),
+            (400, 3),
+            (2500, 3),
+        ] {
             let rows: Vec<Vec<f64>> = (0..n)
                 .map(|_| {
-                    vec![
-                        rng.gen_range(0.0f64..50.0).round(),
-                        rng.gen_range(0.0f64..50.0).round(),
-                        rng.gen_range(0.0f64..50.0).round(),
-                    ]
+                    (0..dim)
+                        .map(|_| rng.gen_range(0.0f64..50.0).round())
+                        .collect()
                 })
                 .collect();
             let points = if n == 0 {
-                PointSet::new(3)
+                PointSet::new(dim)
             } else {
-                PointSet::from_rows(3, &rows)
+                PointSet::from_rows(dim, &rows)
             };
-            let seq = DominanceDag::build(&points);
-            let par = DominanceDag::build_parallel(&points);
-            assert_eq!(seq.num_edges(), par.num_edges(), "n = {n}");
+            let naive = DominanceDag::build_naive(&points);
+            let indexed = DominanceDag::build(&points);
+            assert_eq!(naive.num_edges(), indexed.num_edges(), "n = {n}, d = {dim}");
             for u in 0..n {
-                assert_eq!(seq.successors(u), par.successors(u), "n = {n}, u = {u}");
+                assert_eq!(
+                    naive.successors(u),
+                    indexed.successors(u),
+                    "n = {n}, d = {dim}, u = {u}"
+                );
             }
         }
     }

@@ -15,7 +15,7 @@
 //! Total: `O(d·n² + n^2.5)`, matching Lemma 6.
 
 use crate::dag::DominanceDag;
-use mc_geom::PointSet;
+use mc_geom::{DominanceIndex, PointSet};
 use mc_matching::{
     minimum_vertex_cover, BipartiteGraph, HopcroftKarp, Matching, MatchingAlgorithm,
 };
@@ -36,6 +36,13 @@ impl ChainDecomposition {
     pub fn compute(points: &PointSet) -> Self {
         let dag = DominanceDag::build_parallel(points);
         Self::from_dag(&dag)
+    }
+
+    /// Computes the decomposition from a prebuilt [`DominanceIndex`],
+    /// letting callers share one index between the Lemma-6 phase and
+    /// later dominance queries (e.g. the passive solve on a subsample).
+    pub fn compute_from_index(index: &DominanceIndex) -> Self {
+        Self::from_dag(&DominanceDag::from_index(index))
     }
 
     /// Computes the decomposition from a pre-built dominance DAG.

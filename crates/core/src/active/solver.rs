@@ -38,7 +38,7 @@ use crate::error::McError;
 use crate::oracle::{FallibleOracle, FallibleSubsetOracle, InfallibleAdapter, LabelOracle};
 use crate::passive::solver::{PassiveSolution, PassiveSolver};
 use crate::report::SolveReport;
-use mc_geom::{PointSet, WeightedSet};
+use mc_geom::{DominanceIndex, PointSet, WeightedSet};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::{Duration, Instant};
@@ -174,11 +174,14 @@ impl ActiveSolver {
             return self.try_solve_with_chains(points, &[], oracle);
         }
         // Phase 1: minimum chain decomposition (Lemma 6, dispatched on
-        // dimensionality — see `crate::decompose::minimum_chains`).
+        // dimensionality — see `crate::decompose::minimum_chains`). For
+        // d ≥ 3 the decomposition builds a `DominanceIndex` over P; we
+        // keep it and later restrict it to Σ for the passive phase
+        // instead of recomputing dominances from coordinates.
         let t0 = Instant::now();
-        let chains = crate::decompose::minimum_chains(points);
+        let (chains, index) = crate::decompose::minimum_chains_with_index(points);
         let decomposition_time = t0.elapsed();
-        let mut sol = self.try_solve_with_chains(points, &chains, oracle)?;
+        let mut sol = self.solve_with_chains_inner(points, &chains, oracle, index.as_ref())?;
         sol.decomposition_time = decomposition_time;
         Ok(sol)
     }
@@ -237,19 +240,38 @@ impl ActiveSolver {
         chains: &[Vec<usize>],
         oracle: &mut dyn FallibleOracle,
     ) -> Result<ActiveSolution, McError> {
+        self.solve_with_chains_inner(points, chains, oracle, None)
+    }
+
+    fn solve_with_chains_inner(
+        &self,
+        points: &PointSet,
+        chains: &[Vec<usize>],
+        oracle: &mut dyn FallibleOracle,
+        index: Option<&DominanceIndex>,
+    ) -> Result<ActiveSolution, McError> {
         let partial = self.try_sampling_phase(points, chains, oracle)?;
 
         // Phase 3: minimize w-err_Σ over monotone classifiers = Problem 2
         // on Σ (Theorem 3's reduction to the passive solver). Under
         // degradation Σ is missing the unanswerable points, but it is
         // still a fully-labeled weighted set — the reduction is
-        // unaffected and the result stays monotone.
+        // unaffected and the result stays monotone. When phase 1 built a
+        // dominance index over P, restrict it to Σ's rows (Σ ⊆ P) so the
+        // passive solver skips its own index build.
         let t2 = Instant::now();
+        let solver = PassiveSolver::new();
         let PassiveSolution {
             classifier,
             weighted_error,
             ..
-        } = PassiveSolver::new().solve(&partial.sigma);
+        } = match index {
+            Some(idx) if partial.sigma.dim() >= 3 => {
+                let sub = idx.subset(&partial.sigma_globals);
+                solver.solve_with_index(&partial.sigma, &sub)
+            }
+            _ => solver.solve(&partial.sigma),
+        };
         let passive_time = t2.elapsed();
 
         Ok(ActiveSolution {
@@ -283,6 +305,7 @@ impl ActiveSolver {
         if n == 0 {
             return Ok(SamplingPhase {
                 sigma: WeightedSet::empty(points.dim().max(1)),
+                sigma_globals: Vec::new(),
                 probes_used: 0,
                 width: 0,
                 sampling_time: Duration::ZERO,
@@ -339,9 +362,11 @@ impl ActiveSolver {
             }
         }
         let mut sigma = WeightedSet::empty(points.dim());
+        let mut sigma_globals = Vec::new();
         for (global, slot) in merged.iter().enumerate() {
             if let Some((label, weight)) = slot {
                 sigma.push(points.point(global), *label, *weight);
+                sigma_globals.push(global);
             }
         }
         let sampling_time = t1.elapsed();
@@ -349,6 +374,7 @@ impl ActiveSolver {
 
         Ok(SamplingPhase {
             sigma,
+            sigma_globals,
             probes_used: oracle.probes_charged() - probes_before,
             width: w,
             sampling_time,
@@ -360,6 +386,10 @@ impl ActiveSolver {
 /// Intermediate result of the probing phases (before the passive solve).
 struct SamplingPhase {
     sigma: WeightedSet,
+    /// `sigma_globals[i]` is the index into the input point set of
+    /// `sigma`'s `i`-th row — the map needed to restrict a
+    /// [`DominanceIndex`] on P down to Σ.
+    sigma_globals: Vec<usize>,
     probes_used: usize,
     width: usize,
     sampling_time: Duration,

@@ -23,22 +23,37 @@
 //! ```
 
 use mc_chains::{ChainDecomposition, TwoDimDecomposition};
-use mc_geom::PointSet;
+use mc_geom::{DominanceIndex, PointSet};
 
 /// Computes a minimum chain decomposition (ascending dominance order
 /// within each chain), dispatching on dimensionality.
 pub fn minimum_chains(points: &PointSet) -> Vec<Vec<usize>> {
+    minimum_chains_with_index(points).0
+}
+
+/// Like [`minimum_chains`], additionally returning the
+/// [`DominanceIndex`] the `d ≥ 3` pipeline built (the `d ≤ 2` paths use
+/// sort/sweep algorithms and return `None`). The active solver reuses
+/// the index for the passive solve on its subsample via
+/// [`DominanceIndex::subset`].
+pub fn minimum_chains_with_index(points: &PointSet) -> (Vec<Vec<usize>>, Option<DominanceIndex>) {
     if points.is_empty() {
-        return Vec::new();
+        return (Vec::new(), None);
     }
     match points.dim() {
         1 => {
             let mut order: Vec<usize> = (0..points.len()).collect();
             order.sort_by(|&a, &b| points.point(a)[0].total_cmp(&points.point(b)[0]));
-            vec![order]
+            (vec![order], None)
         }
-        2 => TwoDimDecomposition::compute(points).chains().to_vec(),
-        _ => ChainDecomposition::compute(points).chains().to_vec(),
+        2 => (TwoDimDecomposition::compute(points).chains().to_vec(), None),
+        _ => {
+            let index = DominanceIndex::build(points);
+            let chains = ChainDecomposition::compute_from_index(&index)
+                .chains()
+                .to_vec();
+            (chains, Some(index))
+        }
     }
 }
 

@@ -14,8 +14,17 @@
 //! Equal points with different labels are treated as mutually dominating
 //! (reflexive dominance), which is forced: any classifier assigns equal
 //! points equal outputs, so such a pair always contends.
+//!
+//! Discovery strategies, fastest applicable first:
+//!
+//! * `d ≤ 2` — the `O(n log n)` sweep in [`crate::passive::sparse`];
+//! * `d ≥ 3` with a [`DominanceIndex`] — one bitset row-`AND` per
+//!   label-1 point against the label-0 mask ([`ContendingPoints::compute_indexed`]);
+//! * the naive `O(d·n²)` pairwise scan, kept as the reference
+//!   implementation ([`ContendingPoints::compute_generic`]).
 
-use mc_geom::WeightedSet;
+use mc_geom::{bitmask_of, iter_ones, parallel_chunks, DominanceIndex, WeightedSet};
+use std::ops::Range;
 
 /// The partition of contending points by label.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,97 +37,91 @@ pub struct ContendingPoints {
 
 impl ContendingPoints {
     /// Computes the contending points of `data` — `O(n log n)` sweeps for
-    /// `d ≤ 2`, the generic `O(d·n²)` scan otherwise.
+    /// `d ≤ 2`, the bitset-index row-`AND` otherwise.
     pub fn compute(data: &WeightedSet) -> Self {
         if data.dim() <= 2 {
             crate::passive::sparse::contending_sweep(data)
         } else {
-            Self::compute_generic_parallel(data)
+            Self::compute_indexed(data, &DominanceIndex::build(data.points()))
         }
     }
 
-    /// The generic `O(d·n²)` pairwise scan (any dimension); also the
-    /// reference implementation the sweep is tested against.
-    #[allow(clippy::needless_range_loop)]
-    pub fn compute_generic(data: &WeightedSet) -> Self {
+    /// Index-backed discovery: a label-1 point `q` contends iff the
+    /// bitset `AND` of its dominator row with the label-0 mask is
+    /// non-empty, and the union of those intersections is exactly the
+    /// contending label-0 side. `O(n²/64)` word ops after the index is
+    /// built, parallel over the label-1 points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` was not built over exactly `data.points()`.
+    pub fn compute_indexed(data: &WeightedSet, index: &DominanceIndex) -> Self {
         let n = data.len();
-        let points = data.points();
-        let mut zeros = Vec::new();
-        let mut ones_mask = vec![false; n];
-        // A label-0 point contends iff it dominates a label-1 point;
-        // that label-1 point contends too. One pass over ordered pairs
-        // (p label-0, q label-1) discovers both sides.
-        for p in 0..n {
-            if data.label(p).is_one() {
-                continue;
-            }
-            let mut contends = false;
-            for q in 0..n {
-                if p != q && data.label(q).is_one() && points.dominates(p, q) {
-                    contends = true;
-                    ones_mask[q] = true;
+        assert_eq!(index.len(), n, "index/point-set size mismatch");
+        let words = index.words();
+        let zeros_mask = bitmask_of(n, (0..n).filter(|&i| data.label(i).is_zero()));
+        let ones_list: Vec<usize> = (0..n).filter(|&i| data.label(i).is_one()).collect();
+
+        let chunks = parallel_chunks(ones_list.len(), |range: Range<usize>| {
+            let mut local_ones = Vec::new();
+            let mut zero_hits = vec![0u64; words];
+            let mut buf = Vec::with_capacity(words);
+            for &q in &ones_list[range] {
+                if index.dominators_and_into(q, &zeros_mask, &mut buf) {
+                    local_ones.push(q);
+                    for (hit, word) in zero_hits.iter_mut().zip(&buf) {
+                        *hit |= word;
+                    }
                 }
             }
-            if contends {
-                zeros.push(p);
+            (local_ones, zero_hits)
+        });
+
+        let mut ones = Vec::new();
+        let mut zero_hits = vec![0u64; words];
+        for (local_ones, local_hits) in chunks {
+            ones.extend(local_ones); // chunk order ⇒ ascending indices
+            for (hit, word) in zero_hits.iter_mut().zip(&local_hits) {
+                *hit |= word;
             }
         }
-        let ones = (0..n).filter(|&q| ones_mask[q]).collect();
+        let zeros = iter_ones(&zero_hits).collect();
         Self { zeros, ones }
     }
 
-    /// Parallel version of the generic scan for `d ≥ 3`: the outer loop
-    /// over label-0 points shards across cores; per-thread hit masks for
-    /// the label-1 side are OR-merged at the end.
-    #[allow(clippy::needless_range_loop)] // paired p/q index scans
+    /// The generic `O(d·n²)` pairwise scan (any dimension); the
+    /// reference implementation the sweep and the index are tested
+    /// against.
+    pub fn compute_generic(data: &WeightedSet) -> Self {
+        let (zeros, ones_mask) = generic_scan(data, 0..data.len());
+        Self::assemble(zeros, ones_mask)
+    }
+
+    /// Parallel version of the generic scan: the outer loop over label-0
+    /// points shards across cores via
+    /// [`parallel_chunks`]; per-chunk hit masks for
+    /// the label-1 side are OR-merged at the end. Shares its kernel body
+    /// with [`ContendingPoints::compute_generic`].
     pub fn compute_generic_parallel(data: &WeightedSet) -> Self {
         let n = data.len();
-        let threads = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1);
-        if n < 4_000 || threads <= 1 {
-            return Self::compute_generic(data);
-        }
-        let chunk = n.div_ceil(threads);
+        let chunks = parallel_chunks(n, |range| generic_scan(data, range));
         let mut zeros = Vec::new();
         let mut ones_mask = vec![false; n];
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|t| {
-                    let lo = t * chunk;
-                    let hi = ((t + 1) * chunk).min(n);
-                    scope.spawn(move || {
-                        let points = data.points();
-                        let mut local_zeros = Vec::new();
-                        let mut local_mask = vec![false; n];
-                        for p in lo..hi {
-                            if data.label(p).is_one() {
-                                continue;
-                            }
-                            let mut contends = false;
-                            for q in 0..n {
-                                if p != q && data.label(q).is_one() && points.dominates(p, q) {
-                                    contends = true;
-                                    local_mask[q] = true;
-                                }
-                            }
-                            if contends {
-                                local_zeros.push(p);
-                            }
-                        }
-                        (local_zeros, local_mask)
-                    })
-                })
-                .collect();
-            for handle in handles {
-                let (local_zeros, local_mask) = handle.join().expect("contending worker panicked");
-                zeros.extend(local_zeros);
-                for (q, hit) in local_mask.into_iter().enumerate() {
-                    ones_mask[q] |= hit;
-                }
+        for (local_zeros, local_mask) in chunks {
+            zeros.extend(local_zeros);
+            for (q, hit) in local_mask.into_iter().enumerate() {
+                ones_mask[q] |= hit;
             }
-        });
-        let ones = (0..n).filter(|&q| ones_mask[q]).collect();
+        }
+        Self::assemble(zeros, ones_mask)
+    }
+
+    fn assemble(zeros: Vec<usize>, ones_mask: Vec<bool>) -> Self {
+        let ones = ones_mask
+            .iter()
+            .enumerate()
+            .filter_map(|(q, &hit)| hit.then_some(q))
+            .collect();
         Self { zeros, ones }
     }
 
@@ -131,6 +134,34 @@ impl ContendingPoints {
     pub fn is_empty(&self) -> bool {
         self.zeros.is_empty() && self.ones.is_empty()
     }
+}
+
+/// Shared kernel of the generic scan: examines label-0 points in
+/// `range`, returning the contenders found plus a full-width hit mask
+/// for the label-1 side. A label-0 point contends iff it dominates a
+/// label-1 point; that label-1 point contends too, so one pass over
+/// ordered pairs discovers both sides.
+fn generic_scan(data: &WeightedSet, range: Range<usize>) -> (Vec<usize>, Vec<bool>) {
+    let n = data.len();
+    let points = data.points();
+    let mut zeros = Vec::new();
+    let mut ones_mask = vec![false; n];
+    for p in range {
+        if data.label(p).is_one() {
+            continue;
+        }
+        let mut contends = false;
+        for (q, mask_slot) in ones_mask.iter_mut().enumerate() {
+            if p != q && data.label(q).is_one() && points.dominates(p, q) {
+                contends = true;
+                *mask_slot = true;
+            }
+        }
+        if contends {
+            zeros.push(p);
+        }
+    }
+    (zeros, ones_mask)
 }
 
 #[cfg(test)]
@@ -220,26 +251,54 @@ mod tests {
         assert!(ContendingPoints::compute(&ws).is_empty());
     }
 
-    #[test]
-    fn parallel_matches_sequential() {
+    fn random_wset(n: usize, dim: usize, seed: u64) -> WeightedSet {
         use rand::rngs::StdRng;
         use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(0xC0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ws = WeightedSet::empty(dim);
+        for _ in 0..n {
+            let coords: Vec<f64> = (0..dim)
+                .map(|_| rng.gen_range(0.0f64..8.0).round())
+                .collect();
+            ws.push(&coords, Label::from_bool(rng.gen_bool(0.5)), 1.0);
+        }
+        ws
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
         for &n in &[0usize, 50, 5000] {
-            let mut ws = WeightedSet::empty(3);
-            for _ in 0..n {
-                let coords = vec![
-                    rng.gen_range(0.0f64..8.0).round(),
-                    rng.gen_range(0.0f64..8.0).round(),
-                    rng.gen_range(0.0f64..8.0).round(),
-                ];
-                ws.push(&coords, Label::from_bool(rng.gen_bool(0.5)), 1.0);
-            }
+            let ws = random_wset(n, 3, 0xC0);
             assert_eq!(
                 ContendingPoints::compute_generic(&ws),
                 ContendingPoints::compute_generic_parallel(&ws),
                 "n = {n}"
             );
+        }
+    }
+
+    #[test]
+    fn indexed_matches_generic() {
+        for &(n, dim) in &[(0usize, 3usize), (40, 3), (75, 4), (60, 6), (3000, 3)] {
+            let ws = random_wset(n, dim, 0xC1 + n as u64);
+            let index = DominanceIndex::build(ws.points());
+            assert_eq!(
+                ContendingPoints::compute_indexed(&ws, &index),
+                ContendingPoints::compute_generic(&ws),
+                "n = {n}, d = {dim}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_one_and_all_zero_inputs() {
+        for label in [Label::Zero, Label::One] {
+            let mut ws = WeightedSet::empty(3);
+            for i in 0..10 {
+                ws.push(&[i as f64, 1.0, 1.0], label, 1.0);
+            }
+            let index = DominanceIndex::build(ws.points());
+            assert!(ContendingPoints::compute_indexed(&ws, &index).is_empty());
         }
     }
 }

@@ -34,7 +34,7 @@
 use crate::classifier::MonotoneClassifier;
 use crate::passive::contending::ContendingPoints;
 use mc_flow::{Capacity, Dinic, FlowNetwork, MaxFlowAlgorithm};
-use mc_geom::{Label, WeightedSet};
+use mc_geom::{bitmask_of, iter_ones, DominanceIndex, Label, WeightedSet};
 
 /// Result of a passive solve.
 #[derive(Debug, Clone)]
@@ -91,6 +91,25 @@ impl<A: MaxFlowAlgorithm> PassiveSolver<A> {
     /// Solves Problem 2 on `data`, returning an optimal monotone
     /// classifier and its weighted error.
     pub fn solve(&self, data: &WeightedSet) -> PassiveSolution {
+        self.solve_inner(data, None)
+    }
+
+    /// Like [`PassiveSolver::solve`], but reuses a prebuilt
+    /// [`DominanceIndex`] over `data.points()` for contending-point
+    /// discovery and type-3 edge enumeration (`d ≥ 3`; for `d ≤ 2` the
+    /// sparse sweep is faster and the index is ignored). The active
+    /// solver uses this to share one index between chain decomposition
+    /// and the passive solve on its sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` was not built over exactly `data.points()`.
+    pub fn solve_with_index(&self, data: &WeightedSet, index: &DominanceIndex) -> PassiveSolution {
+        assert_eq!(index.len(), data.len(), "index/point-set size mismatch");
+        self.solve_inner(data, Some(index))
+    }
+
+    fn solve_inner(&self, data: &WeightedSet, index: Option<&DominanceIndex>) -> PassiveSolution {
         let n = data.len();
         if n == 0 {
             return PassiveSolution {
@@ -101,7 +120,25 @@ impl<A: MaxFlowAlgorithm> PassiveSolver<A> {
             };
         }
 
-        let con = ContendingPoints::compute(data);
+        // For d ≥ 3 both contending discovery and the dense type-3 edge
+        // enumeration read the bitset index; build it once here if the
+        // caller didn't share one. For d ≤ 2 the sort/sweep paths win
+        // and no index is needed.
+        let use_sparse = data.dim() <= 2;
+        let owned_index;
+        let index = if use_sparse {
+            None
+        } else if let Some(shared) = index {
+            Some(shared)
+        } else {
+            owned_index = DominanceIndex::build(data.points());
+            Some(&owned_index)
+        };
+
+        let con = match index {
+            None => crate::passive::sparse::contending_sweep(data),
+            Some(idx) => ContendingPoints::compute_indexed(data, idx),
+        };
         // Start from the labels themselves; only contending points can flip.
         let mut assignment: Vec<Label> = data.labels().to_vec();
 
@@ -110,10 +147,9 @@ impl<A: MaxFlowAlgorithm> PassiveSolver<A> {
             // Build the network: the quadratic type-3 edge set of the
             // paper for d ≥ 3, or the O(n log n)-edge sparsification for
             // d ≤ 2 (see `super::sparse`); both have identical min cuts.
-            let network = if data.dim() <= 2 {
-                crate::passive::sparse::build_sparse_network(data, &con)
-            } else {
-                build_dense_network(data, &con)
+            let network = match index {
+                None => crate::passive::sparse::build_sparse_network(data, &con),
+                Some(idx) => build_dense_network(data, &con, idx),
             };
 
             let flow = self.algorithm.solve(&network.net);
@@ -173,12 +209,21 @@ impl<A: MaxFlowAlgorithm> PassiveSolver<A> {
 }
 
 /// Builds the paper's literal Section-5.1 network: one infinite type-3
-/// edge per dominating `(zero, one)` pair. `Θ(n²)` edges; used for
-/// `d ≥ 3`, where no sparsification is available.
+/// edge per dominating `(zero, one)` pair, enumerated as set bits of
+/// `row(q) AND zeros_mask` per contending label-1 point `q` instead of
+/// an `O(d·|P₀|·|P₁|)` coordinate scan. Still `Θ(n²)` edges in the worst
+/// case; used for `d ≥ 3`, where no sparsification is available.
+///
+/// Edge insertion order matches the old pairwise scan exactly — each
+/// zero node's forward edges arrive in ascending one-index order and
+/// each one node's residual edges in ascending zero-index order — so
+/// max-flow results are bit-identical.
 fn build_dense_network(
     data: &WeightedSet,
     con: &ContendingPoints,
+    index: &DominanceIndex,
 ) -> crate::passive::sparse::ClassifierNetwork {
+    let n = data.len();
     let source = 0;
     let sink = 1;
     let mut net = FlowNetwork::new(2 + con.len(), source, sink);
@@ -192,10 +237,18 @@ fn build_dense_network(
     for (oi, &q) in con.ones.iter().enumerate() {
         net.add_edge(one_nodes[oi], sink, data.weight(q));
     }
-    let points = data.points();
+    // Global index → position in `con.zeros` (which is ascending, so bit
+    // order and zero-index order coincide).
+    let mut zero_pos = vec![u32::MAX; n];
     for (zi, &p) in con.zeros.iter().enumerate() {
-        for (oi, &q) in con.ones.iter().enumerate() {
-            if points.dominates(p, q) {
+        zero_pos[p] = zi as u32;
+    }
+    let zeros_mask = bitmask_of(n, con.zeros.iter().copied());
+    let mut row = Vec::with_capacity(index.words());
+    for (oi, &q) in con.ones.iter().enumerate() {
+        if index.dominators_and_into(q, &zeros_mask, &mut row) {
+            for p in iter_ones(&row) {
+                let zi = zero_pos[p] as usize;
                 net.add_edge(zero_nodes[zi], one_nodes[oi], Capacity::Infinite);
             }
         }

@@ -22,7 +22,9 @@
 pub mod dataset;
 pub mod dominance;
 pub mod error;
+pub mod index;
 pub mod label;
+pub mod parallel;
 pub mod pareto;
 pub mod point;
 pub mod transform;
@@ -30,7 +32,9 @@ pub mod transform;
 pub use dataset::{LabeledSet, PointSet, WeightedSet};
 pub use dominance::{dominates, incomparable, strictly_dominates, Dominance};
 pub use error::GeomError;
+pub use index::{bitmask_of, count_dominating_pairs, iter_ones, DominanceIndex};
 pub use label::Label;
+pub use parallel::{parallel_chunks, parallel_chunks_mut};
 pub use pareto::{maxima, minima, minima_2d};
 pub use point::Point;
 pub use transform::{transform_pointset, AxisTransform};

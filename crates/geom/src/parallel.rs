@@ -1,0 +1,180 @@
+//! Shared chunked-parallelism helper for the quadratic kernels.
+//!
+//! Several hot paths in the workspace (dominance-index construction, the
+//! dominance-DAG scan, contending-point discovery) are embarrassingly
+//! parallel over a range of row indices. They previously each carried
+//! their own copy of the same `std::thread::scope` boilerplate, with
+//! hard-coded `n < 2_000` / `n < 4_000` sequential cutoffs. This module
+//! centralizes both the chunking and the tunables:
+//!
+//! * `MC_PAR_THRESHOLD` — minimum `n` before threads are spawned
+//!   (default [`DEFAULT_PAR_THRESHOLD`]); below it the kernel runs
+//!   inline on the calling thread.
+//! * `MC_THREADS` — cap on the number of worker threads (default: all
+//!   available cores).
+//!
+//! Both are read from the environment on every call — the cost is
+//! trivial next to the `O(n²)`-ish kernels they gate, and it keeps the
+//! knobs usable from tests and one-off experiment runs.
+
+use std::ops::Range;
+
+/// Default sequential cutoff: below this many rows, thread startup
+/// costs more than it saves.
+pub const DEFAULT_PAR_THRESHOLD: usize = 2_048;
+
+fn parse_env(value: Option<std::ffi::OsString>, default: usize) -> usize {
+    value
+        .and_then(|v| v.into_string().ok())
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(default)
+}
+
+/// The minimum problem size `n` at which the helpers go parallel.
+/// Overridable via `MC_PAR_THRESHOLD`.
+pub fn parallel_threshold() -> usize {
+    parse_env(std::env::var_os("MC_PAR_THRESHOLD"), DEFAULT_PAR_THRESHOLD)
+}
+
+/// The number of worker threads the helpers may use: the machine's
+/// available parallelism, capped by `MC_THREADS`.
+pub fn max_threads() -> usize {
+    let available = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    parse_env(std::env::var_os("MC_THREADS"), available)
+        .clamp(1, available)
+        .max(1)
+}
+
+/// Splits `0..n` into per-thread contiguous ranges, runs `kernel` on
+/// each, and returns the per-chunk results in range order (so
+/// concatenating them reproduces the sequential output).
+///
+/// Runs inline on the calling thread (one chunk) when `n` is below
+/// [`parallel_threshold`] or only one thread is allowed.
+pub fn parallel_chunks<T, F>(n: usize, kernel: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    let threads = max_threads();
+    if n < parallel_threshold() || threads <= 1 {
+        return vec![kernel(0..n)];
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = (t * chunk).min(n);
+                let hi = ((t + 1) * chunk).min(n);
+                let kernel = &kernel;
+                scope.spawn(move || kernel(lo..hi))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel_chunks worker panicked"))
+            .collect()
+    })
+}
+
+/// Like [`parallel_chunks`], but for kernels that fill a preallocated
+/// output of `stride` elements per row: `out` must hold exactly
+/// `n * stride` elements for some row count `n`, and `kernel` receives
+/// each row range together with the output slice for exactly those rows.
+///
+/// # Panics
+///
+/// Panics if `out.len()` is not a multiple of `stride` (`stride == 0`
+/// requires `out` to be empty).
+pub fn parallel_chunks_mut<U, F>(out: &mut [U], stride: usize, kernel: F)
+where
+    U: Send,
+    F: Fn(Range<usize>, &mut [U]) + Sync,
+{
+    if stride == 0 {
+        assert!(out.is_empty(), "stride 0 with a non-empty output");
+        kernel(0..0, out);
+        return;
+    }
+    assert_eq!(out.len() % stride, 0, "output length must be n * stride");
+    let n = out.len() / stride;
+    let threads = max_threads();
+    if n < parallel_threshold() || threads <= 1 {
+        kernel(0..n, out);
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut rest = out;
+        let mut lo = 0usize;
+        for _ in 0..threads {
+            let hi = (lo + chunk).min(n);
+            let (mine, tail) = rest.split_at_mut((hi - lo) * stride);
+            rest = tail;
+            let kernel = &kernel;
+            let range = lo..hi;
+            scope.spawn(move || kernel(range, mine));
+            lo = hi;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_env_accepts_numbers_and_rejects_junk() {
+        assert_eq!(parse_env(Some("123".into()), 7), 123);
+        assert_eq!(parse_env(Some(" 64 ".into()), 7), 64);
+        assert_eq!(parse_env(Some("nope".into()), 7), 7);
+        assert_eq!(parse_env(None, 7), 7);
+    }
+
+    #[test]
+    fn chunks_concatenate_in_order() {
+        // Small n stays sequential; the contract is the same either way.
+        let parts = parallel_chunks(10, |r| r.collect::<Vec<usize>>());
+        let flat: Vec<usize> = parts.into_iter().flatten().collect();
+        assert_eq!(flat, (0..10).collect::<Vec<usize>>());
+
+        // Large n goes parallel (unless capped); order must still hold.
+        let parts = parallel_chunks(10_000, |r| r.collect::<Vec<usize>>());
+        let flat: Vec<usize> = parts.into_iter().flatten().collect();
+        assert_eq!(flat, (0..10_000).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn chunks_mut_fills_every_row() {
+        for n in [0usize, 5, 4_097] {
+            let stride = 3;
+            let mut out = vec![0usize; n * stride];
+            parallel_chunks_mut(&mut out, stride, |rows, slice| {
+                for (local, row) in rows.enumerate() {
+                    for s in 0..stride {
+                        slice[local * stride + s] = row * 10 + s;
+                    }
+                }
+            });
+            for row in 0..n {
+                for s in 0..stride {
+                    assert_eq!(out[row * stride + s], row * 10 + s);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_stride_requires_empty_output() {
+        let mut out: [u8; 0] = [];
+        parallel_chunks_mut(&mut out, 0, |_, _| {});
+    }
+
+    #[test]
+    fn threads_and_threshold_have_sane_defaults() {
+        assert!(max_threads() >= 1);
+        assert!(parallel_threshold() >= 1);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests for the rank-compressed dominance index: on random
+//! point sets — with duplicates, per-dimension ties, signed zeros, and
+//! infinities — every query the index answers must agree with the naive
+//! coordinate-wise comparison it replaces.
+
+use mc_geom::{count_dominating_pairs, Dominance, DominanceIndex, PointSet};
+use proptest::prelude::*;
+
+/// Coordinates drawn from a small palette so duplicates, ties, and the
+/// `-0.0`/`0.0` equivalence actually occur. Index 1 vs 2 is the signed
+/// zero pair; the ends are infinite sentinels.
+const PALETTE: [f64; 8] = [
+    f64::NEG_INFINITY,
+    -0.0,
+    0.0,
+    -1.5,
+    1.0,
+    2.0,
+    3.25,
+    f64::INFINITY,
+];
+
+fn point_sets(max_n: usize, dim: usize) -> impl Strategy<Value = PointSet> {
+    prop::collection::vec(prop::collection::vec(0usize..PALETTE.len(), dim), 0..max_n).prop_map(
+        move |rows| {
+            let mut points = PointSet::new(dim);
+            for row in rows {
+                let coords: Vec<f64> = row.into_iter().map(|i| PALETTE[i]).collect();
+                points.push(&coords);
+            }
+            points
+        },
+    )
+}
+
+fn naive_pair_count(points: &PointSet) -> u64 {
+    let n = points.len();
+    let mut count = 0;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && points.dominates(i, j) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `compare`/`dominates`/`equal_points` answered from ranks and bitset
+    /// rows must match the coordinate-wise comparisons, in every dimension
+    /// the build dispatches differently on (1, 2, generic).
+    #[test]
+    fn index_agrees_with_naive_compare_d1(points in point_sets(24, 1)) {
+        check_against_naive(&points);
+    }
+
+    #[test]
+    fn index_agrees_with_naive_compare_d2(points in point_sets(24, 2)) {
+        check_against_naive(&points);
+    }
+
+    #[test]
+    fn index_agrees_with_naive_compare_d3(points in point_sets(20, 3)) {
+        check_against_naive(&points);
+    }
+
+    #[test]
+    fn index_agrees_with_naive_compare_d5(points in point_sets(16, 5)) {
+        check_against_naive(&points);
+    }
+
+    /// Restricting the index must be indistinguishable from rebuilding it
+    /// on the restricted point set.
+    #[test]
+    fn subset_equals_rebuild(points in point_sets(24, 3), keep_mask in prop::collection::vec(prop::bool::ANY, 24)) {
+        let keep: Vec<usize> = (0..points.len()).filter(|&i| keep_mask.get(i).copied().unwrap_or(false)).collect();
+        let sub_points = {
+            let mut ps = PointSet::new(points.dim());
+            for &i in &keep {
+                ps.push(points.point(i));
+            }
+            ps
+        };
+        let restricted = DominanceIndex::build(&points).subset(&keep);
+        let rebuilt = DominanceIndex::build(&sub_points);
+        prop_assert_eq!(restricted.len(), rebuilt.len());
+        for a in 0..keep.len() {
+            for b in 0..keep.len() {
+                prop_assert_eq!(restricted.compare(a, b), rebuilt.compare(a, b));
+                prop_assert_eq!(restricted.equal_points(a, b), rebuilt.equal_points(a, b));
+            }
+        }
+    }
+
+    /// The Fenwick sweep (d ≤ 2) and the bitset popcount must both equal
+    /// the naive ordered-pair count.
+    #[test]
+    fn pair_counts_agree_d1(points in point_sets(32, 1)) {
+        prop_assert_eq!(count_dominating_pairs(&points), naive_pair_count(&points));
+    }
+
+    #[test]
+    fn pair_counts_agree_d2(points in point_sets(32, 2)) {
+        prop_assert_eq!(count_dominating_pairs(&points), naive_pair_count(&points));
+    }
+
+    #[test]
+    fn pair_counts_agree_d4(points in point_sets(24, 4)) {
+        prop_assert_eq!(count_dominating_pairs(&points), naive_pair_count(&points));
+    }
+}
+
+fn check_against_naive(points: &PointSet) {
+    let index = DominanceIndex::build(points);
+    assert_eq!(index.len(), points.len());
+    for i in 0..points.len() {
+        // Reflexivity: every point dominates itself in the bitset.
+        assert!(index.dominates(i, i));
+        for j in 0..points.len() {
+            let expected = points.compare(i, j);
+            assert_eq!(
+                index.compare(i, j),
+                expected,
+                "compare({}, {}) on {:?} vs {:?}",
+                i,
+                j,
+                points.point(i),
+                points.point(j)
+            );
+            assert_eq!(index.dominates(i, j), points.dominates(i, j));
+            assert_eq!(index.equal_points(i, j), expected == Dominance::Equal);
+        }
+    }
+}
