@@ -17,7 +17,7 @@ pub mod probe_scaling;
 pub mod stress;
 pub mod theorem1;
 
-use crate::report::Table;
+use crate::report::{bench_report_json, experiment_json, run_metadata_json, Table};
 
 /// Runs every experiment, printing all tables.
 pub fn run_all(quick: bool) -> Vec<Table> {
@@ -27,6 +27,30 @@ pub fn run_all(quick: bool) -> Vec<Table> {
         tables.extend(f(quick));
     }
     tables
+}
+
+/// Like [`run_all`], additionally producing the JSON bench report:
+/// run metadata (git SHA, effective parallelism tunables, seed) plus a
+/// per-phase breakdown for every experiment. Forces the `mc-obs` level
+/// up to `info` and resets the registry between experiments so each
+/// entry's spans/counters cover exactly that experiment.
+pub fn run_all_with_report(quick: bool, seed: u64) -> (Vec<Table>, String) {
+    if mc_obs::level() < mc_obs::Level::Info {
+        mc_obs::set_level(mc_obs::Level::Info);
+    }
+    let mut tables = Vec::new();
+    let mut entries = Vec::new();
+    for (name, f) in all_experiments() {
+        eprintln!("=== running {name} ===");
+        mc_obs::reset();
+        let start = std::time::Instant::now();
+        let t = f(quick);
+        let wall_ns = start.elapsed().as_nanos() as u64;
+        entries.push(experiment_json(name, wall_ns, t.len(), &mc_obs::snapshot()));
+        tables.extend(t);
+    }
+    let doc = bench_report_json(&run_metadata_json(seed, quick), &entries);
+    (tables, doc)
 }
 
 /// The full experiment registry: `(id, runner)`.

@@ -1,6 +1,9 @@
-//! Plain-text experiment reporting: aligned tables and summary stats.
+//! Plain-text experiment reporting (aligned tables and summary stats)
+//! plus the JSON bench-report builders used by `run_all --json-out`.
 
+use mc_obs::json::Obj;
 use std::fmt;
+use std::fmt::Write as _;
 
 /// A simple column-aligned table for experiment output.
 #[derive(Debug, Clone)]
@@ -98,6 +101,72 @@ pub fn fmt_duration(d: std::time::Duration) -> String {
     }
 }
 
+/// Renders the run-level metadata object stamped into every JSON bench
+/// report: git SHA, the *effective* `MC_PAR_THRESHOLD` / `MC_THREADS`
+/// values (after env parsing and defaulting), the sweep seed, and the
+/// machine's thread count.
+pub fn run_metadata_json(seed: u64, quick: bool) -> String {
+    let mut obj = Obj::new();
+    if let Some(sha) = mc_obs::meta::git_sha() {
+        obj = obj.str("git_sha", &sha);
+    }
+    obj.u64("mc_par_threshold", mc_geom::parallel_threshold() as u64)
+        .u64("mc_threads", mc_geom::max_threads() as u64)
+        .u64("threads_available", mc_obs::meta::available_threads())
+        .u64("seed", seed)
+        .bool("quick", quick)
+        .finish()
+}
+
+/// Renders one experiment's JSON report: identity, wall time, and the
+/// per-phase breakdown (spans, counters, gauges) from the `mc-obs`
+/// snapshot taken right after the run.
+pub fn experiment_json(name: &str, wall_ns: u64, tables: usize, snap: &mc_obs::Snapshot) -> String {
+    let mut phases = String::from("[");
+    for (i, span) in snap.spans.iter().enumerate() {
+        if i > 0 {
+            phases.push(',');
+        }
+        phases.push_str(
+            &Obj::new()
+                .str("path", &span.path)
+                .u64("calls", span.calls)
+                .u64("total_ns", span.total_ns)
+                .finish(),
+        );
+    }
+    phases.push(']');
+    let mut counters = String::from("{");
+    for (i, (cname, v)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            counters.push(',');
+        }
+        let _ = write!(counters, "\"{}\":{v}", mc_obs::json::escape(cname));
+    }
+    counters.push('}');
+    let mut gauges = Obj::new();
+    for (gname, v) in &snap.gauges {
+        gauges = gauges.f64(gname, *v);
+    }
+    Obj::new()
+        .str("name", name)
+        .u64("wall_ns", wall_ns)
+        .u64("tables", tables as u64)
+        .raw("phases", &phases)
+        .raw("counters", &counters)
+        .raw("gauges", &gauges.finish())
+        .finish()
+}
+
+/// Assembles the full bench-report document: schema tag, run metadata,
+/// and one entry per experiment (each from [`experiment_json`]).
+pub fn bench_report_json(meta: &str, experiments: &[String]) -> String {
+    format!(
+        "{{\"type\":\"bench_report\",\"schema\":\"mc-obs/1\",\"meta\":{meta},\"experiments\":[{}]}}",
+        experiments.join(",")
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,6 +196,49 @@ mod tests {
         assert!((s - 2.0).abs() < 1e-12);
         let (m, _) = mean_std(&[]);
         assert!(m.is_nan());
+    }
+
+    #[test]
+    fn run_metadata_carries_tunables_and_seed() {
+        let meta = run_metadata_json(42, true);
+        assert!(meta.contains("\"mc_par_threshold\":"), "{meta}");
+        assert!(meta.contains("\"mc_threads\":"), "{meta}");
+        assert!(meta.contains("\"threads_available\":"), "{meta}");
+        assert!(meta.contains("\"seed\":42"), "{meta}");
+        assert!(meta.contains("\"quick\":true"), "{meta}");
+    }
+
+    #[test]
+    fn experiment_json_embeds_phases_and_counters() {
+        let snap = mc_obs::Snapshot {
+            spans: vec![mc_obs::SpanStat {
+                path: "active".into(),
+                name: "active".into(),
+                parent: String::new(),
+                depth: 0,
+                calls: 2,
+                total_ns: 1000,
+            }],
+            counters: vec![("oracle.attempts".into(), 7)],
+            gauges: vec![("chains.width".into(), 3.0)],
+            hists: vec![],
+            events: vec![],
+            events_dropped: 0,
+        };
+        let doc = experiment_json("E1-theorem1", 12345, 2, &snap);
+        assert!(doc.contains("\"name\":\"E1-theorem1\""), "{doc}");
+        assert!(
+            doc.contains("\"phases\":[{\"path\":\"active\",\"calls\":2,\"total_ns\":1000}]"),
+            "{doc}"
+        );
+        assert!(
+            doc.contains("\"counters\":{\"oracle.attempts\":7}"),
+            "{doc}"
+        );
+        assert!(doc.contains("\"gauges\":{\"chains.width\":3}"), "{doc}");
+        let full = bench_report_json(&run_metadata_json(0, true), &[doc]);
+        assert!(full.starts_with("{\"type\":\"bench_report\""), "{full}");
+        assert!(full.contains("\"schema\":\"mc-obs/1\""), "{full}");
     }
 
     #[test]

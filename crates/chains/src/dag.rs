@@ -50,6 +50,7 @@ impl DominanceDag {
     /// bits of `u`'s dominator row, minus `u` itself, with equal points
     /// oriented small-index → large-index. Runs in parallel row chunks.
     pub fn from_index(index: &DominanceIndex) -> Self {
+        let _span = mc_obs::span("dag_build");
         let n = index.len();
         let chunks = parallel_chunks(n, |range| {
             let mut local: Vec<Vec<u32>> = Vec::with_capacity(range.len());
@@ -70,6 +71,7 @@ impl DominanceDag {
             succ.extend(chunk);
         }
         let num_edges = succ.iter().map(Vec::len).sum();
+        mc_obs::counter_add("chains.dag_edges", num_edges as u64);
         Self { n, succ, num_edges }
     }
 

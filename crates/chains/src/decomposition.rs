@@ -47,6 +47,7 @@ impl ChainDecomposition {
 
     /// Computes the decomposition from a pre-built dominance DAG.
     pub fn from_dag(dag: &DominanceDag) -> Self {
+        let _span = mc_obs::span("path_cover");
         let n = dag.num_nodes();
         if n == 0 {
             return Self {
@@ -65,6 +66,13 @@ impl ChainDecomposition {
         let chains = Self::chains_from_matching(n, &matching);
         let antichain = Self::antichain_from_cover(n, &g, &matching);
         debug_assert_eq!(chains.len(), antichain.len(), "Dilworth duality violated");
+        mc_obs::counter_add("chains.count", chains.len() as u64);
+        if mc_obs::enabled() {
+            let h = mc_obs::histogram("chains.chain_len");
+            for c in &chains {
+                h.record(c.len() as u64);
+            }
+        }
         Self { chains, antichain }
     }
 

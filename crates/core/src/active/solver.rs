@@ -173,6 +173,7 @@ impl ActiveSolver {
         if points.is_empty() {
             return self.try_solve_with_chains(points, &[], oracle);
         }
+        let _span = mc_obs::span("active");
         // Phase 1: minimum chain decomposition (Lemma 6, dispatched on
         // dimensionality — see `crate::decompose::minimum_chains`). For
         // d ≥ 3 the decomposition builds a `DominanceIndex` over P; we
@@ -240,6 +241,7 @@ impl ActiveSolver {
         chains: &[Vec<usize>],
         oracle: &mut dyn FallibleOracle,
     ) -> Result<ActiveSolution, McError> {
+        let _span = mc_obs::span("active");
         self.solve_with_chains_inner(points, chains, oracle, None)
     }
 
@@ -336,6 +338,9 @@ impl ActiveSolver {
         // Phase 2: per-chain 1D sampling (Section 3 via Lemma 13).
         // Σ entries landing on the same point are merged (weights summed)
         // — equivalent for w-err_Σ and it keeps the passive solve small.
+        let span = mc_obs::span("sampling");
+        mc_obs::gauge_set("sampling.epsilon", self.params.epsilon);
+        mc_obs::gauge_set("sampling.delta_per_chain", delta_chain);
         let t1 = Instant::now();
         let mut rng = StdRng::seed_from_u64(self.params.seed);
         let mut report = SolveReport::default();
@@ -346,10 +351,30 @@ impl ActiveSolver {
             phi_divisor: self.params.phi_divisor,
             recursion_cutoff: self.params.recursion_cutoff,
         };
-        for chain in chains {
+        let mut total_draws = 0u64;
+        for (c, chain) in chains.iter().enumerate() {
+            let attempts_before = report.attempts;
             let mut chain_oracle = FallibleSubsetOracle::new(oracle, chain);
             let sample =
                 try_weighted_sample_1d(&mut chain_oracle, &one_dim_params, &mut rng, &mut report)?;
+            let chain_probes = (report.attempts - attempts_before) as u64;
+            total_draws += sample.draws as u64;
+            mc_obs::record("sampling.probes_per_chain", chain_probes);
+            mc_obs::record("sampling.levels_per_chain", sample.levels as u64);
+            mc_obs::debug_event(
+                "chain_sampled",
+                &[
+                    ("chain", mc_obs::json::Value::U(c as u64)),
+                    ("len", mc_obs::json::Value::U(chain.len() as u64)),
+                    ("probes", mc_obs::json::Value::U(chain_probes)),
+                    ("levels", mc_obs::json::Value::U(sample.levels as u64)),
+                    ("draws", mc_obs::json::Value::U(sample.draws as u64)),
+                    (
+                        "sigma_entries",
+                        mc_obs::json::Value::U(sample.sigma.len() as u64),
+                    ),
+                ],
+            );
             for entry in sample.sigma {
                 let global = chain[entry.position];
                 match &mut merged[global] {
@@ -371,6 +396,23 @@ impl ActiveSolver {
         }
         let sampling_time = t1.elapsed();
         report.finalize(&stats_before, &oracle.stats());
+        drop(span);
+
+        // Fed from the *finalized* report so the exported counters
+        // reconcile exactly with `SolveReport` (oracle.attempts ==
+        // report.attempts for a single solve after a reset).
+        mc_obs::counter_add("sampling.chains", w as u64);
+        mc_obs::counter_add("sampling.draws", total_draws);
+        mc_obs::counter_add("sampling.sigma_points", sigma.len() as u64);
+        mc_obs::counter_add("oracle.attempts", report.attempts as u64);
+        mc_obs::counter_add("oracle.retries", report.retries as u64);
+        mc_obs::counter_add("oracle.abstentions", report.abstentions as u64);
+        if report.breaker_tripped {
+            mc_obs::event("oracle.breaker_tripped", &[]);
+        }
+        if report.degraded {
+            mc_obs::event("oracle.degraded", &[]);
+        }
 
         Ok(SamplingPhase {
             sigma,

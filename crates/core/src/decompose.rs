@@ -40,7 +40,10 @@ pub fn minimum_chains_with_index(points: &PointSet) -> (Vec<Vec<usize>>, Option<
     if points.is_empty() {
         return (Vec::new(), None);
     }
-    match points.dim() {
+    // Spanned here (not in mc-chains) so the d ≤ 2 sort/sweep dispatch
+    // arms are timed under the same name as the Lemma-6 pipeline.
+    let _span = mc_obs::span("chain_decomposition");
+    let (chains, index) = match points.dim() {
         1 => {
             let mut order: Vec<usize> = (0..points.len()).collect();
             order.sort_by(|&a, &b| points.point(a)[0].total_cmp(&points.point(b)[0]));
@@ -54,7 +57,9 @@ pub fn minimum_chains_with_index(points: &PointSet) -> (Vec<Vec<usize>>, Option<
                 .to_vec();
             (chains, Some(index))
         }
-    }
+    };
+    mc_obs::gauge_set("chains.width", chains.len() as f64);
+    (chains, index)
 }
 
 #[cfg(test)]

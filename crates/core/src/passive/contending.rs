@@ -17,7 +17,7 @@
 //!
 //! Discovery strategies, fastest applicable first:
 //!
-//! * `d ≤ 2` — the `O(n log n)` sweep in [`crate::passive::sparse`];
+//! * `d ≤ 2` — the `O(n log n)` sweep in `crate::passive::sparse`;
 //! * `d ≥ 3` with a [`DominanceIndex`] — one bitset row-`AND` per
 //!   label-1 point against the label-0 mask ([`ContendingPoints::compute_indexed`]);
 //! * the naive `O(d·n²)` pairwise scan, kept as the reference

@@ -110,6 +110,7 @@ impl<A: MaxFlowAlgorithm> PassiveSolver<A> {
     }
 
     fn solve_inner(&self, data: &WeightedSet, index: Option<&DominanceIndex>) -> PassiveSolution {
+        let _span = mc_obs::span("passive");
         let n = data.len();
         if n == 0 {
             return PassiveSolution {
@@ -135,10 +136,15 @@ impl<A: MaxFlowAlgorithm> PassiveSolver<A> {
             Some(&owned_index)
         };
 
-        let con = match index {
-            None => crate::passive::sparse::contending_sweep(data),
-            Some(idx) => ContendingPoints::compute_indexed(data, idx),
+        let con = {
+            let _span = mc_obs::span("contending");
+            match index {
+                None => crate::passive::sparse::contending_sweep(data),
+                Some(idx) => ContendingPoints::compute_indexed(data, idx),
+            }
         };
+        mc_obs::counter_add("passive.points", n as u64);
+        mc_obs::counter_add("passive.contending", con.len() as u64);
         // Start from the labels themselves; only contending points can flip.
         let mut assignment: Vec<Label> = data.labels().to_vec();
 
@@ -147,13 +153,19 @@ impl<A: MaxFlowAlgorithm> PassiveSolver<A> {
             // Build the network: the quadratic type-3 edge set of the
             // paper for d ≥ 3, or the O(n log n)-edge sparsification for
             // d ≤ 2 (see `super::sparse`); both have identical min cuts.
-            let network = match index {
-                None => crate::passive::sparse::build_sparse_network(data, &con),
-                Some(idx) => build_dense_network(data, &con, idx),
+            let network = {
+                let _span = mc_obs::span("build_network");
+                match index {
+                    None => crate::passive::sparse::build_sparse_network(data, &con),
+                    Some(idx) => build_dense_network(data, &con, idx),
+                }
             };
+            mc_obs::counter_add("passive.network_nodes", network.net.num_nodes() as u64);
+            mc_obs::counter_add("passive.network_edges", network.net.num_edges() as u64);
 
             let flow = self.algorithm.solve(&network.net);
             let cut = flow.min_cut(&network.net);
+            mc_obs::gauge_set("passive.cut_weight", cut.weight);
             debug_assert!(
                 !cut.crosses_infinite,
                 "every label-1 contender has a finite sink edge, so a finite cut exists"

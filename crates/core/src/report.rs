@@ -49,6 +49,22 @@ impl SolveReport {
         self.breaker_tripped |= after.breaker_tripped;
         self.degraded = self.abstentions > 0 || self.breaker_tripped;
     }
+
+    /// Renders the report as one JSON object in the `mc-obs` JSONL
+    /// schema (`"type": "solve_report"`), so bench reports and the
+    /// `--metrics-out` stream share one vocabulary. The counter fields
+    /// here reconcile with the registry's `oracle.*` counters (the
+    /// active solver bulk-adds them from this same struct).
+    pub fn to_json(&self) -> String {
+        mc_obs::json::Obj::new()
+            .str("type", "solve_report")
+            .u64("attempts", self.attempts as u64)
+            .u64("retries", self.retries as u64)
+            .u64("abstentions", self.abstentions as u64)
+            .bool("breaker_tripped", self.breaker_tripped)
+            .bool("degraded", self.degraded)
+            .finish()
+    }
 }
 
 #[cfg(test)]
@@ -83,6 +99,21 @@ mod tests {
         assert!(r.breaker_tripped);
         assert!(r.degraded);
         assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn to_json_is_schema_tagged() {
+        let r = SolveReport {
+            attempts: 12,
+            retries: 3,
+            abstentions: 1,
+            breaker_tripped: false,
+            degraded: true,
+        };
+        assert_eq!(
+            r.to_json(),
+            r#"{"type":"solve_report","attempts":12,"retries":3,"abstentions":1,"breaker_tripped":false,"degraded":true}"#
+        );
     }
 
     #[test]

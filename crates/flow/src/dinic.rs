@@ -106,6 +106,7 @@ impl MaxFlowAlgorithm for Dinic {
     }
 
     fn solve(&self, net: &FlowNetwork) -> FlowSolution {
+        let _span = mc_obs::span("maxflow");
         let (residual, surrogate) = net.initial_residuals();
         let n = net.num_nodes();
         let mut st = State {
@@ -115,16 +116,24 @@ impl MaxFlowAlgorithm for Dinic {
             arc: vec![0; n],
         };
         let mut value = 0.0;
+        // Accumulated locally; flushed once at the end so the hot loop
+        // pays only integer increments when tracing is disabled.
+        let mut bfs_rounds = 0u64;
+        let mut aug_paths = 0u64;
         while st.build_levels() {
+            bfs_rounds += 1;
             st.arc.iter_mut().for_each(|a| *a = 0);
             loop {
                 let pushed = st.push_one_path();
                 if pushed <= EPS {
                     break;
                 }
+                aug_paths += 1;
                 value += pushed;
             }
         }
+        mc_obs::counter_add("flow.bfs_rounds", bfs_rounds);
+        mc_obs::counter_add("flow.augmenting_paths", aug_paths);
         FlowSolution::new(value, st.residual, surrogate)
     }
 }

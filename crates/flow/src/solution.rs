@@ -126,6 +126,7 @@ impl FlowSolution {
                 cut_edges.push(e);
             }
         }
+        mc_obs::counter_add("flow.cut_edges", cut_edges.len() as u64);
         MinCut {
             source_side,
             cut_edges,

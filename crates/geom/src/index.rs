@@ -12,7 +12,7 @@
 //!    identified, `±∞` sentinels order naturally), stored column-major so
 //!    the build kernel streams one dimension at a time. Dominance becomes
 //!    a branch-light integer comparison with no float semantics
-//!    questions. `NaN` is rejected up front ([`GeomError::NonFiniteCoordinate`]
+//!    questions. `NaN` is rejected up front ([`crate::GeomError::NonFiniteCoordinate`]
 //!    guards the data entry points; the index additionally
 //!    `debug_assert`s).
 //! 2. **Bitset rows.** Row `i` of the matrix holds the *dominators* of

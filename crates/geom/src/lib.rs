@@ -34,7 +34,7 @@ pub use dominance::{dominates, incomparable, strictly_dominates, Dominance};
 pub use error::GeomError;
 pub use index::{bitmask_of, count_dominating_pairs, iter_ones, DominanceIndex};
 pub use label::Label;
-pub use parallel::{parallel_chunks, parallel_chunks_mut};
+pub use parallel::{max_threads, parallel_chunks, parallel_chunks_mut, parallel_threshold};
 pub use pareto::{maxima, minima, minima_2d};
 pub use point::Point;
 pub use transform::{transform_pointset, AxisTransform};

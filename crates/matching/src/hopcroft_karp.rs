@@ -112,19 +112,27 @@ impl MatchingAlgorithm for HopcroftKarp {
     }
 
     fn solve(&self, g: &BipartiteGraph) -> Matching {
+        let _span = mc_obs::span("hopcroft_karp");
         let mut st = State {
             g,
             left_match: vec![None; g.num_left()],
             right_match: vec![None; g.num_right()],
             dist: vec![INF; g.num_left()],
         };
+        // Accumulated locally; flushed once so the disabled-tracing cost
+        // on this hot path is a plain integer increment.
+        let mut rounds = 0u64;
+        let mut augmented = 0u64;
         while st.bfs() {
+            rounds += 1;
             for l in 0..g.num_left() {
-                if st.left_match[l].is_none() {
-                    st.dfs(l);
+                if st.left_match[l].is_none() && st.dfs(l) {
+                    augmented += 1;
                 }
             }
         }
+        mc_obs::counter_add("matching.hk_rounds", rounds);
+        mc_obs::counter_add("matching.hk_augmented", augmented);
         Matching {
             left_match: st.left_match,
             right_match: st.right_match,

@@ -1,0 +1,212 @@
+//! Lock-free log-bucketed histograms.
+//!
+//! Values are `u64`s (callers pick the unit — nanoseconds, probes,
+//! edges). Bucket 0 holds exactly the value 0; bucket `k ≥ 1` holds the
+//! half-open power-of-two range `[2^(k-1), 2^k)`. 65 buckets cover the
+//! whole `u64` domain, so `record` never clamps. All updates are relaxed
+//! atomics: concurrent recording from `parallel_chunks` workers is safe
+//! and cheap, and exact cross-thread ordering is irrelevant for
+//! aggregate statistics.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Number of buckets: one for zero plus one per power of two.
+pub const NUM_BUCKETS: usize = 65;
+
+/// A concurrent log-bucketed histogram.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// Index of the bucket holding `v`.
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive `(lo, hi)` bounds of bucket `k`.
+pub fn bucket_bounds(k: usize) -> (u64, u64) {
+    assert!(k < NUM_BUCKETS, "bucket index out of range");
+    if k == 0 {
+        (0, 0)
+    } else if k == 64 {
+        (1 << 63, u64::MAX)
+    } else {
+        (1 << (k - 1), (1 << k) - 1)
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub const fn new() -> Self {
+        // `AtomicU64::new` is const, but array-repeat needs a const
+        // item; each use site gets its own fresh atomic, which is
+        // exactly what we want here (not the shared-state footgun the
+        // lint guards against).
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Self {
+            buckets: [ZERO; NUM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.sum.fetch_add(v, Relaxed);
+        self.min.fetch_min(v, Relaxed);
+        self.max.fetch_max(v, Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Relaxed)
+    }
+
+    /// Sum of recorded observations (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Relaxed)
+    }
+
+    /// Smallest recorded value (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count() > 0).then(|| self.min.load(Relaxed))
+    }
+
+    /// Largest recorded value (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count() > 0).then(|| self.max.load(Relaxed))
+    }
+
+    /// Occupancy of bucket `k`.
+    pub fn bucket(&self, k: usize) -> u64 {
+        self.buckets[k].load(Relaxed)
+    }
+
+    /// The non-empty buckets as `(lo, hi, count)` triples, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        (0..NUM_BUCKETS)
+            .filter_map(|k| {
+                let c = self.bucket(k);
+                (c > 0).then(|| {
+                    let (lo, hi) = bucket_bounds(k);
+                    (lo, hi, c)
+                })
+            })
+            .collect()
+    }
+
+    /// Resets every statistic to the empty state.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Relaxed);
+        }
+        self.count.store(0, Relaxed);
+        self.sum.store(0, Relaxed);
+        self.min.store(u64::MAX, Relaxed);
+        self.max.store(0, Relaxed);
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_powers_of_two() {
+        // Exhaustive edge cases: each boundary value lands in the right
+        // bucket, and bounds round-trip.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_index(1 << 63), 64);
+        assert_eq!(bucket_index((1 << 63) - 1), 63);
+        for k in 0..NUM_BUCKETS {
+            let (lo, hi) = bucket_bounds(k);
+            assert_eq!(bucket_index(lo), k, "lo of bucket {k}");
+            assert_eq!(bucket_index(hi), k, "hi of bucket {k}");
+            if k > 0 {
+                assert_eq!(bucket_index(lo - 1), k - 1, "below lo of bucket {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn records_accumulate() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 100, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 206);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(100));
+        assert_eq!(h.bucket(0), 1); // 0
+        assert_eq!(h.bucket(1), 1); // 1
+        assert_eq!(h.bucket(2), 2); // 2, 3
+        assert_eq!(h.bucket(7), 2); // 100 ∈ [64, 127]
+        let nz = h.nonzero_buckets();
+        assert_eq!(nz.len(), 4);
+        assert!(nz.contains(&(64, 127, 2)));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_extrema() {
+        let h = Histogram::new();
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let h = Histogram::new();
+        h.record(5);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn concurrent_records_are_lossless() {
+        let h = Histogram::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for v in 0..1000u64 {
+                        h.record(v);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 8000);
+        assert_eq!(h.sum(), 8 * (999 * 1000 / 2));
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(999));
+    }
+}

@@ -1,0 +1,208 @@
+//! Minimal hand-rolled JSON emission (this crate is dependency-free, so
+//! no serde). Only what the JSONL sink needs: string escaping, an object
+//! builder, and a tagged value type for ad-hoc event fields.
+
+use std::fmt::Write as _;
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    escape_into(s, &mut out);
+    out
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Writes an `f64` as a JSON number (`null` for non-finite values, which
+/// JSON cannot represent).
+fn push_f64(buf: &mut String, v: f64) {
+    if v.is_finite() {
+        // Rust's shortest-roundtrip Display for floats is valid JSON.
+        let _ = write!(buf, "{v}");
+    } else {
+        buf.push_str("null");
+    }
+}
+
+/// A dynamically-typed JSON scalar, used for ad-hoc event fields.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U(u64),
+    /// Signed integer.
+    I(i64),
+    /// Float (`null` if non-finite).
+    F(f64),
+    /// Boolean.
+    B(bool),
+    /// String (escaped on write).
+    S(String),
+}
+
+impl Value {
+    fn push_into(&self, buf: &mut String) {
+        match self {
+            Value::U(v) => {
+                let _ = write!(buf, "{v}");
+            }
+            Value::I(v) => {
+                let _ = write!(buf, "{v}");
+            }
+            Value::F(v) => push_f64(buf, *v),
+            Value::B(v) => {
+                let _ = write!(buf, "{v}");
+            }
+            Value::S(v) => {
+                buf.push('"');
+                escape_into(v, buf);
+                buf.push('"');
+            }
+        }
+    }
+}
+
+/// A single-line JSON object builder.
+///
+/// ```
+/// use mc_obs::json::Obj;
+/// let line = Obj::new().str("type", "meta").u64("n", 3).finish();
+/// assert_eq!(line, r#"{"type":"meta","n":3}"#);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Obj {
+    buf: String,
+    first: bool,
+}
+
+impl Obj {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        Self {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push('"');
+        escape_into(k, &mut self.buf);
+        self.buf.push_str("\":");
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        self.buf.push('"');
+        escape_into(v, &mut self.buf);
+        self.buf.push('"');
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(mut self, k: &str, v: u64) -> Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Adds a float field (`null` when non-finite).
+    pub fn f64(mut self, k: &str, v: f64) -> Self {
+        self.key(k);
+        push_f64(&mut self.buf, v);
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, k: &str, v: bool) -> Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Adds a pre-rendered JSON value verbatim (caller guarantees
+    /// validity — used for arrays and nested objects).
+    pub fn raw(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        self.buf.push_str(v);
+        self
+    }
+
+    /// Adds a tagged [`Value`] field.
+    pub fn value(mut self, k: &str, v: &Value) -> Self {
+        self.key(k);
+        v.push_into(&mut self.buf);
+        self
+    }
+
+    /// Closes the object, returning the rendered line (no trailing
+    /// newline).
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for Obj {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("плюс ≥ emoji ✓"), "плюс ≥ emoji ✓");
+    }
+
+    #[test]
+    fn object_builder_renders_all_types() {
+        let line = Obj::new()
+            .str("s", "x\"y")
+            .u64("u", 7)
+            .f64("f", 1.5)
+            .f64("nan", f64::NAN)
+            .bool("b", true)
+            .raw("arr", "[1,2]")
+            .value("v", &Value::I(-3))
+            .finish();
+        assert_eq!(
+            line,
+            r#"{"s":"x\"y","u":7,"f":1.5,"nan":null,"b":true,"arr":[1,2],"v":-3}"#
+        );
+    }
+
+    #[test]
+    fn empty_object() {
+        assert_eq!(Obj::new().finish(), "{}");
+    }
+
+    #[test]
+    fn float_display_is_json_safe() {
+        let line = Obj::new().f64("x", 1.0).f64("y", 0.25).finish();
+        assert_eq!(line, r#"{"x":1,"y":0.25}"#);
+    }
+}

@@ -1,0 +1,336 @@
+//! `mc-obs` — zero-dependency observability substrate for the monotone
+//! classification pipeline.
+//!
+//! Provides hierarchical [spans](span) with monotonic timing,
+//! [counters](counter_add), [gauges](gauge_set), log-bucketed
+//! [histograms](record), ad-hoc [events](event), and one-shot
+//! [warnings](warn_once), all feeding a single thread-safe global
+//! registry. Two sinks render a [`Snapshot`]: a human-readable phase
+//! tree ([`sink::render_phase_tree`]) and a JSON-lines stream
+//! ([`sink::write_jsonl`]).
+//!
+//! # Enabling
+//!
+//! Collection is off by default. Set `MC_LOG=info` (or `debug`/`trace`)
+//! in the environment, or call [`set_level`] programmatically (the `mcc
+//! --trace` flag does the latter). The default level is `warn`: one-shot
+//! warnings print, but spans/counters/histograms are skipped.
+//!
+//! # Cost when disabled
+//!
+//! Every instrumentation entry point starts with [`enabled`] — a single
+//! relaxed atomic load — and returns before allocating or locking. Hot
+//! loops should additionally hoist the check and accumulate locally:
+//!
+//! ```
+//! let mut paths = 0u64;
+//! for _round in 0..3 {
+//!     paths += 1; // plain integer increment on the hot path
+//! }
+//! mc_obs::counter_add("flow.augmenting_paths", paths); // one gated call
+//! ```
+
+pub mod hist;
+pub mod json;
+pub mod meta;
+mod registry;
+pub mod sink;
+mod span;
+
+pub use hist::Histogram;
+pub use registry::{counter, histogram, reset, snapshot, HistStat, Snapshot, SpanStat};
+pub use span::SpanGuard;
+
+use json::{Obj, Value};
+use std::sync::atomic::{AtomicU8, Ordering::Relaxed};
+
+/// Verbosity levels, ordered: each level includes everything below it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Nothing, not even warnings.
+    Off = 0,
+    /// Fatal diagnostics only.
+    Error = 1,
+    /// One-shot warnings (the default).
+    Warn = 2,
+    /// Spans, counters, gauges, histograms, events.
+    Info = 3,
+    /// Plus fine-grained events (per-chain, per-level detail).
+    Debug = 4,
+    /// Everything.
+    Trace = 5,
+}
+
+impl Level {
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Off,
+            1 => Level::Error,
+            2 => Level::Warn,
+            3 => Level::Info,
+            4 => Level::Debug,
+            _ => Level::Trace,
+        }
+    }
+
+    /// Parses a `MC_LOG` value. Accepts names (case-insensitive) and
+    /// the numeric aliases 0–5.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "0" | "none" => Some(Level::Off),
+            "error" | "1" => Some(Level::Error),
+            "warn" | "warning" | "2" => Some(Level::Warn),
+            "info" | "3" => Some(Level::Info),
+            "debug" | "4" => Some(Level::Debug),
+            "trace" | "5" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+
+    /// Canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+/// Sentinel meaning "not yet initialized from `MC_LOG`".
+const LEVEL_UNSET: u8 = 0xFF;
+static LEVEL: AtomicU8 = AtomicU8::new(LEVEL_UNSET);
+
+#[cold]
+fn init_level_from_env() -> Level {
+    let parsed = std::env::var("MC_LOG").ok().and_then(|v| Level::parse(&v));
+    let level = parsed.unwrap_or(Level::Warn);
+    LEVEL.store(level as u8, Relaxed);
+    if parsed.is_none() {
+        if let Ok(v) = std::env::var("MC_LOG") {
+            warn_once(
+                "mc_log.invalid",
+                &format!("MC_LOG={v:?} is not a valid level; using \"warn\""),
+            );
+        }
+    }
+    level
+}
+
+/// The current verbosity level (lazily initialized from `MC_LOG`,
+/// defaulting to [`Level::Warn`]).
+pub fn level() -> Level {
+    let v = LEVEL.load(Relaxed);
+    if v == LEVEL_UNSET {
+        init_level_from_env()
+    } else {
+        Level::from_u8(v)
+    }
+}
+
+/// Overrides the level (e.g. from `mcc --trace`). Takes precedence over
+/// `MC_LOG` from that point on.
+pub fn set_level(l: Level) {
+    LEVEL.store(l as u8, Relaxed);
+}
+
+/// Whether metric collection (spans/counters/histograms/events) is on —
+/// true at [`Level::Info`] and above. One relaxed atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    level() >= Level::Info
+}
+
+/// Whether fine-grained debug events are on ([`Level::Debug`] and up).
+#[inline]
+pub fn debug_enabled() -> bool {
+    level() >= Level::Debug
+}
+
+/// Opens a span named `name`, nesting under the innermost open span of
+/// the current thread. Timing is recorded when the returned guard drops.
+/// No-op (no allocation) when collection is disabled.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    span::enter(name)
+}
+
+/// Adds `delta` to counter `name`. No-op when collection is disabled.
+/// Hot loops should accumulate locally and flush once (see crate docs).
+#[inline]
+pub fn counter_add(name: &'static str, delta: u64) {
+    if enabled() {
+        counter(name).fetch_add(delta, Relaxed);
+    }
+}
+
+/// Sets gauge `name` to `v` (last write wins). No-op when disabled.
+pub fn gauge_set(name: &'static str, v: f64) {
+    if enabled() {
+        registry::inner().gauges.insert(name, v);
+    }
+}
+
+/// Records one observation into histogram `name`. No-op when disabled.
+#[inline]
+pub fn record(name: &'static str, v: u64) {
+    if enabled() {
+        histogram(name).record(v);
+    }
+}
+
+/// Emits a structured event with ad-hoc fields into the event buffer
+/// (capped; overflow is counted, not stored). No-op when disabled.
+pub fn event(name: &str, fields: &[(&str, Value)]) {
+    if !enabled() {
+        return;
+    }
+    let mut obj = Obj::new().str("type", "event").str("name", name);
+    for (k, v) in fields {
+        obj = obj.value(k, v);
+    }
+    registry::inner().push_event(obj.finish());
+}
+
+/// Like [`event`] but gated at [`Level::Debug`] — for per-chain /
+/// per-level detail that would be noise at `info`.
+pub fn debug_event(name: &str, fields: &[(&str, Value)]) {
+    if debug_enabled() {
+        event(name, fields);
+    }
+}
+
+/// Prints `msg` to stderr and records a `warn` event, at most once per
+/// process for a given `key`. Active at [`Level::Warn`] and above (the
+/// default), so misconfiguration is visible without any `MC_LOG` set.
+pub fn warn_once(key: &'static str, msg: &str) {
+    if level() < Level::Warn {
+        return;
+    }
+    let mut g = registry::inner();
+    if !g.warned.insert(key) {
+        return;
+    }
+    let line = Obj::new()
+        .str("type", "warn")
+        .str("key", key)
+        .str("msg", msg)
+        .finish();
+    g.push_event(line);
+    drop(g);
+    eprintln!("[mc-obs warn] {msg}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Note: these tests share one global registry and level with every
+    // other test in this binary, so they use unique metric names and
+    // delta-based assertions, and force the level explicitly.
+
+    #[test]
+    fn level_parsing_and_names() {
+        assert_eq!(Level::parse("info"), Some(Level::Info));
+        assert_eq!(Level::parse("TRACE"), Some(Level::Trace));
+        assert_eq!(Level::parse(" 2 "), Some(Level::Warn));
+        assert_eq!(Level::parse("bogus"), None);
+        assert_eq!(Level::parse(""), None);
+        for l in [
+            Level::Off,
+            Level::Error,
+            Level::Warn,
+            Level::Info,
+            Level::Debug,
+            Level::Trace,
+        ] {
+            assert_eq!(Level::parse(l.name()), Some(l));
+        }
+        assert!(Level::Off < Level::Warn && Level::Warn < Level::Trace);
+    }
+
+    #[test]
+    fn disabled_collection_is_inert() {
+        let _l = crate::registry::test_lock();
+        let prev = level();
+        set_level(Level::Warn);
+        let before = snapshot().counter("test.lib.gated");
+        counter_add("test.lib.gated", 5);
+        record("test.lib.gated_hist", 5);
+        {
+            let _g = span("test_lib_gated_span");
+        }
+        let s = snapshot();
+        assert_eq!(s.counter("test.lib.gated"), before);
+        assert!(s.span("test_lib_gated_span").is_none());
+        set_level(prev);
+    }
+
+    #[test]
+    fn enabled_collection_counts_and_nests() {
+        let _l = crate::registry::test_lock();
+        let prev = level();
+        set_level(Level::Info);
+        let before = snapshot().counter("test.lib.live");
+        counter_add("test.lib.live", 3);
+        {
+            let _outer = span("test_lib_outer");
+            let _inner = span("test_lib_inner");
+        }
+        gauge_set("test.lib.gauge", 2.5);
+        let s = snapshot();
+        assert_eq!(s.counter("test.lib.live"), before + 3);
+        let inner = s
+            .span("test_lib_outer/test_lib_inner")
+            .expect("nested span");
+        assert_eq!(inner.depth, 1);
+        assert_eq!(inner.parent, "test_lib_outer");
+        assert!(inner.calls >= 1);
+        assert!(s
+            .gauges
+            .iter()
+            .any(|(n, v)| n == "test.lib.gauge" && *v == 2.5));
+        set_level(prev);
+    }
+
+    #[test]
+    fn warn_once_fires_once() {
+        let _l = crate::registry::test_lock();
+        let prev = level();
+        set_level(Level::Warn);
+        warn_once("test.lib.warnkey", "first");
+        warn_once("test.lib.warnkey", "second");
+        let warns: Vec<_> = snapshot()
+            .events
+            .iter()
+            .filter(|e| e.contains("test.lib.warnkey"))
+            .cloned()
+            .collect();
+        assert_eq!(warns.len(), 1);
+        assert!(warns[0].contains("first"));
+        set_level(prev);
+    }
+
+    #[test]
+    fn events_respect_debug_gate() {
+        let _l = crate::registry::test_lock();
+        let prev = level();
+        set_level(Level::Info);
+        event("test.lib.event", &[("k", Value::U(1))]);
+        debug_event("test.lib.debug_event", &[]);
+        let s = snapshot();
+        assert!(s.events.iter().any(|e| e.contains("test.lib.event")));
+        assert!(!s.events.iter().any(|e| e.contains("test.lib.debug_event")));
+        set_level(Level::Debug);
+        debug_event("test.lib.debug_event", &[]);
+        assert!(snapshot()
+            .events
+            .iter()
+            .any(|e| e.contains("test.lib.debug_event")));
+        set_level(prev);
+    }
+}

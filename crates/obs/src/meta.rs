@@ -1,0 +1,97 @@
+//! Run-metadata helpers: git revision and environment stamps for
+//! reproducible benchmark artifacts.
+//!
+//! The git SHA is read straight from `.git` files (`HEAD`, loose refs,
+//! `packed-refs`) — no subprocess, so it works in sandboxes without a
+//! `git` binary on `PATH`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Best-effort git commit SHA of the repository containing the current
+/// working directory. Returns `None` outside a git checkout or on any
+/// read/parse failure.
+pub fn git_sha() -> Option<String> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let dot_git = dir.join(".git");
+        if dot_git.exists() {
+            return sha_from_git_dir(&resolve_git_dir(&dot_git)?);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Resolves `.git` to the actual git directory (it is a `gitdir: <path>`
+/// pointer file in worktrees and submodules).
+fn resolve_git_dir(dot_git: &Path) -> Option<PathBuf> {
+    if dot_git.is_dir() {
+        return Some(dot_git.to_path_buf());
+    }
+    let contents = fs::read_to_string(dot_git).ok()?;
+    let target = contents.strip_prefix("gitdir:")?.trim();
+    let path = Path::new(target);
+    Some(if path.is_absolute() {
+        path.to_path_buf()
+    } else {
+        dot_git.parent()?.join(path)
+    })
+}
+
+fn sha_from_git_dir(git_dir: &Path) -> Option<String> {
+    let head = fs::read_to_string(git_dir.join("HEAD")).ok()?;
+    let head = head.trim();
+    if let Some(refname) = head.strip_prefix("ref:") {
+        let refname = refname.trim();
+        // Loose ref first, then packed-refs.
+        if let Ok(sha) = fs::read_to_string(git_dir.join(refname)) {
+            return valid_sha(sha.trim());
+        }
+        let packed = fs::read_to_string(git_dir.join("packed-refs")).ok()?;
+        for line in packed.lines() {
+            if let Some(sha) = line.strip_suffix(refname) {
+                if let Some(sha) = valid_sha(sha.trim()) {
+                    return Some(sha);
+                }
+            }
+        }
+        None
+    } else {
+        // Detached HEAD: the file holds the SHA itself.
+        valid_sha(head)
+    }
+}
+
+fn valid_sha(s: &str) -> Option<String> {
+    (s.len() == 40 && s.bytes().all(|b| b.is_ascii_hexdigit())).then(|| s.to_string())
+}
+
+/// Number of logical CPUs the runtime reports (0 when unknown).
+pub fn available_threads() -> u64 {
+    std::thread::available_parallelism().map_or(0, |n| n.get() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sha_validation() {
+        assert_eq!(valid_sha(""), None);
+        assert_eq!(valid_sha("not-a-sha"), None);
+        let sha = "0123456789abcdef0123456789abcdef01234567";
+        assert_eq!(valid_sha(sha), Some(sha.to_string()));
+        assert_eq!(valid_sha(&sha[..39]), None);
+    }
+
+    #[test]
+    fn git_sha_in_this_repo_resolves() {
+        // The workspace is a git checkout, so this should produce a SHA;
+        // tolerate None only if the checkout is somehow bare.
+        if let Some(sha) = git_sha() {
+            assert_eq!(sha.len(), 40);
+        }
+    }
+}

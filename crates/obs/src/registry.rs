@@ -1,0 +1,313 @@
+//! The thread-safe global metrics registry.
+//!
+//! One process-wide registry holds every counter, gauge, histogram, the
+//! aggregated span forest, and the raw event buffer. Counters and
+//! histograms are leaked `'static` atomics: a handle fetched once stays
+//! valid forever (even across [`reset`](crate::reset), which zeroes
+//! values in place rather than dropping them), so hot loops can cache a
+//! handle and pay only relaxed atomic ops per update. Everything else is
+//! guarded by one mutex — instrumentation points sit at phase/chain/round
+//! granularity, never inside per-point inner loops, so contention is
+//! negligible.
+
+use crate::hist::Histogram;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+/// Cap on buffered raw events; beyond it events are counted as dropped
+/// instead of stored, bounding memory on long runs.
+pub const MAX_EVENTS: usize = 4096;
+
+/// One aggregation node of the span forest.
+#[derive(Debug)]
+pub(crate) struct SpanNode {
+    pub name: &'static str,
+    pub children: Vec<usize>,
+    pub calls: u64,
+    pub total_ns: u64,
+}
+
+pub(crate) struct Inner {
+    pub counters: BTreeMap<&'static str, &'static AtomicU64>,
+    pub gauges: BTreeMap<&'static str, f64>,
+    pub hists: BTreeMap<&'static str, &'static Histogram>,
+    /// Span forest; node 0 is the synthetic root (never reported).
+    pub nodes: Vec<SpanNode>,
+    /// Pre-rendered JSON event lines.
+    pub events: Vec<String>,
+    pub events_dropped: u64,
+    /// Keys already warned about (persists across `reset` — one-shot
+    /// warnings are per process, not per run).
+    pub warned: BTreeSet<&'static str>,
+    /// Incremented by `reset`; stale span guards and thread-local span
+    /// stacks detect it and no-op instead of touching freed node ids.
+    pub epoch: u64,
+}
+
+impl Inner {
+    fn new() -> Self {
+        Self {
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            hists: BTreeMap::new(),
+            nodes: vec![SpanNode {
+                name: "",
+                children: Vec::new(),
+                calls: 0,
+                total_ns: 0,
+            }],
+            events: Vec::new(),
+            events_dropped: 0,
+            warned: BTreeSet::new(),
+            epoch: 1,
+        }
+    }
+
+    /// Finds or creates the child of `parent` named `name`.
+    pub fn child(&mut self, parent: usize, name: &'static str) -> usize {
+        if let Some(&c) = self.nodes[parent]
+            .children
+            .iter()
+            .find(|&&c| self.nodes[c].name == name)
+        {
+            return c;
+        }
+        let id = self.nodes.len();
+        self.nodes.push(SpanNode {
+            name,
+            children: Vec::new(),
+            calls: 0,
+            total_ns: 0,
+        });
+        self.nodes[parent].children.push(id);
+        id
+    }
+
+    pub fn push_event(&mut self, line: String) {
+        if self.events.len() < MAX_EVENTS {
+            self.events.push(line);
+        } else {
+            self.events_dropped += 1;
+        }
+    }
+}
+
+pub(crate) fn inner() -> MutexGuard<'static, Inner> {
+    static REGISTRY: OnceLock<Mutex<Inner>> = OnceLock::new();
+    REGISTRY
+        .get_or_init(|| Mutex::new(Inner::new()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Returns the `'static` atomic behind counter `name`, creating it on
+/// first use. Not gated on the log level — cache the handle and gate the
+/// *updates* (see [`crate::counter_add`]).
+pub fn counter(name: &'static str) -> &'static AtomicU64 {
+    inner()
+        .counters
+        .entry(name)
+        .or_insert_with(|| Box::leak(Box::new(AtomicU64::new(0))))
+}
+
+/// Returns the `'static` histogram behind `name`, creating it on first
+/// use (same handle semantics as [`counter`]).
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    inner()
+        .hists
+        .entry(name)
+        .or_insert_with(|| Box::leak(Box::new(Histogram::new())))
+}
+
+/// Aggregated statistics of one span path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Slash-joined path from the root, e.g. `active/sampling/chain`.
+    pub path: String,
+    /// Leaf name, e.g. `chain`.
+    pub name: String,
+    /// Path of the parent span (empty for roots).
+    pub parent: String,
+    /// Nesting depth (0 for roots).
+    pub depth: usize,
+    /// Completed calls.
+    pub calls: u64,
+    /// Total wall-clock nanoseconds across calls (monotonic clock).
+    pub total_ns: u64,
+}
+
+impl SpanStat {
+    /// Total duration as a [`Duration`].
+    pub fn total(&self) -> Duration {
+        Duration::from_nanos(self.total_ns)
+    }
+}
+
+/// Frozen statistics of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistStat {
+    /// Histogram name.
+    pub name: String,
+    /// Observation count.
+    pub count: u64,
+    /// Observation sum.
+    pub sum: u64,
+    /// Smallest observation (`None` when empty).
+    pub min: Option<u64>,
+    /// Largest observation (`None` when empty).
+    pub max: Option<u64>,
+    /// Non-empty buckets as `(lo, hi, count)`, ascending.
+    pub buckets: Vec<(u64, u64, u64)>,
+}
+
+/// A point-in-time copy of the whole registry, safe to render or export
+/// while instrumentation continues.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Span statistics in pre-order (parents before children).
+    pub spans: Vec<SpanStat>,
+    /// Counter values, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values, name-sorted.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram statistics, name-sorted.
+    pub hists: Vec<HistStat>,
+    /// Raw JSON event lines in emission order.
+    pub events: Vec<String>,
+    /// Events discarded once the buffer cap was reached.
+    pub events_dropped: u64,
+}
+
+impl Snapshot {
+    /// Looks up a counter value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |&(_, v)| v)
+    }
+
+    /// Looks up a span stat by its full path.
+    pub fn span(&self, path: &str) -> Option<&SpanStat> {
+        self.spans.iter().find(|s| s.path == path)
+    }
+}
+
+/// Takes a consistent snapshot of the registry.
+pub fn snapshot() -> Snapshot {
+    let g = inner();
+    let mut spans = Vec::new();
+    // Pre-order walk from the synthetic root.
+    let mut stack: Vec<(usize, usize, String)> = g.nodes[0]
+        .children
+        .iter()
+        .rev()
+        .map(|&c| (c, 0usize, String::new()))
+        .collect();
+    while let Some((id, depth, parent)) = stack.pop() {
+        let node = &g.nodes[id];
+        let path = if parent.is_empty() {
+            node.name.to_string()
+        } else {
+            format!("{parent}/{}", node.name)
+        };
+        for &c in node.children.iter().rev() {
+            stack.push((c, depth + 1, path.clone()));
+        }
+        spans.push(SpanStat {
+            path: path.clone(),
+            name: node.name.to_string(),
+            parent,
+            depth,
+            calls: node.calls,
+            total_ns: node.total_ns,
+        });
+    }
+    Snapshot {
+        spans,
+        counters: g
+            .counters
+            .iter()
+            .map(|(&n, c)| (n.to_string(), c.load(Relaxed)))
+            .collect(),
+        gauges: g.gauges.iter().map(|(&n, &v)| (n.to_string(), v)).collect(),
+        hists: g
+            .hists
+            .iter()
+            .map(|(&n, h)| HistStat {
+                name: n.to_string(),
+                count: h.count(),
+                sum: h.sum(),
+                min: h.min(),
+                max: h.max(),
+                buckets: h.nonzero_buckets(),
+            })
+            .collect(),
+        events: g.events.clone(),
+        events_dropped: g.events_dropped,
+    }
+}
+
+/// Resets every metric to the empty state. Counter and histogram handles
+/// stay valid (values are zeroed in place); live span guards from before
+/// the reset detect the epoch change and record nothing. One-shot
+/// warning keys are *not* cleared — they are per process.
+pub fn reset() {
+    let mut g = inner();
+    g.epoch += 1;
+    g.nodes.truncate(1);
+    g.nodes[0].children.clear();
+    for c in g.counters.values() {
+        c.store(0, Relaxed);
+    }
+    for h in g.hists.values() {
+        h.reset();
+    }
+    g.gauges.clear();
+    g.events.clear();
+    g.events_dropped = 0;
+}
+
+/// Serializes unit tests that mutate process-global state (the level,
+/// `reset`): the registry is shared by every test in the binary.
+#[cfg(test)]
+pub(crate) fn test_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_survive_reset() {
+        let _l = test_lock();
+        let c = counter("test.registry.survivor");
+        c.store(41, Relaxed);
+        c.fetch_add(1, Relaxed);
+        assert_eq!(snapshot().counter("test.registry.survivor"), 42);
+        reset();
+        assert_eq!(snapshot().counter("test.registry.survivor"), 0);
+        c.fetch_add(7, Relaxed);
+        assert_eq!(snapshot().counter("test.registry.survivor"), 7);
+    }
+
+    #[test]
+    fn snapshot_is_name_sorted() {
+        counter("test.registry.zz");
+        counter("test.registry.aa");
+        let s = snapshot();
+        let names: Vec<&str> = s
+            .counters
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .filter(|n| n.starts_with("test.registry."))
+            .collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+}

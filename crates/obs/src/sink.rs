@@ -1,0 +1,260 @@
+//! Output sinks: a human-readable phase-tree summary and a
+//! machine-readable JSON-lines stream.
+//!
+//! Every JSONL line is a flat object with a `"type"` discriminator:
+//! `meta`, `span`, `counter`, `gauge`, `histogram`, or `event` (plus
+//! `warn` for one-shot warnings). The schema is documented in
+//! `docs/OBSERVABILITY.md`.
+
+use crate::json::{Obj, Value};
+use crate::registry::Snapshot;
+use std::fmt::Write as _;
+use std::io;
+
+/// Formats a nanosecond duration with a human-friendly unit.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Renders the snapshot as an indented phase tree followed by counter,
+/// gauge, and histogram sections. Empty sections are omitted.
+pub fn render_phase_tree(s: &Snapshot) -> String {
+    let mut out = String::new();
+    if !s.spans.is_empty() {
+        out.push_str("phase timings:\n");
+        // Parent totals for percentage-of-parent annotations.
+        for span in &s.spans {
+            let label = format!("{}{}", "  ".repeat(span.depth + 1), span.name);
+            let _ = write!(
+                out,
+                "{label:<40} calls={:<6} total={:>10}",
+                span.calls,
+                fmt_ns(span.total_ns)
+            );
+            if let Some(parent) = s.span(&span.parent) {
+                if parent.total_ns > 0 {
+                    let pct = 100.0 * span.total_ns as f64 / parent.total_ns as f64;
+                    let _ = write!(out, "  ({pct:.1}% of {})", parent.name);
+                }
+            }
+            out.push('\n');
+        }
+    }
+    if !s.counters.is_empty() {
+        out.push_str("counters:\n");
+        for (name, v) in &s.counters {
+            let _ = writeln!(out, "  {name:<40} {v}");
+        }
+    }
+    if !s.gauges.is_empty() {
+        out.push_str("gauges:\n");
+        for (name, v) in &s.gauges {
+            let _ = writeln!(out, "  {name:<40} {v}");
+        }
+    }
+    if !s.hists.is_empty() {
+        out.push_str("histograms:\n");
+        for h in &s.hists {
+            let _ = write!(out, "  {:<40} n={} sum={}", h.name, h.count, h.sum);
+            if let (Some(lo), Some(hi)) = (h.min, h.max) {
+                let _ = write!(out, " min={lo} max={hi}");
+            }
+            out.push('\n');
+            for &(lo, hi, c) in &h.buckets {
+                let _ = writeln!(out, "    [{lo}, {hi}] {c}");
+            }
+        }
+    }
+    if s.events_dropped > 0 {
+        let _ = writeln!(
+            out,
+            "(+{} events dropped past buffer cap)",
+            s.events_dropped
+        );
+    }
+    out
+}
+
+/// Renders the snapshot's metric lines (spans, counters, gauges,
+/// histograms, buffered events) as JSONL strings without trailing
+/// newlines. The `meta` line is *not* included — see [`write_jsonl`].
+pub fn jsonl_lines(s: &Snapshot) -> Vec<String> {
+    let mut lines = Vec::new();
+    for span in &s.spans {
+        lines.push(
+            Obj::new()
+                .str("type", "span")
+                .str("path", &span.path)
+                .str("name", &span.name)
+                .str("parent", &span.parent)
+                .u64("depth", span.depth as u64)
+                .u64("calls", span.calls)
+                .u64("total_ns", span.total_ns)
+                .finish(),
+        );
+    }
+    for (name, v) in &s.counters {
+        lines.push(
+            Obj::new()
+                .str("type", "counter")
+                .str("name", name)
+                .u64("value", *v)
+                .finish(),
+        );
+    }
+    for (name, v) in &s.gauges {
+        lines.push(
+            Obj::new()
+                .str("type", "gauge")
+                .str("name", name)
+                .f64("value", *v)
+                .finish(),
+        );
+    }
+    for h in &s.hists {
+        let mut buckets = String::from("[");
+        for (i, &(lo, hi, c)) in h.buckets.iter().enumerate() {
+            if i > 0 {
+                buckets.push(',');
+            }
+            let _ = write!(buckets, "[{lo},{hi},{c}]");
+        }
+        buckets.push(']');
+        let mut obj = Obj::new()
+            .str("type", "histogram")
+            .str("name", &h.name)
+            .u64("count", h.count)
+            .u64("sum", h.sum);
+        if let (Some(lo), Some(hi)) = (h.min, h.max) {
+            obj = obj.u64("min", lo).u64("max", hi);
+        }
+        lines.push(obj.raw("buckets", &buckets).finish());
+    }
+    lines.extend(s.events.iter().cloned());
+    lines
+}
+
+/// Writes the full JSONL stream: one leading `meta` line (git SHA,
+/// thread count, caller-supplied fields such as seed and effective
+/// env values) followed by every metric line of the snapshot.
+pub fn write_jsonl(
+    w: &mut dyn io::Write,
+    s: &Snapshot,
+    extra_meta: &[(&str, Value)],
+) -> io::Result<()> {
+    let mut meta = Obj::new().str("type", "meta").str("schema", "mc-obs/1");
+    if let Some(sha) = crate::meta::git_sha() {
+        meta = meta.str("git_sha", &sha);
+    }
+    meta = meta.u64("threads_available", crate::meta::available_threads());
+    for (k, v) in extra_meta {
+        meta = meta.value(k, v);
+    }
+    if s.events_dropped > 0 {
+        meta = meta.u64("events_dropped", s.events_dropped);
+    }
+    writeln!(w, "{}", meta.finish())?;
+    for line in jsonl_lines(s) {
+        writeln!(w, "{line}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{HistStat, SpanStat};
+
+    fn sample_snapshot() -> Snapshot {
+        Snapshot {
+            spans: vec![
+                SpanStat {
+                    path: "active".into(),
+                    name: "active".into(),
+                    parent: String::new(),
+                    depth: 0,
+                    calls: 1,
+                    total_ns: 2_000_000,
+                },
+                SpanStat {
+                    path: "active/sampling".into(),
+                    name: "sampling".into(),
+                    parent: "active".into(),
+                    depth: 1,
+                    calls: 3,
+                    total_ns: 1_000_000,
+                },
+            ],
+            counters: vec![("oracle.attempts".into(), 42)],
+            gauges: vec![("passive.cut_weight".into(), 1.5)],
+            hists: vec![HistStat {
+                name: "sampling.probes_per_chain".into(),
+                count: 2,
+                sum: 10,
+                min: Some(3),
+                max: Some(7),
+                buckets: vec![(2, 3, 1), (4, 7, 1)],
+            }],
+            events: vec![r#"{"type":"event","name":"x"}"#.into()],
+            events_dropped: 0,
+        }
+    }
+
+    #[test]
+    fn phase_tree_mentions_every_section() {
+        let text = render_phase_tree(&sample_snapshot());
+        assert!(text.contains("phase timings:"));
+        assert!(text.contains("active"));
+        assert!(text.contains("sampling"));
+        assert!(text.contains("(50.0% of active)"));
+        assert!(text.contains("oracle.attempts"));
+        assert!(text.contains("passive.cut_weight"));
+        assert!(text.contains("sampling.probes_per_chain"));
+    }
+
+    #[test]
+    fn jsonl_lines_carry_type_tags() {
+        let lines = jsonl_lines(&sample_snapshot());
+        assert_eq!(lines.len(), 2 + 1 + 1 + 1 + 1);
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains(r#""type":""#), "{line}");
+        }
+        assert!(lines
+            .iter()
+            .any(|l| l.contains(r#""buckets":[[2,3,1],[4,7,1]]"#)));
+    }
+
+    #[test]
+    fn write_jsonl_leads_with_meta() {
+        let mut buf = Vec::new();
+        write_jsonl(
+            &mut buf,
+            &sample_snapshot(),
+            &[("seed", Value::U(7)), ("tool", Value::S("test".into()))],
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let first = text.lines().next().unwrap();
+        assert!(first.contains(r#""type":"meta""#));
+        assert!(first.contains(r#""schema":"mc-obs/1""#));
+        assert!(first.contains(r#""seed":7"#));
+        assert!(first.contains(r#""tool":"test""#));
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(17), "17ns");
+        assert_eq!(fmt_ns(1_700), "1.7µs");
+        assert_eq!(fmt_ns(2_500_000), "2.50ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00s");
+    }
+}

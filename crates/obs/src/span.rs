@@ -1,0 +1,81 @@
+//! Hierarchical spans with monotonic timing.
+//!
+//! A span is entered with [`crate::span`] and recorded into the global
+//! forest when its guard drops. Nesting is tracked per thread: the guard
+//! remembers the previous thread-local position and restores it on drop,
+//! so `span("active")` followed by `span("sampling")` aggregates under
+//! the path `active/sampling`. When tracing is disabled the guard is a
+//! `None` — entering and dropping it costs one relaxed atomic load and
+//! no allocation.
+
+use crate::registry;
+use std::cell::Cell;
+use std::time::Instant;
+
+thread_local! {
+    /// `(epoch, node)` of the innermost open span on this thread. A
+    /// stale epoch (after a registry reset, or the initial `(0, 0)`)
+    /// resolves to the synthetic root.
+    static CURRENT: Cell<(u64, usize)> = const { Cell::new((0, 0)) };
+}
+
+struct Active {
+    node: usize,
+    epoch: u64,
+    prev: (u64, usize),
+    start: Instant,
+}
+
+/// RAII guard for an open span; records timing on drop.
+///
+/// Returned by [`crate::span`]. Hold it for the duration of the phase:
+///
+/// ```
+/// let _g = mc_obs::span("example_phase");
+/// // ... phase work ...
+/// ```
+#[must_use = "a span records nothing unless its guard is held"]
+pub struct SpanGuard(Option<Active>);
+
+pub(crate) fn enter(name: &'static str) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard(None);
+    }
+    let mut g = registry::inner();
+    let epoch = g.epoch;
+    let parent = CURRENT.with(|c| {
+        let (e, n) = c.get();
+        if e == epoch {
+            n
+        } else {
+            0
+        }
+    });
+    let node = g.child(parent, name);
+    drop(g);
+    let prev = CURRENT.with(|c| c.replace((epoch, node)));
+    SpanGuard(Some(Active {
+        node,
+        epoch,
+        prev,
+        start: Instant::now(),
+    }))
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(a) = self.0.take() {
+            let elapsed_ns = a.start.elapsed().as_nanos() as u64;
+            let mut g = registry::inner();
+            // Skip recording if the registry was reset while this span
+            // was open — the node id now belongs to a dead forest.
+            if g.epoch == a.epoch {
+                let node = &mut g.nodes[a.node];
+                node.calls += 1;
+                node.total_ns += elapsed_ns;
+            }
+            drop(g);
+            CURRENT.with(|c| c.set(a.prev));
+        }
+    }
+}

@@ -32,6 +32,8 @@ use monotone_classification::core::metrics::ConfusionMatrix;
 use monotone_classification::core::passive::{solve_passive, ContendingPoints};
 use monotone_classification::core::{ActiveParams, ActiveSolver, InMemoryOracle};
 use monotone_classification::data::csv;
+use monotone_classification::obs;
+use monotone_classification::obs::json::Value;
 use monotone_classification::{
     AbstainingOracle, FallibleOracle, FlakyOracle, InfallibleAdapter, Label, McError, OracleError,
     RetryOracle, RetryPolicy,
@@ -104,9 +106,10 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   mcc passive  <data.csv> [--weighted] [--out classifier.csv]
+               [--trace] [--metrics-out metrics.jsonl]
   mcc active   <data.csv> [--epsilon E] [--seed S] [--out classifier.csv]
                [--flaky-rate P] [--abstain-rate P] [--retry-attempts N]
-               [--fault-seed S]
+               [--fault-seed S] [--trace] [--metrics-out metrics.jsonl]
   mcc eval     <data.csv> <classifier.csv>
   mcc stats    <data.csv>
   mcc crossval <data.csv> [--folds K] [--seed S]
@@ -198,8 +201,68 @@ fn parse_data(text: &str) -> Result<monotone_classification::LabeledSet, CliErro
     csv::parse_labeled(text).map_err(|e| CliError::Data(e.to_string()))
 }
 
+/// Observability surface shared by the solve commands: `--trace` prints
+/// the phase tree to stderr after the run, `--metrics-out <path>.jsonl`
+/// writes the machine-readable stream. Either flag turns collection on
+/// (without lowering an explicit `MC_LOG=debug`/`trace`).
+struct ObsOutput {
+    trace: bool,
+    metrics_out: Option<String>,
+}
+
+impl ObsOutput {
+    fn from_cli(values: &[(String, String)], flags: &[String]) -> Self {
+        let out = Self {
+            trace: flags.iter().any(|f| f == "trace"),
+            metrics_out: get_value(values, "metrics-out"),
+        };
+        if (out.trace || out.metrics_out.is_some()) && obs::level() < obs::Level::Info {
+            obs::set_level(obs::Level::Info);
+        }
+        out
+    }
+
+    /// Emits the configured sinks. `extra_meta` is stamped into the
+    /// JSONL `meta` line; `extra_lines` (e.g. the solver's
+    /// `SolveReport::to_json`) are appended after the snapshot.
+    fn finish(&self, extra_meta: &[(&str, Value)], extra_lines: &[String]) -> Result<(), CliError> {
+        if !self.trace && self.metrics_out.is_none() {
+            return Ok(());
+        }
+        let snap = obs::snapshot();
+        if self.trace {
+            eprint!("{}", obs::sink::render_phase_tree(&snap));
+        }
+        if let Some(path) = &self.metrics_out {
+            let mut meta: Vec<(&str, Value)> = vec![
+                (
+                    "mc_par_threshold",
+                    Value::U(monotone_classification::geom::parallel_threshold() as u64),
+                ),
+                (
+                    "mc_threads",
+                    Value::U(monotone_classification::geom::max_threads() as u64),
+                ),
+            ];
+            meta.extend(extra_meta.iter().cloned());
+            let mut file = std::fs::File::create(path)
+                .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
+            obs::sink::write_jsonl(&mut file, &snap, &meta)
+                .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
+            use std::io::Write as _;
+            for line in extra_lines {
+                writeln!(file, "{line}")
+                    .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
+            }
+            eprintln!("wrote metrics to {path}");
+        }
+        Ok(())
+    }
+}
+
 fn cmd_passive(args: &[String]) -> Result<(), CliError> {
-    let (pos, values, flags) = parse_flags(args, &["out"], &["weighted"])?;
+    let (pos, values, flags) = parse_flags(args, &["out", "metrics-out"], &["weighted", "trace"])?;
+    let obs_out = ObsOutput::from_cli(&values, &flags);
     let path = pos
         .first()
         .ok_or_else(|| CliError::Usage("passive: missing <data.csv>".into()))?;
@@ -210,6 +273,14 @@ fn cmd_passive(args: &[String]) -> Result<(), CliError> {
         parse_data(&text)?.with_unit_weights()
     };
     let sol = solve_passive(&weighted);
+    obs_out.finish(
+        &[
+            ("tool", Value::S("mcc passive".into())),
+            ("n", Value::U(weighted.len() as u64)),
+            ("d", Value::U(weighted.dim() as u64)),
+        ],
+        &[],
+    )?;
     println!(
         "n = {}, d = {}, contending = {}",
         weighted.len(),
@@ -251,7 +322,7 @@ impl FallibleOracle for InjectedOracle {
 }
 
 fn cmd_active(args: &[String]) -> Result<(), CliError> {
-    let (pos, values, _) = parse_flags(
+    let (pos, values, flags) = parse_flags(
         args,
         &[
             "epsilon",
@@ -261,9 +332,11 @@ fn cmd_active(args: &[String]) -> Result<(), CliError> {
             "abstain-rate",
             "retry-attempts",
             "fault-seed",
+            "metrics-out",
         ],
-        &[],
+        &["trace"],
     )?;
+    let obs_out = ObsOutput::from_cli(&values, &flags);
     let path = pos
         .first()
         .ok_or_else(|| CliError::Usage("active: missing <data.csv>".into()))?;
@@ -309,6 +382,16 @@ fn cmd_active(args: &[String]) -> Result<(), CliError> {
         let mut adapter = InfallibleAdapter::new(&mut oracle);
         solver.try_solve(data.points(), &mut adapter)?
     };
+    obs_out.finish(
+        &[
+            ("tool", Value::S("mcc active".into())),
+            ("n", Value::U(data.len() as u64)),
+            ("d", Value::U(data.dim() as u64)),
+            ("seed", Value::U(seed)),
+            ("epsilon", Value::F(epsilon)),
+        ],
+        &[sol.report.to_json()],
+    )?;
     println!(
         "n = {}, d = {}, dominance width = {}",
         data.len(),

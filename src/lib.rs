@@ -44,6 +44,7 @@ pub use mc_data as data;
 pub use mc_flow as flow;
 pub use mc_geom as geom;
 pub use mc_matching as matching;
+pub use mc_obs as obs;
 
 pub use mc_core::passive::solve_passive;
 pub use mc_core::{

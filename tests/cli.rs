@@ -207,6 +207,88 @@ fn exit_codes_distinguish_failure_classes() {
 }
 
 #[test]
+fn active_trace_writes_schema_valid_jsonl() {
+    let dir = std::env::temp_dir().join(format!("mcc-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let data = dir.join("trace.csv");
+    let metrics = dir.join("metrics.jsonl");
+    let out = mcc()
+        .args(["generate", "width-3"])
+        .arg(&data)
+        .args(["--n", "400", "--seed", "1"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let out = mcc()
+        .args(["active"])
+        .arg(&data)
+        .args([
+            "--epsilon",
+            "0.5",
+            "--seed",
+            "3",
+            "--trace",
+            "--metrics-out",
+        ])
+        .arg(&metrics)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The phase tree goes to stderr and covers the pipeline stages.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("phase timings:"), "{stderr}");
+    for phase in ["chain_decomposition", "sampling", "passive"] {
+        assert!(stderr.contains(phase), "missing {phase} in:\n{stderr}");
+    }
+
+    // Every metrics line is a flat JSON object with a "type" tag; the
+    // stream leads with the schema-tagged meta line.
+    let text = std::fs::read_to_string(&metrics).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() > 5, "suspiciously short stream:\n{text}");
+    for line in &lines {
+        assert!(
+            line.starts_with('{') && line.ends_with('}') && line.contains("\"type\":\""),
+            "malformed JSONL line: {line}"
+        );
+    }
+    assert!(lines[0].contains("\"type\":\"meta\""), "{}", lines[0]);
+    assert!(lines[0].contains("\"schema\":\"mc-obs/1\""), "{}", lines[0]);
+    assert!(lines[0].contains("\"seed\":3"), "{}", lines[0]);
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.contains("\"path\":\"active/passive\"")),
+        "no nested passive span:\n{text}"
+    );
+
+    // The exported oracle.attempts counter reconciles exactly with the
+    // solve_report line (both come from the same SolveReport).
+    let field = |line: &str, key: &str| -> u64 {
+        let tail = &line[line.find(&format!("\"{key}\":")).unwrap() + key.len() + 3..];
+        tail.chars()
+            .take_while(char::is_ascii_digit)
+            .collect::<String>()
+            .parse()
+            .unwrap()
+    };
+    let counter = lines
+        .iter()
+        .find(|l| l.contains("\"name\":\"oracle.attempts\""))
+        .expect("oracle.attempts counter line");
+    let report = lines
+        .iter()
+        .find(|l| l.contains("\"type\":\"solve_report\""))
+        .expect("solve_report line");
+    assert_eq!(field(counter, "value"), field(report, "attempts"));
+}
+
+#[test]
 fn active_with_transient_faults_matches_clean_run() {
     let data = write_temp("faulty.csv", DEMO);
     let clean = mcc()
