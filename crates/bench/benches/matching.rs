@@ -1,10 +1,19 @@
 //! Criterion micro-benchmarks: bipartite matching (Hopcroft–Karp vs
-//! Kuhn) on random graphs and on dominance split graphs.
+//! Kuhn) on random graphs and on dominance split graphs, plus the
+//! list-vs-bitset end-to-end `ChainDecomposition` comparison recorded
+//! to `BENCH_matching.json` at the repo root (the ISSUE's ≥4×
+//! acceptance gate at n = 20 000, d = 4; override the size with
+//! `MC_BENCH_MATCHING_N` for smoke runs).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mc_matching::{BipartiteGraph, HopcroftKarp, Kuhn, MatchingAlgorithm};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mc_chains::{ChainDecomposition, MatchingEngine};
+use mc_geom::{DominanceIndex, PointSet};
+use mc_matching::{
+    BipartiteGraph, BitsetGraph, HopcroftKarp, HopcroftKarpBitset, Kuhn, MatchingAlgorithm,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
 
 fn random_bipartite(n: usize, avg_degree: usize, seed: u64) -> BipartiteGraph {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -63,5 +72,145 @@ fn bench_dominance(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_random, bench_dominance);
+fn random_points(n: usize, dim: usize, seed: u64) -> PointSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..dim).map(|_| rng.gen_range(0.0..100.0)).collect())
+        .collect();
+    PointSet::from_rows(dim, &rows)
+}
+
+/// Engine face-off on the real Lemma-6 workload at criterion scale.
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching/engine");
+    group.sample_size(10);
+    for n in [1_000usize, 4_000] {
+        let points = random_points(n, 4, 0xE0);
+        let index = DominanceIndex::build(&points);
+        group.bench_with_input(BenchmarkId::new("list", n), &index, |b, index| {
+            b.iter(|| ChainDecomposition::compute_with_engine(index, MatchingEngine::List).width())
+        });
+        group.bench_with_input(BenchmarkId::new("bitset", n), &index, |b, index| {
+            b.iter(|| {
+                ChainDecomposition::compute_with_engine(index, MatchingEngine::Bitset).width()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Medians a few timed runs of `f`.
+fn time_runs<O>(reps: usize, mut f: impl FnMut() -> O) -> Duration {
+    let mut times: Vec<Duration> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// The acceptance-gate comparison: adjacency-list vs bitset engine for
+/// the end-to-end `ChainDecomposition` off a shared index, with
+/// equivalence checks, saved as JSON for the record.
+fn record_comparison(_c: &mut Criterion) {
+    let n: usize = std::env::var("MC_BENCH_MATCHING_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000);
+    let dim = 4;
+    let reps = 3;
+    let points = random_points(n, dim, 0xE4);
+
+    println!("matching/comparison: list vs bitset at n = {n}, d = {dim} ({reps} reps each)");
+    let index_build = time_runs(reps, || DominanceIndex::build(&points).len());
+    let index = DominanceIndex::build(&points);
+
+    let list = time_runs(reps, || {
+        ChainDecomposition::compute_with_engine(&index, MatchingEngine::List).width()
+    });
+    let bitset = time_runs(reps, || {
+        ChainDecomposition::compute_with_engine(&index, MatchingEngine::Bitset).width()
+    });
+
+    // Behavioral equivalence at full scale: both decompositions are
+    // structurally valid, with identical width and antichain size.
+    let list_dec = ChainDecomposition::compute_with_engine(&index, MatchingEngine::List);
+    let bitset_dec = ChainDecomposition::compute_with_engine(&index, MatchingEngine::Bitset);
+    list_dec.validate(&points).expect("list path invalid");
+    bitset_dec.validate(&points).expect("bitset path invalid");
+    let width_identical = list_dec.width() == bitset_dec.width();
+    let antichain_identical = list_dec.antichain().len() == bitset_dec.antichain().len();
+
+    // Phase statistics of the bitset engine for the record.
+    let g = BitsetGraph::from_index(&index);
+    let (_, stats) = HopcroftKarpBitset.solve_with_stats(&g);
+    let matched = stats.greedy_matched + stats.augmented;
+    let greedy_hit_rate = if matched > 0 {
+        stats.greedy_matched as f64 / matched as f64
+    } else {
+        0.0
+    };
+
+    let speedup = list.as_secs_f64() / bitset.as_secs_f64();
+    println!(
+        "matching/comparison: width {} | list {:?} -> bitset {:?} ({speedup:.1}x), \
+         greedy hit rate {greedy_hit_rate:.3}, rounds {}, words scanned {}, equivalent: {}",
+        bitset_dec.width(),
+        list,
+        bitset,
+        stats.rounds,
+        stats.words_scanned,
+        width_identical && antichain_identical
+    );
+
+    let json = format!(
+        r#"{{
+  "bench": "matching",
+  "config": {{ "n": {n}, "dim": {dim}, "reps": {reps}, "profile": "bench" }},
+  "timings_ms": {{
+    "index_build": {:.3},
+    "chain_decomposition_list": {:.3},
+    "chain_decomposition_bitset": {:.3}
+  }},
+  "speedup": {{
+    "chain_decomposition": {speedup:.2}
+  }},
+  "stats": {{
+    "width": {},
+    "greedy_matched": {},
+    "greedy_hit_rate": {greedy_hit_rate:.4},
+    "hk_rounds": {},
+    "hk_augmented": {},
+    "bitset_words_scanned": {}
+  }},
+  "equivalence": {{
+    "width_identical": {width_identical},
+    "antichain_size_identical": {antichain_identical}
+  }}
+}}
+"#,
+        index_build.as_secs_f64() * 1e3,
+        list.as_secs_f64() * 1e3,
+        bitset.as_secs_f64() * 1e3,
+        bitset_dec.width(),
+        stats.greedy_matched,
+        stats.rounds,
+        stats.augmented,
+        stats.words_scanned,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_matching.json");
+    std::fs::write(path, json).expect("write BENCH_matching.json");
+    println!("matching/comparison: wrote {path}");
+}
+
+criterion_group!(
+    benches,
+    bench_random,
+    bench_dominance,
+    bench_engines,
+    record_comparison
+);
 criterion_main!(benches);

@@ -17,7 +17,7 @@
 //! larger. This preserves both Dilworth duality and classifier semantics
 //! (a classifier necessarily assigns equal points the same label).
 
-use mc_geom::{iter_ones, parallel_chunks, Dominance, DominanceIndex, PointSet};
+use mc_geom::{parallel_chunks, Dominance, DominanceIndex, PointSet};
 
 /// The dominance DAG over a [`PointSet`]. Because dominance is transitive,
 /// this graph equals its own transitive closure, which is exactly what the
@@ -55,14 +55,7 @@ impl DominanceDag {
         let chunks = parallel_chunks(n, |range| {
             let mut local: Vec<Vec<u32>> = Vec::with_capacity(range.len());
             for u in range {
-                let mut row = Vec::new();
-                for v in iter_ones(index.dominators(u)) {
-                    if v == u || (index.equal_points(u, v) && v < u) {
-                        continue;
-                    }
-                    row.push(v as u32);
-                }
-                local.push(row);
+                local.push(index.strict_successors(u).map(|v| v as u32).collect());
             }
             local
         });

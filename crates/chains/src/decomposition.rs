@@ -13,12 +13,52 @@
 //!    antichain *certificate* of the same size.
 //!
 //! Total: `O(d·n² + n^2.5)`, matching Lemma 6.
+//!
+//! Two matching engines implement step 3. The default ([`MatchingEngine::Bitset`])
+//! views the split graph directly as the dominance index's bitset rows —
+//! no `DominanceDag` adjacency lists (Θ(n²) edges) are ever materialized —
+//! and runs `mc_matching::HopcroftKarpBitset`'s word-parallel phases. The
+//! adjacency-list reference path survives behind `MC_MATCHING=list`.
 
 use crate::dag::DominanceDag;
 use mc_geom::{DominanceIndex, PointSet};
 use mc_matching::{
-    minimum_vertex_cover, BipartiteGraph, HopcroftKarp, Matching, MatchingAlgorithm,
+    minimum_vertex_cover, BipartiteAdjacency, BipartiteGraph, BitsetGraph, HopcroftKarp,
+    HopcroftKarpBitset, Matching, MatchingAlgorithm,
 };
+
+/// Which Hopcroft–Karp engine drives the Lemma-6 path cover.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum MatchingEngine {
+    /// Word-parallel BFS/DFS straight over the dominance index's bitset
+    /// rows; never materializes adjacency lists. The default.
+    #[default]
+    Bitset,
+    /// Pointer-walking Hopcroft–Karp over explicit [`DominanceDag`]
+    /// adjacency lists; kept as the tested reference path.
+    List,
+}
+
+impl MatchingEngine {
+    /// Reads the `MC_MATCHING` env toggle: `bitset` (the default) or
+    /// `list`. Unrecognised values warn once and fall back to the
+    /// default.
+    pub fn from_env() -> Self {
+        match std::env::var("MC_MATCHING") {
+            Ok(v) if v.eq_ignore_ascii_case("list") => Self::List,
+            Ok(v) if v.eq_ignore_ascii_case("bitset") || v.is_empty() => Self::Bitset,
+            Ok(_) => {
+                mc_obs::warn_once(
+                    "mc_matching_env",
+                    "unrecognised MC_MATCHING value (expected 'bitset' or 'list'); \
+                     using the bitset engine",
+                );
+                Self::Bitset
+            }
+            Err(_) => Self::Bitset,
+        }
+    }
+}
 
 /// A partition of point indices into chains, each sorted in ascending
 /// dominance order, together with a maximum-antichain certificate.
@@ -33,16 +73,49 @@ pub struct ChainDecomposition {
 
 impl ChainDecomposition {
     /// Computes a minimum chain decomposition of `points`.
+    ///
+    /// Builds one [`DominanceIndex`] and hands it to
+    /// [`compute_from_index`](Self::compute_from_index); callers that
+    /// already hold an index should call that directly to avoid a second
+    /// dominance pass.
     pub fn compute(points: &PointSet) -> Self {
-        let dag = DominanceDag::build_parallel(points);
-        Self::from_dag(&dag)
+        Self::compute_from_index(&DominanceIndex::build(points))
     }
 
     /// Computes the decomposition from a prebuilt [`DominanceIndex`],
     /// letting callers share one index between the Lemma-6 phase and
     /// later dominance queries (e.g. the passive solve on a subsample).
+    /// Dispatches on the `MC_MATCHING` env toggle (bitset by default).
     pub fn compute_from_index(index: &DominanceIndex) -> Self {
-        Self::from_dag(&DominanceDag::from_index(index))
+        Self::compute_with_engine(index, MatchingEngine::from_env())
+    }
+
+    /// Computes the decomposition with an explicit engine choice.
+    pub fn compute_with_engine(index: &DominanceIndex, engine: MatchingEngine) -> Self {
+        match engine {
+            MatchingEngine::Bitset => Self::compute_bitset(index),
+            MatchingEngine::List => Self::from_dag(&DominanceDag::from_index(index)),
+        }
+    }
+
+    /// Computes the decomposition straight off the index's bitset rows:
+    /// the split bipartite graph borrows the dominator matrix (owned
+    /// masked copies only for duplicated points), so no adjacency lists
+    /// or DAG are ever materialized.
+    pub fn compute_bitset(index: &DominanceIndex) -> Self {
+        let _span = mc_obs::span("path_cover");
+        let n = index.len();
+        if n == 0 {
+            return Self {
+                chains: Vec::new(),
+                antichain: Vec::new(),
+            };
+        }
+        let g = BitsetGraph::from_index(index);
+        let matching = HopcroftKarpBitset.solve(&g);
+        let chains = Self::chains_from_matching(n, &matching);
+        let antichain = Self::antichain_from_cover(n, &g, &matching);
+        Self::finish(chains, antichain)
     }
 
     /// Computes the decomposition from a pre-built dominance DAG.
@@ -65,6 +138,12 @@ impl ChainDecomposition {
         let matching = HopcroftKarp.solve(&g);
         let chains = Self::chains_from_matching(n, &matching);
         let antichain = Self::antichain_from_cover(n, &g, &matching);
+        Self::finish(chains, antichain)
+    }
+
+    /// Shared tail of every construction path: Dilworth duality check
+    /// plus the `chains.*` metrics.
+    fn finish(chains: Vec<Vec<usize>>, antichain: Vec<usize>) -> Self {
         debug_assert_eq!(chains.len(), antichain.len(), "Dilworth duality violated");
         mc_obs::counter_add("chains.count", chains.len() as u64);
         if mc_obs::enabled() {
@@ -97,7 +176,11 @@ impl ChainDecomposition {
 
     /// Maximum antichain: vertices neither of whose split copies lies in
     /// König's minimum vertex cover.
-    fn antichain_from_cover(n: usize, g: &BipartiteGraph, matching: &Matching) -> Vec<usize> {
+    fn antichain_from_cover<G: BipartiteAdjacency>(
+        n: usize,
+        g: &G,
+        matching: &Matching,
+    ) -> Vec<usize> {
         let cover = minimum_vertex_cover(g, matching);
         (0..n)
             .filter(|&v| !cover.left_in_cover[v] && !cover.right_in_cover[v])

@@ -10,6 +10,11 @@
 //! dominance DAG → split bipartite graph → Hopcroft–Karp matching →
 //! minimum path cover (= chains) + König antichain certificate.
 //!
+//! By default the "DAG" step is virtual: the split graph is read
+//! directly off the `mc_geom::DominanceIndex` bitset rows and matched
+//! with the word-parallel `HopcroftKarpBitset` engine (see
+//! [`decomposition::MatchingEngine`] and the `MC_MATCHING` env toggle).
+//!
 //! # Example
 //!
 //! ```
@@ -37,7 +42,7 @@ pub mod test_support;
 pub mod two_dim;
 
 pub use dag::DominanceDag;
-pub use decomposition::{dominance_width, ChainDecomposition};
+pub use decomposition::{dominance_width, ChainDecomposition, MatchingEngine};
 pub use greedy::GreedyDecomposition;
 pub use mirsky::{longest_chain_len, AntichainPartition};
 pub use two_dim::TwoDimDecomposition;

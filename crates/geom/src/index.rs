@@ -114,6 +114,11 @@ pub struct DominanceIndex {
     /// Canonical group id per point; two points have equal coordinates
     /// iff their groups are equal.
     dup_group: Vec<u32>,
+    /// Point indices sorted by (group, index): group `g`'s members are
+    /// `dup_members[dup_offsets[g]..dup_offsets[g + 1]]`, ascending.
+    dup_members: Vec<u32>,
+    /// Per-group offsets into `dup_members` (`num_groups + 1` entries).
+    dup_offsets: Vec<u32>,
     /// Row-major bitset matrix; row `i` holds the dominators of `i`.
     bits: Vec<u64>,
 }
@@ -131,7 +136,7 @@ impl DominanceIndex {
         let dim = points.dim();
         let words = n.div_ceil(64);
         let ranks = compress_ranks(points);
-        let dup_group = duplicate_groups(n, dim, &ranks);
+        let dups = duplicate_groups(n, dim, &ranks);
         let mut bits = vec![0u64; n * words];
         if n > 0 {
             match dim {
@@ -145,7 +150,9 @@ impl DominanceIndex {
             dim,
             words,
             ranks,
-            dup_group,
+            dup_group: dups.group,
+            dup_members: dups.members,
+            dup_offsets: dups.offsets,
             bits,
         }
     }
@@ -179,6 +186,57 @@ impl DominanceIndex {
     /// (reflexive, so bit `i` is set).
     pub fn dominators(&self, i: usize) -> &[u64] {
         &self.bits[i * self.words..(i + 1) * self.words]
+    }
+
+    /// Zero-copy word access to `i`'s dominator row — the name the
+    /// matching engines use when they scan successors 64 at a time.
+    /// Identical to [`DominanceIndex::dominators`]; bit `j` of the row
+    /// is set iff `p_j ⪰ p_i` (reflexively, and equal points set each
+    /// other's bits in both rows — use [`strict_successors`] /
+    /// [`strict_successor_row_into`] for the DAG-edge view).
+    ///
+    /// [`strict_successors`]: DominanceIndex::strict_successors
+    /// [`strict_successor_row_into`]: DominanceIndex::strict_successor_row_into
+    #[inline]
+    pub fn dominator_row_words(&self, i: usize) -> &[u64] {
+        self.dominators(i)
+    }
+
+    /// Members of `i`'s duplicate group (points with coordinates equal
+    /// to `p_i`), sorted ascending and always containing `i` itself.
+    #[inline]
+    pub fn dup_group_members(&self, i: usize) -> &[u32] {
+        let g = self.dup_group[i] as usize;
+        &self.dup_members[self.dup_offsets[g] as usize..self.dup_offsets[g + 1] as usize]
+    }
+
+    /// Iterates the *strict-dominance successors* of `i` in ascending
+    /// order: every `j` with `p_j ≻ p_i`, plus equal points with `j > i`
+    /// (the index tie-break that orients duplicate pairs). This is
+    /// exactly the Lemma-6 DAG edge set `i -> j`.
+    pub fn strict_successors(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        let gi = self.dup_group[i];
+        iter_ones(self.dominators(i)).filter(move |&v| v > i || self.dup_group[v] != gi)
+    }
+
+    /// Writes the strict-dominance successor row of `i` into `out`
+    /// (same bits as [`DominanceIndex::strict_successors`]): a copy of
+    /// the dominator row with `i` itself and smaller-index duplicates
+    /// masked out. `O(words + |dup group|)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.words()`.
+    pub fn strict_successor_row_into(&self, i: usize, out: &mut [u64]) {
+        assert_eq!(out.len(), self.words, "row width mismatch");
+        out.copy_from_slice(self.dominators(i));
+        for &v in self.dup_group_members(i) {
+            let v = v as usize;
+            if v > i {
+                break;
+            }
+            out[v >> 6] &= !(1u64 << (v & 63));
+        }
     }
 
     /// Reflexive dominance `p_i ⪰ p_j` as a single bit test.
@@ -259,7 +317,7 @@ impl DominanceIndex {
                 col[order[pos] as usize] = rank;
             }
         }
-        let dup_group = duplicate_groups(m, dim, &ranks);
+        let dups = duplicate_groups(m, dim, &ranks);
 
         // Gather the sub-matrix bit by bit (rows parallel for large m).
         let mut bits = vec![0u64; m * words];
@@ -280,7 +338,9 @@ impl DominanceIndex {
             dim,
             words,
             ranks,
-            dup_group,
+            dup_group: dups.group,
+            dup_members: dups.members,
+            dup_offsets: dups.offsets,
             bits,
         }
     }
@@ -319,11 +379,28 @@ fn compress_ranks(points: &PointSet) -> Vec<u32> {
     ranks
 }
 
-/// Canonical group ids: equal rank tuples ⇔ equal group.
-fn duplicate_groups(n: usize, dim: usize, ranks: &[u32]) -> Vec<u32> {
+/// Duplicate-group assignment: canonical ids plus per-group member
+/// lists (see [`DupGroups`]).
+struct DupGroups {
+    /// Group id per point; equal rank tuples ⇔ equal group.
+    group: Vec<u32>,
+    /// Points sorted by (group, index).
+    members: Vec<u32>,
+    /// Per-group offsets into `members` (`num_groups + 1` entries).
+    offsets: Vec<u32>,
+}
+
+/// Canonical group ids: equal rank tuples ⇔ equal group. The member
+/// lists let consumers mask out a point's duplicates in `O(|group|)`
+/// instead of rescanning rows.
+fn duplicate_groups(n: usize, dim: usize, ranks: &[u32]) -> DupGroups {
     let mut group = vec![0u32; n];
     if n == 0 {
-        return group;
+        return DupGroups {
+            group,
+            members: Vec::new(),
+            offsets: vec![0],
+        };
     }
     let mut order: Vec<u32> = (0..n as u32).collect();
     let tuple_cmp = |&a: &u32, &b: &u32| {
@@ -343,7 +420,28 @@ fn duplicate_groups(n: usize, dim: usize, ranks: &[u32]) -> Vec<u32> {
         }
         group[order[pos] as usize] = g;
     }
-    group
+    // Bucket members by group with a counting pass; scanning points in
+    // ascending index order keeps each group's members sorted.
+    let num_groups = g as usize + 1;
+    let mut offsets = vec![0u32; num_groups + 1];
+    for &gid in &group {
+        offsets[gid as usize + 1] += 1;
+    }
+    for k in 0..num_groups {
+        offsets[k + 1] += offsets[k];
+    }
+    let mut cursor = offsets.clone();
+    let mut members = vec![0u32; n];
+    for (i, &gid) in group.iter().enumerate() {
+        let slot = &mut cursor[gid as usize];
+        members[*slot as usize] = i as u32;
+        *slot += 1;
+    }
+    DupGroups {
+        group,
+        members,
+        offsets,
+    }
 }
 
 /// `d = 1` sweep: row `i` is the suffix mask `{j : rank(j) ≥ rank(i)}`,
@@ -732,5 +830,74 @@ mod tests {
     fn iter_ones_and_bitmask_roundtrip() {
         let mask = bitmask_of(130, [0usize, 63, 64, 129]);
         assert_eq!(iter_ones(&mask).collect::<Vec<_>>(), vec![0, 63, 64, 129]);
+    }
+
+    /// The strict-successor view must agree with the naive DAG-edge
+    /// rule (`v ≻ i`, or equal with `v > i`) bit for bit, via both the
+    /// iterator and the row writer.
+    #[test]
+    fn strict_successors_match_naive_rule() {
+        let mut rng = StdRng::seed_from_u64(0x57C);
+        for dim in [1usize, 2, 3] {
+            for _ in 0..6 {
+                let n = rng.gen_range(0..90);
+                // Coarse grid: plenty of duplicates.
+                let points = random_points(n, dim, 3.0, &mut rng);
+                let index = DominanceIndex::build(&points);
+                let mut row = vec![0u64; index.words()];
+                for i in 0..n {
+                    let expected: Vec<usize> = (0..n)
+                        .filter(|&v| {
+                            v != i
+                                && crate::dominance::dominates(points.point(v), points.point(i))
+                                && (!crate::dominance::dominates(points.point(i), points.point(v))
+                                    || v > i)
+                        })
+                        .collect();
+                    assert_eq!(
+                        index.strict_successors(i).collect::<Vec<_>>(),
+                        expected,
+                        "dim {dim} n {n} i {i}"
+                    );
+                    index.strict_successor_row_into(i, &mut row);
+                    assert_eq!(
+                        iter_ones(&row).collect::<Vec<_>>(),
+                        expected,
+                        "row writer, dim {dim} n {n} i {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dup_group_members_are_sorted_and_complete() {
+        let points = PointSet::from_rows(
+            2,
+            &[
+                vec![1.0, 1.0], // group A
+                vec![2.0, 2.0],
+                vec![1.0, 1.0],  // group A
+                vec![-0.0, 0.0], // group B (signed zero)
+                vec![1.0, 1.0],  // group A
+                vec![0.0, -0.0], // group B
+            ],
+        );
+        let index = DominanceIndex::build(&points);
+        assert_eq!(index.dup_group_members(0), &[0, 2, 4]);
+        assert_eq!(index.dup_group_members(2), &[0, 2, 4]);
+        assert_eq!(index.dup_group_members(3), &[3, 5]);
+        assert_eq!(index.dup_group_members(1), &[1]);
+        // Subset restriction rebuilds the member lists consistently.
+        let sub = index.subset(&[0, 2, 3, 5]);
+        assert_eq!(sub.dup_group_members(0), &[0, 1]);
+        assert_eq!(sub.dup_group_members(2), &[2, 3]);
+    }
+
+    #[test]
+    fn dominator_row_words_alias() {
+        let points = PointSet::from_values_1d(&[1.0, 2.0]);
+        let index = DominanceIndex::build(&points);
+        assert_eq!(index.dominator_row_words(0), index.dominators(0));
     }
 }

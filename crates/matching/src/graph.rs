@@ -1,4 +1,6 @@
-//! Bipartite graph representation.
+//! Bipartite graph representation (adjacency lists).
+
+use crate::BipartiteAdjacency;
 
 /// A bipartite graph with `nl` left vertices and `nr` right vertices.
 ///
@@ -59,6 +61,26 @@ impl BipartiteGraph {
     }
 }
 
+impl BipartiteAdjacency for BipartiteGraph {
+    fn num_left(&self) -> usize {
+        self.nl
+    }
+
+    fn num_right(&self) -> usize {
+        self.nr
+    }
+
+    fn has_edge(&self, l: usize, r: usize) -> bool {
+        self.adj[l].contains(&(r as u32))
+    }
+
+    fn for_each_neighbour<F: FnMut(usize)>(&self, l: usize, mut f: F) {
+        for &r in &self.adj[l] {
+            f(r as usize);
+        }
+    }
+}
+
 /// A matching in a bipartite graph.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Matching {
@@ -70,7 +92,7 @@ pub struct Matching {
 
 impl Matching {
     /// An empty matching for `g`.
-    pub fn empty(g: &BipartiteGraph) -> Self {
+    pub fn empty<G: BipartiteAdjacency>(g: &G) -> Self {
         Self {
             left_match: vec![None; g.num_left()],
             right_match: vec![None; g.num_right()],
@@ -84,7 +106,7 @@ impl Matching {
 
     /// Checks internal consistency and that every matched pair is an edge
     /// of `g`. Used by property tests.
-    pub fn validate(&self, g: &BipartiteGraph) -> Result<(), String> {
+    pub fn validate<G: BipartiteAdjacency>(&self, g: &G) -> Result<(), String> {
         if self.left_match.len() != g.num_left() || self.right_match.len() != g.num_right() {
             return Err("matching size vectors do not match the graph".into());
         }
@@ -93,7 +115,7 @@ impl Matching {
                 if self.right_match[r as usize] != Some(l as u32) {
                     return Err(format!("asymmetric match at left {l} / right {r}"));
                 }
-                if !g.neighbours(l).contains(&r) {
+                if !g.has_edge(l, r as usize) {
                     return Err(format!("matched pair ({l}, {r}) is not an edge"));
                 }
             }

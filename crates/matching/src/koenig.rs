@@ -20,7 +20,8 @@
 //! assert_eq!(cover.size(), matching.size()); // König's theorem
 //! ```
 
-use crate::graph::{BipartiteGraph, Matching};
+use crate::graph::Matching;
+use crate::BipartiteAdjacency;
 
 /// A minimum vertex cover of a bipartite graph (König's theorem), with the
 /// complementary maximum independent set.
@@ -40,12 +41,16 @@ impl VertexCover {
     }
 
     /// Checks that every edge of `g` has at least one covered endpoint.
-    pub fn validate(&self, g: &BipartiteGraph) -> Result<(), String> {
+    pub fn validate<G: BipartiteAdjacency>(&self, g: &G) -> Result<(), String> {
         for l in 0..g.num_left() {
-            for &r in g.neighbours(l) {
-                if !self.left_in_cover[l] && !self.right_in_cover[r as usize] {
-                    return Err(format!("edge ({l}, {r}) uncovered"));
+            let mut bad = None;
+            g.for_each_neighbour(l, |r| {
+                if !self.left_in_cover[l] && !self.right_in_cover[r] && bad.is_none() {
+                    bad = Some(r);
                 }
+            });
+            if let Some(r) = bad {
+                return Err(format!("edge ({l}, {r}) uncovered"));
             }
         }
         Ok(())
@@ -58,7 +63,7 @@ impl VertexCover {
 /// Let `Z` be the set of vertices reachable from unmatched left vertices by
 /// alternating paths (non-matching edges left→right, matching edges
 /// right→left). Then `(L \ Z) ∪ (R ∩ Z)` is a minimum vertex cover.
-pub fn minimum_vertex_cover(g: &BipartiteGraph, matching: &Matching) -> VertexCover {
+pub fn minimum_vertex_cover<G: BipartiteAdjacency>(g: &G, matching: &Matching) -> VertexCover {
     let nl = g.num_left();
     let nr = g.num_right();
     let mut z_left = vec![false; nl];
@@ -70,10 +75,9 @@ pub fn minimum_vertex_cover(g: &BipartiteGraph, matching: &Matching) -> VertexCo
         z_left[l] = true;
     }
     while let Some(l) = stack.pop() {
-        for &r in g.neighbours(l) {
-            let r = r as usize;
+        g.for_each_neighbour(l, |r| {
             if matching.left_match[l] == Some(r as u32) {
-                continue; // only non-matching edges go left -> right
+                return; // only non-matching edges go left -> right
             }
             if !z_right[r] {
                 z_right[r] = true;
@@ -85,7 +89,7 @@ pub fn minimum_vertex_cover(g: &BipartiteGraph, matching: &Matching) -> VertexCo
                     }
                 }
             }
-        }
+        });
     }
     VertexCover {
         left_in_cover: z_left.iter().map(|&in_z| !in_z).collect(),
@@ -97,7 +101,7 @@ pub fn minimum_vertex_cover(g: &BipartiteGraph, matching: &Matching) -> VertexCo
 mod tests {
     use super::*;
     use crate::hopcroft_karp::HopcroftKarp;
-    use crate::MatchingAlgorithm;
+    use crate::{BipartiteGraph, MatchingAlgorithm};
 
     fn cover_for(g: &BipartiteGraph) -> (Matching, VertexCover) {
         let m = HopcroftKarp.solve(g);

@@ -6,10 +6,17 @@
 //! This crate supplies:
 //!
 //! * [`BipartiteGraph`] / [`Matching`];
+//! * [`BitsetGraph`] — a dense bipartite graph over borrowed `u64`
+//!   bitset rows (e.g. straight off a `mc_geom::DominanceIndex`), with
+//!   no adjacency-list materialization at all;
 //! * [`HopcroftKarp`] — the `O(E·sqrt(V))` algorithm used by Lemma 6;
+//! * [`HopcroftKarpBitset`] — the same algorithm with word-parallel
+//!   BFS/DFS over [`BitsetGraph`] rows: each phase is `O(n²/64)` word
+//!   operations instead of an `O(E)` pointer walk;
 //! * [`Kuhn`] — an `O(V·E)` reference implementation for cross-validation;
 //! * [`minimum_vertex_cover`] — König's construction, used to certify
-//!   maximum antichains.
+//!   maximum antichains; generic over either graph representation via
+//!   [`BipartiteAdjacency`].
 //!
 //! # Example
 //!
@@ -23,23 +30,64 @@
 //! assert_eq!(HopcroftKarp.solve(&g).size(), 2);
 //! ```
 
+pub mod bitset;
 pub mod graph;
 pub mod hopcroft_karp;
+pub mod hopcroft_karp_bitset;
 pub mod koenig;
 pub mod kuhn;
 
+pub use bitset::BitsetGraph;
 pub use graph::{BipartiteGraph, Matching};
 pub use hopcroft_karp::HopcroftKarp;
+pub use hopcroft_karp_bitset::HopcroftKarpBitset;
 pub use koenig::{minimum_vertex_cover, VertexCover};
 pub use kuhn::Kuhn;
 
-/// A maximum bipartite matching algorithm.
-pub trait MatchingAlgorithm {
+/// Read access to a bipartite graph, abstracting over the adjacency-list
+/// ([`BipartiteGraph`]) and bitset-row ([`BitsetGraph`]) representations.
+///
+/// Neighbour enumeration is callback-based so bitset implementations can
+/// word-scan without boxing an iterator. [`BitsetGraph`] visits right
+/// vertices in ascending order; [`BipartiteGraph`] in insertion order
+/// (ascending when the graph was read off a dominance index, which is
+/// what makes the two engines' tie-breaking line up on Lemma-6 inputs).
+pub trait BipartiteAdjacency {
+    /// Number of left vertices.
+    fn num_left(&self) -> usize;
+
+    /// Number of right vertices.
+    fn num_right(&self) -> usize;
+
+    /// `true` iff `(l, r)` is an edge.
+    fn has_edge(&self, l: usize, r: usize) -> bool;
+
+    /// Calls `f` for every right neighbour of `l`, ascending.
+    fn for_each_neighbour<F: FnMut(usize)>(&self, l: usize, f: F);
+}
+
+/// Augmentation statistics of one matching solve, for observability and
+/// regression tests (see the `matching.*` counters in
+/// `docs/OBSERVABILITY.md`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatchingStats {
+    /// Left vertices matched by the greedy seeding pass.
+    pub greedy_matched: u64,
+    /// Hopcroft–Karp BFS/DFS phases run after seeding.
+    pub rounds: u64,
+    /// Augmenting paths applied after seeding.
+    pub augmented: u64,
+    /// `u64` words examined by the bitset kernels (0 for list engines).
+    pub words_scanned: u64,
+}
+
+/// A maximum bipartite matching algorithm over graph representation `G`.
+pub trait MatchingAlgorithm<G: BipartiteAdjacency = BipartiteGraph> {
     /// Short machine-readable name for reports.
     fn name(&self) -> &'static str;
 
     /// Computes a maximum matching of `g`.
-    fn solve(&self, g: &BipartiteGraph) -> Matching;
+    fn solve(&self, g: &G) -> Matching;
 }
 
 #[cfg(test)]

@@ -1,0 +1,40 @@
+//! Greedy-seed regression guard, asserted through the `matching.*`
+//! observability counters.
+//!
+//! Lives in an integration test (own process) because the obs registry
+//! is a process-global: unit tests running in parallel threads would
+//! race on the counter values.
+
+use mc_matching::{BipartiteGraph, HopcroftKarp, MatchingAlgorithm};
+use mc_obs::Level;
+
+/// On the ladder graph (`L_i -> {R_i, R_{i+1}}`) the greedy seed already
+/// finds the perfect matching, so the phased search must run zero
+/// rounds — previously this input cost a full cascade of augmentations.
+#[test]
+fn ladder_runs_zero_rounds_after_greedy_seed() {
+    mc_obs::set_level(Level::Info);
+    let k = 10_000;
+    let mut g = BipartiteGraph::new(k, k);
+    for i in 0..k {
+        g.add_edge(i, i);
+        if i + 1 < k {
+            g.add_edge(i, i + 1);
+        }
+    }
+    let m = HopcroftKarp.solve(&g);
+    assert_eq!(m.size(), k);
+
+    let snap = mc_obs::snapshot();
+    assert_eq!(
+        snap.counter("matching.greedy_matched"),
+        k as u64,
+        "greedy seed should fully match the ladder"
+    );
+    assert_eq!(
+        snap.counter("matching.hk_rounds"),
+        0,
+        "a fully seeded matching must not trigger BFS/DFS rounds"
+    );
+    assert_eq!(snap.counter("matching.hk_augmented"), 0);
+}
