@@ -192,6 +192,15 @@ impl ChainDecomposition {
         &self.chains
     }
 
+    /// Chain `c` in ascending dominance order: `chain(c)[i + 1] ⪰
+    /// chain(c)[i]`. Because `⪰` is transitive, any predicate of the form
+    /// "`p ⪰` chain element" is monotone along the chain — downstream
+    /// consumers (the passive solver's ladder gadget) exploit this to
+    /// binary-search the deepest dominated element.
+    pub fn chain(&self, c: usize) -> &[usize] {
+        &self.chains[c]
+    }
+
     /// The dominance width `w` (number of chains = max antichain size).
     pub fn width(&self) -> usize {
         self.chains.len()

@@ -18,12 +18,8 @@
 //! dominance edges until they contend.
 
 use crate::classifier::MonotoneClassifier;
+use mc_flow::{surrogate_for, AdjTopology, DinicEngine, EPS};
 use mc_geom::{Label, PointSet};
-
-const EPS: f64 = 1e-9;
-/// Capacity standing in for `+∞` on dominance edges: far above any total
-/// weight a caller can accumulate, far below overflow territory.
-const HUGE: f64 = 1e18;
 
 /// Incrementally maintained passive solver.
 ///
@@ -50,6 +46,13 @@ pub struct IncrementalPassive {
     head: Vec<u32>,
     residual: Vec<f64>,
     adj: Vec<Vec<u32>>,
+    /// Running sum of finite (source/sink edge) capacities, mirroring
+    /// [`mc_flow::FlowNetwork`]'s bookkeeping so dominance edges use the
+    /// same [`surrogate_for`] stand-in as the batch solver.
+    finite_cap_sum: f64,
+    /// Reused Dinic engine: its level/arc/queue buffers survive across
+    /// insertions instead of being reallocated per `augment`.
+    engine: DinicEngine,
     /// Current max-flow value = current optimal weighted error.
     value: f64,
 }
@@ -64,6 +67,8 @@ impl IncrementalPassive {
             head: Vec::new(),
             residual: Vec::new(),
             adj: vec![Vec::new(), Vec::new()], // source, sink
+            finite_cap_sum: 0.0,
+            engine: DinicEngine::new(),
             value: 0.0,
         }
     }
@@ -95,6 +100,8 @@ impl IncrementalPassive {
         let node = 2 + idx;
         self.adj.push(Vec::new());
 
+        self.finite_cap_sum += weight;
+        let mut forward_edges = 1u64;
         match label {
             Label::Zero => self.add_edge(0, node, weight),
             Label::One => self.add_edge(node, 1, weight),
@@ -106,95 +113,40 @@ impl IncrementalPassive {
             }
             let (zero, one) = if label.is_zero() { (idx, j) } else { (j, idx) };
             if self.points.dominates(zero, one) {
-                // "Infinite" capacity: a finite min cut always exists
-                // (every label-1 point has a finite sink edge), so a fixed
-                // huge constant is never a bottleneck and — unlike a
-                // total-weight surrogate — never needs topping up as
-                // points arrive.
-                self.add_edge(2 + zero, 2 + one, HUGE);
+                // "Infinite" capacity via the batch solver's surrogate,
+                // frozen at insertion time. This is sound without ever
+                // topping edges up: the only inflow to a zero node is its
+                // source edge of capacity `w ≤ finite_cap_sum(now)`, so
+                // the flow this edge can ever carry is already strictly
+                // below the surrogate it gets today — the bound never
+                // binds, exactly as if the capacity were `+∞`.
+                self.add_edge(2 + zero, 2 + one, surrogate_for(self.finite_cap_sum));
+                forward_edges += 1;
             }
         }
+        mc_obs::counter_add("flow.edges", forward_edges);
 
         // Warm-started Dinic: previous flow is feasible, push the rest.
-        self.value += self.augment();
+        // The shared engine returns only the newly added flow.
+        let added = self.engine.max_flow(
+            &AdjTopology {
+                adj: &self.adj,
+                head: &self.head,
+            },
+            0,
+            1,
+            &mut self.residual,
+        );
+        self.engine.flush_stats();
+        self.value += added;
+        debug_assert!(
+            self.value <= self.finite_cap_sum + EPS,
+            "max flow {} exceeds the finite capacity sum {} — a surrogate edge \
+             became a bottleneck, which the insertion-time freeze should preclude",
+            self.value,
+            self.finite_cap_sum
+        );
         self.value
-    }
-
-    /// Dinic phases over the current residual graph; returns added flow.
-    fn augment(&mut self) -> f64 {
-        let n = self.adj.len();
-        let mut added = 0.0;
-        let mut level = vec![-1i32; n];
-        let mut arc = vec![0usize; n];
-        loop {
-            // BFS levels.
-            level.iter_mut().for_each(|l| *l = -1);
-            let mut queue = std::collections::VecDeque::new();
-            level[0] = 0;
-            queue.push_back(0usize);
-            while let Some(u) = queue.pop_front() {
-                for &e in &self.adj[u] {
-                    let e = e as usize;
-                    if self.residual[e] > EPS {
-                        let v = self.head[e] as usize;
-                        if level[v] < 0 {
-                            level[v] = level[u] + 1;
-                            queue.push_back(v);
-                        }
-                    }
-                }
-            }
-            if level[1] < 0 {
-                return added;
-            }
-            arc.iter_mut().for_each(|a| *a = 0);
-            // Iterative blocking flow (paths can be long).
-            loop {
-                let mut path: Vec<usize> = Vec::new();
-                let pushed = 'walk: loop {
-                    let u = match path.last() {
-                        Some(&e) => self.head[e] as usize,
-                        None => 0,
-                    };
-                    if u == 1 {
-                        let mut bottleneck = f64::INFINITY;
-                        for &e in &path {
-                            bottleneck = bottleneck.min(self.residual[e]);
-                        }
-                        for &e in &path {
-                            self.residual[e] -= bottleneck;
-                            self.residual[e ^ 1] += bottleneck;
-                        }
-                        break 'walk bottleneck;
-                    }
-                    let mut advanced = false;
-                    while arc[u] < self.adj[u].len() {
-                        let e = self.adj[u][arc[u]] as usize;
-                        let v = self.head[e] as usize;
-                        if self.residual[e] > EPS && level[v] == level[u] + 1 {
-                            path.push(e);
-                            advanced = true;
-                            break;
-                        }
-                        arc[u] += 1;
-                    }
-                    if advanced {
-                        continue;
-                    }
-                    match path.pop() {
-                        Some(e) => {
-                            let parent = self.head[e ^ 1] as usize;
-                            arc[parent] += 1;
-                        }
-                        None => break 'walk 0.0,
-                    }
-                };
-                if pushed <= EPS {
-                    break;
-                }
-                added += pushed;
-            }
-        }
     }
 
     /// The number of inserted points.

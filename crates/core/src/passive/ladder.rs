@@ -1,0 +1,413 @@
+//! Dimension-generic chain-ladder sparsification of the classifier
+//! network.
+//!
+//! The paper's Section-5.1 construction inserts one infinite type-3 edge
+//! per dominating pair in `P₀^con × P₁^con` — `Θ(n²)` edges at any
+//! dimension. `sparse.rs` removes the wall for `d ≤ 2` with a
+//! divide-and-conquer ladder; this module removes it for **every**
+//! dimension using the paper's own Lemma-6 machinery:
+//!
+//! 1. Run a minimum chain decomposition on the contending label-1
+//!    points (bitset Hopcroft–Karp over the shared [`DominanceIndex`]).
+//!    This yields `w` chains `o_{c,0} ⪯ o_{c,1} ⪯ …`, `w` the dominance
+//!    width of `P₁^con`.
+//! 2. Per chain, build a rung ladder of auxiliary nodes: `a_i → o_{c,i}`
+//!    and `a_i → a_{i-1}`, all [`Capacity::Infinite`], so `a_i` reaches
+//!    exactly the chain prefix `o_{c,0..=i}`.
+//! 3. Per contending 0-point `p` and chain `c`, the set of chain
+//!    elements `p` dominates is a **prefix** (chains are ascending and
+//!    `⪰` is transitive), so one binary search over the chain order —
+//!    comparing `DominanceIndex` rank columns, `O(d log n)` — finds the
+//!    deepest dominated element; a single edge `p → a_{deepest}` then
+//!    reproduces every dense edge `p → o` into that chain.
+//!
+//! Cut preservation: every gadget edge is infinite, so no finite cut
+//! gains or loses weight; and a 0-node reaches a 1-node through the
+//! gadget iff it dominates it, so the *reachability* relation between
+//! finite-capacity edges — which is what determines which finite cuts
+//! separate source from sink — is exactly that of the dense network.
+//! Min cuts (and hence Lemma-16/17 classifier readouts) coincide.
+//!
+//! Cost: `O(w·n·log n)` build time after the decomposition, and at most
+//! `2·|P₁^con| + w·|P₀^con|` gadget edges versus up to
+//! `|P₀^con|·|P₁^con|` dense edges.
+//!
+//! Two entry points share the construction:
+//!
+//! * [`build_ladder_network`] — off a prebuilt full-set
+//!   [`DominanceIndex`] (the `solve_with_index` path, where the matrix
+//!   is already paid for).
+//! * [`discover_and_build`] — **matrix-free**: only the `O(d·n log n)`
+//!   [`RankTable`] over all points plus a [`DominanceIndex`] over the
+//!   label-1 points (for the Lemma-6 matching), `O(d·|P₁|²)` instead of
+//!   `O(d·n²)`. The same binary searches that place the zero→rung edges
+//!   double as Lemma-15 contending discovery: a 0-point contends iff
+//!   some chain search returns a non-empty prefix, and the contending
+//!   1-points of chain `c` are exactly its prefix up to the deepest
+//!   rung any 0-point reaches.
+
+use crate::passive::contending::ContendingPoints;
+use crate::passive::sparse::ClassifierNetwork;
+use mc_chains::ChainDecomposition;
+use mc_flow::{Capacity, FlowNetwork, NodeId};
+use mc_geom::{DominanceIndex, Label, RankTable, WeightedSet};
+
+/// Builds the sparsified network for any dimension off a prebuilt
+/// [`DominanceIndex`] over `data.points()`.
+pub(crate) fn build_ladder_network(
+    data: &WeightedSet,
+    con: &ContendingPoints,
+    index: &DominanceIndex,
+) -> ClassifierNetwork {
+    let _span = mc_obs::span("ladder");
+    let source = 0;
+    let sink = 1;
+    let mut net = FlowNetwork::new(2 + con.len(), source, sink);
+    let zero_nodes: Vec<NodeId> = (0..con.zeros.len()).map(|i| 2 + i).collect();
+    let one_nodes: Vec<NodeId> = (0..con.ones.len())
+        .map(|i| 2 + con.zeros.len() + i)
+        .collect();
+    for (zi, &p) in con.zeros.iter().enumerate() {
+        net.add_edge(source, zero_nodes[zi], data.weight(p));
+    }
+    for (oi, &q) in con.ones.iter().enumerate() {
+        net.add_edge(one_nodes[oi], sink, data.weight(q));
+    }
+    if con.zeros.is_empty() || con.ones.is_empty() {
+        return ClassifierNetwork {
+            net,
+            zero_nodes,
+            one_nodes,
+        };
+    }
+
+    // Lemma 6 on the contending ones. `subset` preserves order, so chain
+    // entries are positions into `con.ones` (hence into `one_nodes`).
+    let ones_index = index.subset(&con.ones);
+    let dec = ChainDecomposition::compute_from_index(&ones_index);
+
+    // One rung ladder per chain; rungs[c][i] reaches ones 0..=i of chain c.
+    let mut rungs: Vec<Vec<NodeId>> = Vec::with_capacity(dec.width());
+    let mut rung_edges = 0u64;
+    for chain in dec.chains() {
+        let mut ladder: Vec<NodeId> = Vec::with_capacity(chain.len());
+        for (i, &local) in chain.iter().enumerate() {
+            let a = net.add_node();
+            net.add_edge(a, one_nodes[local], Capacity::Infinite);
+            if i > 0 {
+                net.add_edge(a, ladder[i - 1], Capacity::Infinite);
+            }
+            ladder.push(a);
+        }
+        rung_edges += 2 * ladder.len() as u64 - 1;
+        rungs.push(ladder);
+    }
+
+    // `p ⪰ q` iff p's dense rank is ≥ q's on every dimension (ranks are
+    // order-preserving per dimension; reflexive, matching the dense
+    // builder's row-AND semantics on duplicates).
+    let cols: Vec<&[u32]> = (0..index.dim()).map(|k| index.rank_column(k)).collect();
+    let dominates = |p: usize, q: usize| cols.iter().all(|c| c[p] >= c[q]);
+    for (zi, &p) in con.zeros.iter().enumerate() {
+        for (c, chain) in dec.chains().iter().enumerate() {
+            // Ascending chain ⇒ "p dominates chain[i]" holds on a prefix.
+            let cnt = chain.partition_point(|&local| dominates(p, con.ones[local]));
+            if cnt > 0 {
+                net.add_edge(zero_nodes[zi], rungs[c][cnt - 1], Capacity::Infinite);
+            }
+        }
+    }
+
+    mc_obs::counter_add("passive.ladder_chains", dec.width() as u64);
+    mc_obs::counter_add("passive.ladder_rungs", rung_edges);
+    ClassifierNetwork {
+        net,
+        zero_nodes,
+        one_nodes,
+    }
+}
+
+/// Matrix-free ladder pipeline: contending discovery *and* network
+/// construction without ever building the `Θ(n²)` full-set
+/// [`DominanceIndex`]. Returns the Lemma-15 contending sets (both
+/// ascending) and, when they are non-empty, the sparsified network over
+/// exactly those points — identical min cut to what
+/// [`build_ladder_network`] produces from a full index.
+pub(crate) fn discover_and_build(
+    data: &WeightedSet,
+) -> (ContendingPoints, Option<ClassifierNetwork>) {
+    let _span = mc_obs::span("ladder");
+    let mut zeros = Vec::new();
+    let mut ones = Vec::new();
+    for (i, &label) in data.labels().iter().enumerate() {
+        match label {
+            Label::Zero => zeros.push(i),
+            Label::One => ones.push(i),
+        }
+    }
+    let empty = ContendingPoints {
+        zeros: Vec::new(),
+        ones: Vec::new(),
+    };
+    if zeros.is_empty() || ones.is_empty() {
+        return (empty, None);
+    }
+
+    // Rank columns over the whole set (`O(d·n log n)`) decide every
+    // zero-vs-one dominance test; the quadratic bitset matrix is only
+    // needed on the label-1 subset, where Lemma 6 runs its matching.
+    let table = RankTable::build(data.points());
+    let ones_index = DominanceIndex::build(&data.points().subset(&ones));
+    let dec = ChainDecomposition::compute_from_index(&ones_index);
+
+    // One pass of chain binary searches per 0-point: the deepest
+    // dominated prefix per chain places its rung edge *and* answers
+    // Lemma 15 — `p` contends iff any prefix is non-empty, and chain
+    // `c`'s contending 1-points are its prefix up to the deepest rung
+    // any 0-point reaches.
+    let mut con_zeros = Vec::new();
+    let mut zero_hits: Vec<Vec<(u32, u32)>> = Vec::new();
+    let mut max_cnt = vec![0usize; dec.width()];
+    for &p in &zeros {
+        let mut hits = Vec::new();
+        for (c, chain) in dec.chains().iter().enumerate() {
+            // Ascending chain ⇒ "p dominates chain[i]" holds on a prefix.
+            let cnt = chain.partition_point(|&local| table.dominates(p, ones[local]));
+            if cnt > 0 {
+                hits.push((c as u32, cnt as u32));
+                max_cnt[c] = max_cnt[c].max(cnt);
+            }
+        }
+        if !hits.is_empty() {
+            con_zeros.push(p);
+            zero_hits.push(hits);
+        }
+    }
+    let mut con_ones: Vec<usize> = dec
+        .chains()
+        .iter()
+        .zip(&max_cnt)
+        .flat_map(|(chain, &cnt)| chain[..cnt].iter().map(|&local| ones[local]))
+        .collect();
+    con_ones.sort_unstable();
+    if con_zeros.is_empty() {
+        return (empty, None);
+    }
+
+    let source = 0;
+    let sink = 1;
+    let mut net = FlowNetwork::new(2 + con_zeros.len() + con_ones.len(), source, sink);
+    let zero_nodes: Vec<NodeId> = (0..con_zeros.len()).map(|i| 2 + i).collect();
+    let one_nodes: Vec<NodeId> = (0..con_ones.len())
+        .map(|i| 2 + con_zeros.len() + i)
+        .collect();
+    for (zi, &p) in con_zeros.iter().enumerate() {
+        net.add_edge(source, zero_nodes[zi], data.weight(p));
+    }
+    let mut one_pos = vec![u32::MAX; data.len()];
+    for (oi, &q) in con_ones.iter().enumerate() {
+        net.add_edge(one_nodes[oi], sink, data.weight(q));
+        one_pos[q] = oi as u32;
+    }
+
+    // Rung ladders, truncated to the reached prefix of each chain.
+    let mut rungs: Vec<Vec<NodeId>> = Vec::with_capacity(dec.width());
+    let mut rung_edges = 0u64;
+    for (chain, &cnt) in dec.chains().iter().zip(&max_cnt) {
+        let mut ladder: Vec<NodeId> = Vec::with_capacity(cnt);
+        for (i, &local) in chain[..cnt].iter().enumerate() {
+            let a = net.add_node();
+            net.add_edge(
+                a,
+                one_nodes[one_pos[ones[local]] as usize],
+                Capacity::Infinite,
+            );
+            if i > 0 {
+                net.add_edge(a, ladder[i - 1], Capacity::Infinite);
+            }
+            ladder.push(a);
+        }
+        rung_edges += (2 * ladder.len()).saturating_sub(1) as u64;
+        rungs.push(ladder);
+    }
+    for (zi, hits) in zero_hits.iter().enumerate() {
+        for &(c, cnt) in hits {
+            net.add_edge(
+                zero_nodes[zi],
+                rungs[c as usize][cnt as usize - 1],
+                Capacity::Infinite,
+            );
+        }
+    }
+
+    mc_obs::counter_add("passive.ladder_chains", dec.width() as u64);
+    mc_obs::counter_add("passive.ladder_rungs", rung_edges);
+    let con = ContendingPoints {
+        zeros: con_zeros,
+        ones: con_ones,
+    };
+    let network = ClassifierNetwork {
+        net,
+        zero_nodes,
+        one_nodes,
+    };
+    (con, Some(network))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passive::solver::build_dense_network;
+    use mc_flow::{Dinic, MaxFlowAlgorithm};
+    use mc_geom::Label;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_weighted(n: usize, dim: usize, grid: f64, rng: &mut StdRng) -> WeightedSet {
+        let mut ws = WeightedSet::empty(dim);
+        for _ in 0..n {
+            let coords: Vec<f64> = (0..dim).map(|_| rng.gen_range(0.0..grid).round()).collect();
+            ws.push(
+                &coords,
+                Label::from_bool(rng.gen_bool(0.5)),
+                rng.gen_range(1..10) as f64,
+            );
+        }
+        ws
+    }
+
+    #[test]
+    fn ladder_min_cut_matches_dense() {
+        let mut rng = StdRng::seed_from_u64(0x1ADD);
+        for dim in [1usize, 2, 3, 4] {
+            for trial in 0..40 {
+                let n = rng.gen_range(1..50);
+                let ws = random_weighted(n, dim, 4.0, &mut rng);
+                let index = DominanceIndex::build(ws.points());
+                let con = ContendingPoints::compute_indexed(&ws, &index);
+                if con.is_empty() {
+                    continue;
+                }
+                let dense = build_dense_network(&ws, &con, &index);
+                let ladder = build_ladder_network(&ws, &con, &index);
+                let dv = Dinic.solve(&dense.net).value();
+                let lv = Dinic.solve(&ladder.net).value();
+                assert!(
+                    (dv - lv).abs() < 1e-9,
+                    "dim {dim} trial {trial}: dense {dv} vs ladder {lv}\n{ws:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ladder_edge_count_is_bounded() {
+        // ≤ 2·|ones| rung edges + w·|zeros| connector edges + the
+        // finite source/sink edges — and never more than dense + rungs.
+        let mut rng = StdRng::seed_from_u64(0x1ADE);
+        let ws = random_weighted(600, 3, 6.0, &mut rng);
+        let index = DominanceIndex::build(ws.points());
+        let con = ContendingPoints::compute_indexed(&ws, &index);
+        assert!(!con.is_empty(), "grid data at n=600 must contend");
+        let ones_index = index.subset(&con.ones);
+        let w = ChainDecomposition::compute_from_index(&ones_index).width();
+        let ladder = build_ladder_network(&ws, &con, &index);
+        let bound = con.len() + 2 * con.ones.len() + w * con.zeros.len();
+        assert!(
+            ladder.net.num_edges() <= bound,
+            "ladder edges {} exceed O(w·n) bound {bound} (w = {w})",
+            ladder.net.num_edges()
+        );
+        let dense = build_dense_network(&ws, &con, &index);
+        assert!(
+            ladder.net.num_edges() <= dense.net.num_edges() + 2 * con.ones.len(),
+            "ladder ({}) must never exceed dense ({}) by more than the rungs",
+            ladder.net.num_edges(),
+            dense.net.num_edges()
+        );
+    }
+
+    #[test]
+    fn discover_matches_indexed_contending_and_dense_cut() {
+        let mut rng = StdRng::seed_from_u64(0x1ADF);
+        for dim in [1usize, 2, 3, 4] {
+            for trial in 0..40 {
+                let n = rng.gen_range(1..50);
+                let ws = random_weighted(n, dim, 4.0, &mut rng);
+                let index = DominanceIndex::build(ws.points());
+                let reference = ContendingPoints::compute_indexed(&ws, &index);
+                let (con, network) = discover_and_build(&ws);
+                assert_eq!(
+                    (con.zeros, con.ones),
+                    (reference.zeros.clone(), reference.ones.clone()),
+                    "dim {dim} trial {trial}: matrix-free Lemma 15 disagrees\n{ws:?}"
+                );
+                match network {
+                    None => assert!(reference.is_empty()),
+                    Some(ladder) => {
+                        let dense = build_dense_network(&ws, &reference, &index);
+                        let dv = Dinic.solve(&dense.net).value();
+                        let lv = Dinic.solve(&ladder.net).value();
+                        assert!(
+                            (dv - lv).abs() < 1e-9,
+                            "dim {dim} trial {trial}: dense {dv} vs discover {lv}\n{ws:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn discover_handles_one_sided_and_empty_inputs() {
+        let mut all_ones = WeightedSet::empty(3);
+        all_ones.push(&[0.0, 0.0, 0.0], Label::One, 1.0);
+        all_ones.push(&[1.0, 1.0, 1.0], Label::One, 1.0);
+        let (con, network) = discover_and_build(&all_ones);
+        assert!(con.is_empty() && network.is_none());
+
+        // Zeros and ones present but no dominating pair.
+        let mut incomparable = WeightedSet::empty(2);
+        incomparable.push(&[0.0, 1.0], Label::One, 1.0);
+        incomparable.push(&[1.0, 0.0], Label::Zero, 1.0);
+        let (con, network) = discover_and_build(&incomparable);
+        assert!(con.is_empty() && network.is_none());
+
+        let (con, network) = discover_and_build(&WeightedSet::empty(2));
+        assert!(con.is_empty() && network.is_none());
+    }
+
+    #[test]
+    fn duplicates_across_labels_contend_through_the_ladder() {
+        // Equal coordinates, opposite labels: reflexive dominance must
+        // wire the zero to the one through its chain.
+        let mut ws = WeightedSet::empty(3);
+        ws.push(&[2.0, 2.0, 2.0], Label::One, 7.0);
+        ws.push(&[2.0, 2.0, 2.0], Label::Zero, 3.0);
+        let index = DominanceIndex::build(ws.points());
+        let con = ContendingPoints::compute_indexed(&ws, &index);
+        assert_eq!(
+            (con.zeros.as_slice(), con.ones.as_slice()),
+            (&[1][..], &[0][..])
+        );
+        let ladder = build_ladder_network(&ws, &con, &index);
+        assert_eq!(Dinic.solve(&ladder.net).value(), 3.0);
+    }
+
+    #[test]
+    fn one_sided_contention_builds_no_gadget() {
+        // All-ones input: nothing contends, but even with a forced con
+        // set on one side only, the builder must not panic.
+        let mut ws = WeightedSet::empty(3);
+        ws.push(&[0.0, 0.0, 0.0], Label::One, 1.0);
+        ws.push(&[1.0, 1.0, 1.0], Label::One, 1.0);
+        let index = DominanceIndex::build(ws.points());
+        let con = ContendingPoints {
+            zeros: vec![],
+            ones: vec![0, 1],
+        };
+        let ladder = build_ladder_network(&ws, &con, &index);
+        assert_eq!(ladder.net.num_edges(), 2); // sink edges only
+        assert_eq!(Dinic.solve(&ladder.net).value(), 0.0);
+    }
+}

@@ -11,6 +11,7 @@ pub mod brute;
 pub mod certificate;
 pub mod contending;
 pub mod incremental;
+pub(crate) mod ladder;
 pub mod one_dim;
 pub mod solver;
 pub(crate) mod sparse;
@@ -20,4 +21,4 @@ pub use certificate::{certify_passive, Certificate, InversionCharge};
 pub use contending::ContendingPoints;
 pub use incremental::IncrementalPassive;
 pub use one_dim::{solve_passive_1d, OneDimOptimum};
-pub use solver::{solve_passive, PassiveSolution, PassiveSolver};
+pub use solver::{solve_passive, NetworkStrategy, PassiveSolution, PassiveSolver};

@@ -16,7 +16,11 @@
 //!    iff its sink edge is cut; non-contending points keep their labels
 //!    (Lemmas 16/17 prove this is monotone and optimal).
 //!
-//! Total cost `O(d·n²) + T_maxflow(n)`.
+//! Total cost `O(d·n²) + T_maxflow(n)`. The type-3 edge set is built by
+//! one of three interchangeable gadgets with identical min cuts (see
+//! [`NetworkStrategy`]): the paper-literal dense enumeration, the `d ≤ 2`
+//! divide-and-conquer sweep ladder, or the dimension-generic Lemma-6
+//! chain ladder (`O(w·n)` edges) that is the default for `d ≥ 3`.
 //!
 //! # Example
 //!
@@ -50,24 +54,97 @@ pub struct PassiveSolution {
     pub contending: usize,
 }
 
+/// Which type-3 connectivity gadget the passive solver builds.
+///
+/// All three strategies produce networks with identical minimum cuts
+/// (the gadget edges are all infinite and preserve zero→one
+/// reachability), so they differ only in edge count and build cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum NetworkStrategy {
+    /// Dimension-dispatched default: the `O(n log n)`-edge
+    /// divide-and-conquer sweep gadget for `d ≤ 2`, the `O(w·n)`-edge
+    /// chain ladder for `d ≥ 3`. An unset (or `auto`) `MC_FLOW_NET`
+    /// resolves here.
+    #[default]
+    Auto,
+    /// The paper-literal Section-5.1 network — one infinite edge per
+    /// dominating pair, `Θ(n²)` worst case. Kept as the tested
+    /// reference path (`MC_FLOW_NET=dense`).
+    Dense,
+    /// Force the dimension-generic chain ladder at any `d`, including
+    /// `d ≤ 2` (`MC_FLOW_NET=sparse`); used to cross-check the sweep
+    /// gadget against the generic one.
+    Sparse,
+}
+
+impl NetworkStrategy {
+    /// Parses a strategy name: `auto`, `dense`, or `sparse`
+    /// (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        if s.eq_ignore_ascii_case("auto") || s.is_empty() {
+            Some(Self::Auto)
+        } else if s.eq_ignore_ascii_case("dense") {
+            Some(Self::Dense)
+        } else if s.eq_ignore_ascii_case("sparse") {
+            Some(Self::Sparse)
+        } else {
+            None
+        }
+    }
+
+    /// Reads the `MC_FLOW_NET` env toggle: `auto` (the default),
+    /// `dense`, or `sparse`. Unrecognised values warn once and fall back
+    /// to the default, mirroring `MC_MATCHING`.
+    pub fn from_env() -> Self {
+        match std::env::var("MC_FLOW_NET") {
+            Ok(v) => Self::parse(&v).unwrap_or_else(|| {
+                mc_obs::warn_once(
+                    "mc_flow_net_env",
+                    "unrecognised MC_FLOW_NET value (expected 'auto', 'dense' or 'sparse'); \
+                     using auto",
+                );
+                Self::Auto
+            }),
+            Err(_) => Self::Auto,
+        }
+    }
+}
+
 /// Solver for Problem 2 (passive weighted monotone classification),
-/// parameterized by the max-flow algorithm.
+/// parameterized by the max-flow algorithm and the network-building
+/// strategy.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PassiveSolver<A: MaxFlowAlgorithm = Dinic> {
     algorithm: A,
+    network: NetworkStrategy,
 }
 
 impl PassiveSolver<Dinic> {
-    /// Solver using the default max-flow algorithm (Dinic).
+    /// Solver using the default max-flow algorithm (Dinic) and the
+    /// [`NetworkStrategy::Auto`] network (which defers to `MC_FLOW_NET`).
     pub fn new() -> Self {
-        Self { algorithm: Dinic }
+        Self {
+            algorithm: Dinic,
+            network: NetworkStrategy::Auto,
+        }
     }
 }
 
 impl<A: MaxFlowAlgorithm> PassiveSolver<A> {
     /// Solver using a specific max-flow algorithm.
     pub fn with_algorithm(algorithm: A) -> Self {
-        Self { algorithm }
+        Self {
+            algorithm,
+            network: NetworkStrategy::Auto,
+        }
+    }
+
+    /// Overrides the network-building strategy. An explicit setting wins
+    /// over the `MC_FLOW_NET` env toggle (which only applies while the
+    /// solver is at [`NetworkStrategy::Auto`]).
+    pub fn with_network(mut self, network: NetworkStrategy) -> Self {
+        self.network = network;
+        self
     }
 
     /// Validating variant of [`PassiveSolver::solve`] for user-supplied
@@ -96,10 +173,10 @@ impl<A: MaxFlowAlgorithm> PassiveSolver<A> {
 
     /// Like [`PassiveSolver::solve`], but reuses a prebuilt
     /// [`DominanceIndex`] over `data.points()` for contending-point
-    /// discovery and type-3 edge enumeration (`d ≥ 3`; for `d ≤ 2` the
-    /// sparse sweep is faster and the index is ignored). The active
-    /// solver uses this to share one index between chain decomposition
-    /// and the passive solve on its sample.
+    /// discovery and network construction (`d ≥ 3`; for `d ≤ 2` under
+    /// [`NetworkStrategy::Auto`] the sparse sweep is faster and the
+    /// index is ignored). The active solver uses this to share one index
+    /// between chain decomposition and the passive solve on its sample.
     ///
     /// # Panics
     ///
@@ -121,27 +198,63 @@ impl<A: MaxFlowAlgorithm> PassiveSolver<A> {
             };
         }
 
-        // For d ≥ 3 both contending discovery and the dense type-3 edge
-        // enumeration read the bitset index; build it once here if the
-        // caller didn't share one. For d ≤ 2 the sort/sweep paths win
-        // and no index is needed.
-        let use_sparse = data.dim() <= 2;
+        // Resolve the network strategy: an explicit `with_network` choice
+        // wins; `Auto` defers to the `MC_FLOW_NET` env toggle (which
+        // itself defaults to `Auto` = dimension-dispatched).
+        let strategy = match self.network {
+            NetworkStrategy::Auto => NetworkStrategy::from_env(),
+            s => s,
+        };
+        let dim = data.dim();
+
+        // Route to a builder. Only the dense network (and a sparse solve
+        // that can reuse a caller-shared index for free) reads the
+        // `Θ(n²)` bitset matrix; the `d ≤ 2` sweep and the matrix-free
+        // ladder pipeline never build it — that is where the ladder's
+        // speedup lives, since the matrix fill would dwarf the
+        // `O(w·n·log n)` construction it feeds.
+        let use_sweep = dim <= 2 && strategy == NetworkStrategy::Auto;
         let owned_index;
-        let index = if use_sparse {
-            None
-        } else if let Some(shared) = index {
-            Some(shared)
-        } else {
+        let index = if strategy == NetworkStrategy::Dense && index.is_none() {
             owned_index = DominanceIndex::build(data.points());
             Some(&owned_index)
+        } else {
+            index
         };
 
-        let con = {
-            let _span = mc_obs::span("contending");
-            match index {
-                None => crate::passive::sparse::contending_sweep(data),
-                Some(idx) => ContendingPoints::compute_indexed(data, idx),
-            }
+        // All three builders (sweep gadget, chain ladder, paper-literal
+        // dense) have identical min cuts; see `super::sparse` and
+        // `super::ladder`. Each tags itself with a child span so
+        // `--trace` shows which one ran.
+        let (con, network) = if !use_sweep && strategy != NetworkStrategy::Dense && index.is_none()
+        {
+            // Matrix-free ladder: the chain binary searches double as
+            // Lemma-15 contending discovery.
+            let _span = mc_obs::span("build_network");
+            crate::passive::ladder::discover_and_build(data)
+        } else {
+            let con = {
+                let _span = mc_obs::span("contending");
+                if dim <= 2 {
+                    // The sweep is cheaper than the indexed scan and
+                    // yields the same set (tested in `sparse`),
+                    // whichever builder runs next.
+                    crate::passive::sparse::contending_sweep(data)
+                } else {
+                    ContendingPoints::compute_indexed(data, index.expect("index exists for d ≥ 3"))
+                }
+            };
+            let network = if con.is_empty() {
+                None
+            } else {
+                let _span = mc_obs::span("build_network");
+                Some(match (strategy, index) {
+                    (_, None) => crate::passive::sparse::build_sparse_network(data, &con),
+                    (NetworkStrategy::Dense, Some(idx)) => build_dense_network(data, &con, idx),
+                    (_, Some(idx)) => crate::passive::ladder::build_ladder_network(data, &con, idx),
+                })
+            };
+            (con, network)
         };
         mc_obs::counter_add("passive.points", n as u64);
         mc_obs::counter_add("passive.contending", con.len() as u64);
@@ -149,17 +262,7 @@ impl<A: MaxFlowAlgorithm> PassiveSolver<A> {
         let mut assignment: Vec<Label> = data.labels().to_vec();
 
         let mut weighted_error = 0.0;
-        if !con.is_empty() {
-            // Build the network: the quadratic type-3 edge set of the
-            // paper for d ≥ 3, or the O(n log n)-edge sparsification for
-            // d ≤ 2 (see `super::sparse`); both have identical min cuts.
-            let network = {
-                let _span = mc_obs::span("build_network");
-                match index {
-                    None => crate::passive::sparse::build_sparse_network(data, &con),
-                    Some(idx) => build_dense_network(data, &con, idx),
-                }
-            };
+        if let Some(network) = network {
             mc_obs::counter_add("passive.network_nodes", network.net.num_nodes() as u64);
             mc_obs::counter_add("passive.network_edges", network.net.num_edges() as u64);
 
@@ -224,17 +327,20 @@ impl<A: MaxFlowAlgorithm> PassiveSolver<A> {
 /// edge per dominating `(zero, one)` pair, enumerated as set bits of
 /// `row(q) AND zeros_mask` per contending label-1 point `q` instead of
 /// an `O(d·|P₀|·|P₁|)` coordinate scan. Still `Θ(n²)` edges in the worst
-/// case; used for `d ≥ 3`, where no sparsification is available.
+/// case; kept as the tested reference path behind
+/// [`NetworkStrategy::Dense`] / `MC_FLOW_NET=dense` (the default for
+/// `d ≥ 3` is now the `O(w·n)` chain ladder of `super::ladder`).
 ///
 /// Edge insertion order matches the old pairwise scan exactly — each
 /// zero node's forward edges arrive in ascending one-index order and
 /// each one node's residual edges in ascending zero-index order — so
 /// max-flow results are bit-identical.
-fn build_dense_network(
+pub(crate) fn build_dense_network(
     data: &WeightedSet,
     con: &ContendingPoints,
     index: &DominanceIndex,
 ) -> crate::passive::sparse::ClassifierNetwork {
+    let _span = mc_obs::span("dense");
     let n = data.len();
     let source = 0;
     let sink = 1;

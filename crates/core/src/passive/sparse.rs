@@ -37,12 +37,17 @@ pub(crate) struct ClassifierNetwork {
 }
 
 /// Extracts the `(x, y)` view of point `i`: its two coordinates for
-/// `d = 2`, or `(v, v)` for `d = 1`.
+/// `d = 2`, or `(v, v)` for `d = 1`. Zeroes are canonicalized to `+0.0`
+/// (`v + 0.0` maps `-0.0` there): dominance is IEEE `>=`, under which
+/// `-0.0` and `+0.0` are one value, but the sweep *orders* by
+/// `total_cmp`, which would otherwise put `-0.0` strictly first and let
+/// an equal-up-to-zero-sign cross-label pair dodge the ones-first
+/// tie-break (the bitset index canonicalizes the same way).
 fn xy(data: &WeightedSet, i: usize) -> (f64, f64) {
     let p = data.points().point(i);
     match p.len() {
-        1 => (p[0], p[0]),
-        2 => (p[0], p[1]),
+        1 => (p[0] + 0.0, p[0] + 0.0),
+        2 => (p[0] + 0.0, p[1] + 0.0),
         d => unreachable!("sparse network requires d ≤ 2, got {d}"),
     }
 }
@@ -52,6 +57,7 @@ pub(crate) fn build_sparse_network(
     data: &WeightedSet,
     con: &ContendingPoints,
 ) -> ClassifierNetwork {
+    let _span = mc_obs::span("sweep");
     debug_assert!(data.dim() <= 2);
     let source = 0;
     let sink = 1;
@@ -269,6 +275,21 @@ mod tests {
             "edges {} exceed O(n log n) bound {bound} for n = {n}",
             sparse.net.num_edges()
         );
+    }
+
+    #[test]
+    fn signed_zero_duplicates_contend() {
+        // -0.0 and +0.0 are the same coordinate under IEEE dominance;
+        // the sweep's total_cmp ordering must not separate them.
+        let mut ws = WeightedSet::empty(2);
+        ws.push(&[0.0, -0.0], Label::One, 5.0);
+        ws.push(&[-0.0, 0.0], Label::Zero, 2.0);
+        let con = contending_sweep(&ws);
+        assert_eq!(con.zeros, vec![1]);
+        assert_eq!(con.ones, vec![0]);
+        assert_eq!(con, ContendingPoints::compute_generic(&ws));
+        let sparse = build_sparse_network(&ws, &con);
+        assert_eq!(Dinic.solve(&sparse.net).value(), 2.0);
     }
 
     #[test]

@@ -5,100 +5,19 @@
 //! label-0 points → label-1 points → sink, Section 5.1 of the paper) it
 //! runs in `O(E·sqrt(V))`-like time in practice and comfortably meets the
 //! `T_maxflow(n)` budget of Theorem 4.
+//!
+//! The front-end here is thin: it freezes the network into the CSR
+//! layout and runs the reusable [`DinicEngine`], which owns the BFS/DFS
+//! phases and their scratch buffers (see [`crate::csr`]).
 
+use crate::csr::DinicEngine;
 use crate::network::FlowNetwork;
 use crate::solution::FlowSolution;
-use crate::{MaxFlowAlgorithm, EPS};
+use crate::MaxFlowAlgorithm;
 
 /// Dinic's algorithm.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Dinic;
-
-struct State<'a> {
-    net: &'a FlowNetwork,
-    residual: Vec<f64>,
-    level: Vec<i32>,
-    /// Current-arc pointers for the DFS phase.
-    arc: Vec<usize>,
-}
-
-impl<'a> State<'a> {
-    /// BFS from the source over positive-residual edges; returns `true`
-    /// iff the sink is reachable.
-    fn build_levels(&mut self) -> bool {
-        self.level.iter_mut().for_each(|l| *l = -1);
-        let mut queue = std::collections::VecDeque::new();
-        self.level[self.net.source()] = 0;
-        queue.push_back(self.net.source());
-        while let Some(u) = queue.pop_front() {
-            for &e in self.net.adjacent(u) {
-                let e = e as usize;
-                if self.residual[e] > EPS {
-                    let v = self.net.edge_head(e);
-                    if self.level[v] < 0 {
-                        self.level[v] = self.level[u] + 1;
-                        queue.push_back(v);
-                    }
-                }
-            }
-        }
-        self.level[self.net.sink()] >= 0
-    }
-
-    /// Iterative DFS pushing one augmenting path from the source to the
-    /// sink along the level graph; returns the amount pushed (0 when the
-    /// blocking flow is complete). Iterative on an explicit path stack —
-    /// augmenting paths can be `Θ(V)` long (e.g. through the ladder
-    /// gadgets of the sparsified classifier networks), which would
-    /// overflow the call stack in a recursive formulation.
-    fn push_one_path(&mut self) -> f64 {
-        let source = self.net.source();
-        let sink = self.net.sink();
-        // Stack of edges forming the current path from the source.
-        let mut path: Vec<usize> = Vec::new();
-        loop {
-            let u = match path.last() {
-                Some(&e) => self.net.edge_head(e),
-                None => source,
-            };
-            if u == sink {
-                // Augment by the bottleneck along the path.
-                let mut bottleneck = f64::INFINITY;
-                for &e in &path {
-                    bottleneck = bottleneck.min(self.residual[e]);
-                }
-                for &e in &path {
-                    self.residual[e] -= bottleneck;
-                    self.residual[e ^ 1] += bottleneck;
-                }
-                return bottleneck;
-            }
-            // Advance u's current arc to an admissible edge.
-            let mut advanced = false;
-            while self.arc[u] < self.net.adjacent(u).len() {
-                let e = self.net.adjacent(u)[self.arc[u]] as usize;
-                let v = self.net.edge_head(e);
-                if self.residual[e] > EPS && self.level[v] == self.level[u] + 1 {
-                    path.push(e);
-                    advanced = true;
-                    break;
-                }
-                self.arc[u] += 1;
-            }
-            if advanced {
-                continue;
-            }
-            // Dead end: retreat (and retire the edge that led here).
-            match path.pop() {
-                Some(e) => {
-                    let parent = self.net.edge_head(e ^ 1);
-                    self.arc[parent] += 1;
-                }
-                None => return 0.0, // source exhausted: blocking flow done
-            }
-        }
-    }
-}
 
 impl MaxFlowAlgorithm for Dinic {
     fn name(&self) -> &'static str {
@@ -107,34 +26,13 @@ impl MaxFlowAlgorithm for Dinic {
 
     fn solve(&self, net: &FlowNetwork) -> FlowSolution {
         let _span = mc_obs::span("maxflow");
-        let (residual, surrogate) = net.initial_residuals();
-        let n = net.num_nodes();
-        let mut st = State {
-            net,
-            residual,
-            level: vec![-1; n],
-            arc: vec![0; n],
-        };
-        let mut value = 0.0;
-        // Accumulated locally; flushed once at the end so the hot loop
-        // pays only integer increments when tracing is disabled.
-        let mut bfs_rounds = 0u64;
-        let mut aug_paths = 0u64;
-        while st.build_levels() {
-            bfs_rounds += 1;
-            st.arc.iter_mut().for_each(|a| *a = 0);
-            loop {
-                let pushed = st.push_one_path();
-                if pushed <= EPS {
-                    break;
-                }
-                aug_paths += 1;
-                value += pushed;
-            }
-        }
-        mc_obs::counter_add("flow.bfs_rounds", bfs_rounds);
-        mc_obs::counter_add("flow.augmenting_paths", aug_paths);
-        FlowSolution::new(value, st.residual, surrogate)
+        mc_obs::counter_add("flow.edges", net.num_edges() as u64);
+        let (mut residual, surrogate) = net.initial_residuals();
+        let csr = net.freeze();
+        let mut engine = DinicEngine::new();
+        let value = engine.max_flow(&csr, csr.source(), csr.sink(), &mut residual);
+        engine.flush_stats();
+        FlowSolution::new(value, residual, surrogate)
     }
 }
 

@@ -6,6 +6,10 @@
 //!
 //! * [`FlowNetwork`] — a residual-graph network with first-class infinite
 //!   capacities (for the paper's type-3 edges);
+//! * [`CsrNetwork`] / [`DinicEngine`] — a frozen contiguous (CSR) view of
+//!   the adjacency and a reusable blocking-flow engine running on its
+//!   slices, shared by the batch solvers and `mc-core`'s incremental
+//!   passive solver;
 //! * three interchangeable solvers behind [`MaxFlowAlgorithm`]:
 //!   [`Dinic`] (the default), [`PushRelabel`] (Goldberg–Tarjan `O(V³)`,
 //!   reference \[14\] of the paper), and [`EdmondsKarp`] (slow reference);
@@ -28,6 +32,7 @@
 //! ```
 
 pub mod capacity_scaling;
+pub mod csr;
 pub mod dinic;
 pub mod edmonds_karp;
 pub mod network;
@@ -35,9 +40,10 @@ pub mod push_relabel;
 pub mod solution;
 
 pub use capacity_scaling::CapacityScaling;
+pub use csr::{AdjTopology, CsrNetwork, DinicEngine, ResidualTopology};
 pub use dinic::Dinic;
 pub use edmonds_karp::EdmondsKarp;
-pub use network::{Capacity, EdgeId, FlowNetwork, NodeId};
+pub use network::{surrogate_for, Capacity, EdgeId, FlowNetwork, NodeId};
 pub use push_relabel::PushRelabel;
 pub use solution::{FlowSolution, MinCut};
 

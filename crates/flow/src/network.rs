@@ -12,10 +12,21 @@
 //! cut does (in which case [`FlowNetwork::max_flow_value_is_unbounded`]
 //! reports it).
 
+use crate::csr::CsrNetwork;
 use std::fmt;
 
 /// Node identifier.
 pub type NodeId = usize;
+
+/// The finite surrogate standing in for `+∞` over a network whose finite
+/// capacities sum to `finite_cap_sum`: strictly larger than any finite
+/// cut, so a surrogate edge is never the bottleneck of one. Shared by the
+/// batch solvers (via [`FlowNetwork`]) and the incremental passive solver
+/// in `mc-core`, so unboundedness detection and flow values agree between
+/// the two pipelines.
+pub fn surrogate_for(finite_cap_sum: f64) -> f64 {
+    finite_cap_sum + 1.0
+}
 
 /// Edge identifier. Even ids are forward edges in insertion order;
 /// `id ^ 1` is the paired residual (backward) edge.
@@ -140,10 +151,11 @@ impl FlowNetwork {
     }
 
     /// Replaces every infinite capacity by the surrogate
-    /// `B = finite_cap_sum + 1`, returning the per-edge initial residual
-    /// capacities solvers work on. Solvers call this once at the start.
+    /// `B = finite_cap_sum + 1` (see [`surrogate_for`]), returning the
+    /// per-edge initial residual capacities solvers work on. Solvers call
+    /// this once at the start.
     pub(crate) fn initial_residuals(&self) -> (Vec<f64>, f64) {
-        let surrogate = self.finite_cap_sum + 1.0;
+        let surrogate = surrogate_for(self.finite_cap_sum);
         let mut residual = self.cap.clone();
         for (i, r) in residual.iter_mut().enumerate() {
             if self.infinite[i] && i % 2 == 0 {
@@ -202,6 +214,17 @@ impl FlowNetwork {
     /// Sum of all finite declared capacities.
     pub fn finite_capacity_sum(&self) -> f64 {
         self.finite_cap_sum
+    }
+
+    /// Freezes the adjacency into a contiguous CSR layout for the solver
+    /// hot loops. Edge ids (and therefore the `e ^ 1` residual pairing
+    /// and every per-edge array such as the residuals from
+    /// `initial_residuals`) are unchanged; only the `Vec<Vec<u32>>`
+    /// adjacency is flattened, in identical per-node order, so a solver
+    /// running on the frozen view visits edges in exactly the same order
+    /// as one walking the nested Vecs.
+    pub fn freeze(&self) -> CsrNetwork {
+        CsrNetwork::from_adjacency(self.source, self.sink, &self.adj, self.head.clone())
     }
 
     /// `true` iff a computed max-flow `value` can only be explained by

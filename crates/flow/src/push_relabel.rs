@@ -5,6 +5,7 @@
 //! (when some height `g < n` has no vertices, every vertex with height in
 //! `(g, n)` can be lifted straight to `n + 1`).
 
+use crate::csr::ResidualTopology;
 use crate::network::FlowNetwork;
 use crate::solution::FlowSolution;
 use crate::{MaxFlowAlgorithm, EPS};
@@ -21,6 +22,9 @@ impl MaxFlowAlgorithm for PushRelabel {
 
     fn solve(&self, net: &FlowNetwork) -> FlowSolution {
         let (mut residual, surrogate) = net.initial_residuals();
+        // Discharge loops revisit adjacency constantly; run them over the
+        // frozen CSR slices rather than the nested build-time Vecs.
+        let net = net.freeze();
         let n = net.num_nodes();
         let (s, t) = (net.source(), net.sink());
 
@@ -42,7 +46,7 @@ impl MaxFlowAlgorithm for PushRelabel {
             }
             let c = residual[e];
             if c > EPS {
-                let v = net.edge_head(e);
+                let v = net.head(e);
                 residual[e] = 0.0;
                 residual[e ^ 1] += c;
                 excess[v] += c;
@@ -67,7 +71,7 @@ impl MaxFlowAlgorithm for PushRelabel {
                     for &e in net.adjacent(u) {
                         let e = e as usize;
                         if residual[e] > EPS {
-                            min_h = min_h.min(height[net.edge_head(e)]);
+                            min_h = min_h.min(height[net.head(e)]);
                         }
                     }
                     if min_h == usize::MAX {
@@ -94,7 +98,7 @@ impl MaxFlowAlgorithm for PushRelabel {
                     continue;
                 }
                 let e = net.adjacent(u)[arc[u]] as usize;
-                let v = net.edge_head(e);
+                let v = net.head(e);
                 if residual[e] > EPS && height[u] == height[v] + 1 {
                     // Push.
                     let delta = excess[u].min(residual[e]);

@@ -182,6 +182,17 @@ impl DominanceIndex {
         self.ranks[k * self.n + i]
     }
 
+    /// The whole rank column of dimension `k` (`column[i]` is the dense
+    /// rank of point `i`), for callers doing many rank comparisons in a
+    /// tight loop — e.g. the passive solver's chain-ladder builder, which
+    /// binary-searches a chain per contending 0-point. Since ranks are
+    /// dense and order-preserving per dimension, `p ⪰ q` iff `p`'s rank
+    /// is `≥` `q`'s on every dimension.
+    pub fn rank_column(&self, k: usize) -> &[u32] {
+        assert!(k < self.dim, "dimension {k} out of range ({})", self.dim);
+        &self.ranks[k * self.n..(k + 1) * self.n]
+    }
+
     /// The bitset row of `i`'s dominators: bit `j` is set iff `p_j ⪰ p_i`
     /// (reflexive, so bit `i` is set).
     pub fn dominators(&self, i: usize) -> &[u64] {
@@ -343,6 +354,65 @@ impl DominanceIndex {
             dup_offsets: dups.offsets,
             bits,
         }
+    }
+}
+
+/// Rank columns *without* the bitset matrix: the `O(d·n log n)` half of
+/// [`DominanceIndex::build`], for callers that only need pointwise rank
+/// comparisons (`p ⪰ q ⟺ rank_k(p) ≥ rank_k(q)` for every dimension
+/// `k`). The passive chain-ladder builder uses this — its entire point
+/// is to avoid the `Θ(n²)` matrix fill, so handing it a full
+/// [`DominanceIndex`] would spend more time building the index than the
+/// sparsification saves.
+///
+/// Ranks are identical to the ones a [`DominanceIndex`] over the same
+/// points would hold (same canonicalization: `-0.0 == 0.0`, `±∞`
+/// sentinels allowed, `NaN` unsupported).
+#[derive(Debug, Clone)]
+pub struct RankTable {
+    n: usize,
+    dim: usize,
+    /// Column-major dense ranks: `ranks[k * n + i]` is point `i`'s rank
+    /// on dimension `k`.
+    ranks: Vec<u32>,
+}
+
+impl RankTable {
+    /// Builds the rank columns in `O(d·n log n)`.
+    pub fn build(points: &PointSet) -> Self {
+        Self {
+            n: points.len(),
+            dim: points.dim(),
+            ranks: compress_ranks(points),
+        }
+    }
+
+    /// Number of ranked points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` iff the table covers no points.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Dimensionality of the ranked points.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The rank column of dimension `k` (`column[i]` is the dense rank
+    /// of point `i`).
+    pub fn column(&self, k: usize) -> &[u32] {
+        assert!(k < self.dim, "dimension {k} out of range ({})", self.dim);
+        &self.ranks[k * self.n..(k + 1) * self.n]
+    }
+
+    /// Reflexive dominance `p_i ⪰ p_j` from `d` rank comparisons;
+    /// agrees with [`DominanceIndex::dominates`] on the same points.
+    pub fn dominates(&self, i: usize, j: usize) -> bool {
+        (0..self.dim).all(|k| self.ranks[k * self.n + i] >= self.ranks[k * self.n + j])
     }
 }
 
@@ -710,6 +780,29 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn rank_table_matches_index_dominance() {
+        let mut rng = StdRng::seed_from_u64(0x7AB);
+        for dim in [1usize, 2, 4] {
+            let n = rng.gen_range(0..60);
+            let points = random_points(n, dim, 4.0, &mut rng);
+            let index = DominanceIndex::build(&points);
+            let table = RankTable::build(&points);
+            assert_eq!((table.len(), table.dim()), (n, dim));
+            for k in 0..dim {
+                assert_eq!(table.column(k), index.rank_column(k));
+            }
+            for i in 0..n {
+                for j in 0..n {
+                    assert_eq!(table.dominates(i, j), index.dominates(i, j), "{i} vs {j}");
+                }
+            }
+        }
+        // Signed zeros canonicalize: -0.0 and 0.0 share a rank.
+        let table = RankTable::build(&PointSet::from_rows(2, &[vec![-0.0, 0.0], vec![0.0, -0.0]]));
+        assert!(table.dominates(0, 1) && table.dominates(1, 0));
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod transform;
 pub use dataset::{LabeledSet, PointSet, WeightedSet};
 pub use dominance::{dominates, incomparable, strictly_dominates, Dominance};
 pub use error::GeomError;
-pub use index::{bitmask_of, count_dominating_pairs, iter_ones, DominanceIndex};
+pub use index::{bitmask_of, count_dominating_pairs, iter_ones, DominanceIndex, RankTable};
 pub use label::Label;
 pub use parallel::{max_threads, parallel_chunks, parallel_chunks_mut, parallel_threshold};
 pub use pareto::{maxima, minima, minima_2d};

@@ -1,7 +1,7 @@
 //! `mcc` — monotone classification on CSV files.
 //!
 //! ```text
-//! mcc passive <data.csv> [--weighted] [--out classifier.csv]
+//! mcc passive <data.csv> [--weighted] [--net auto|dense|sparse] [--out classifier.csv]
 //! mcc active  <data.csv> [--epsilon E] [--seed S] [--out classifier.csv]
 //! mcc eval    <data.csv> <classifier.csv>
 //! mcc stats   <data.csv>
@@ -29,7 +29,9 @@
 
 use monotone_classification::chains::{AntichainPartition, ChainDecomposition};
 use monotone_classification::core::metrics::ConfusionMatrix;
-use monotone_classification::core::passive::{solve_passive, ContendingPoints};
+use monotone_classification::core::passive::{
+    solve_passive, ContendingPoints, NetworkStrategy, PassiveSolver,
+};
 use monotone_classification::core::{ActiveParams, ActiveSolver, InMemoryOracle};
 use monotone_classification::data::csv;
 use monotone_classification::obs;
@@ -106,7 +108,7 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   mcc passive  <data.csv> [--weighted] [--out classifier.csv]
-               [--trace] [--metrics-out metrics.jsonl]
+               [--net auto|dense|sparse] [--trace] [--metrics-out metrics.jsonl]
   mcc active   <data.csv> [--epsilon E] [--seed S] [--out classifier.csv]
                [--flaky-rate P] [--abstain-rate P] [--retry-attempts N]
                [--fault-seed S] [--trace] [--metrics-out metrics.jsonl]
@@ -261,18 +263,26 @@ impl ObsOutput {
 }
 
 fn cmd_passive(args: &[String]) -> Result<(), CliError> {
-    let (pos, values, flags) = parse_flags(args, &["out", "metrics-out"], &["weighted", "trace"])?;
+    let (pos, values, flags) =
+        parse_flags(args, &["out", "metrics-out", "net"], &["weighted", "trace"])?;
     let obs_out = ObsOutput::from_cli(&values, &flags);
     let path = pos
         .first()
         .ok_or_else(|| CliError::Usage("passive: missing <data.csv>".into()))?;
+    // --net overrides the MC_FLOW_NET env toggle; unset defers to it.
+    let network = match get_value(&values, "net") {
+        Some(v) => NetworkStrategy::parse(&v).ok_or_else(|| {
+            CliError::Param(format!("--net: expected auto, dense or sparse, got {v:?}"))
+        })?,
+        None => NetworkStrategy::Auto,
+    };
     let text = read_file(path)?;
     let weighted = if flags.contains(&"weighted".to_string()) {
         csv::parse_weighted(&text).map_err(|e| CliError::Data(e.to_string()))?
     } else {
         parse_data(&text)?.with_unit_weights()
     };
-    let sol = solve_passive(&weighted);
+    let sol = PassiveSolver::new().with_network(network).solve(&weighted);
     obs_out.finish(
         &[
             ("tool", Value::S("mcc passive".into())),
