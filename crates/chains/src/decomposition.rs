@@ -90,6 +90,23 @@ impl ChainDecomposition {
         Self::compute_with_engine(index, MatchingEngine::from_env())
     }
 
+    /// Cancellable twin of [`compute_from_index`](Self::compute_from_index).
+    /// The bitset engine threads the token into Hopcroft–Karp; the list
+    /// engine (exercised only via `MC_MATCHING=list`) polls once up
+    /// front and runs to completion.
+    pub fn compute_from_index_cancellable(
+        index: &DominanceIndex,
+        token: &mc_obs::CancelToken,
+    ) -> Result<Self, mc_obs::Cancelled> {
+        match MatchingEngine::from_env() {
+            MatchingEngine::Bitset => Self::compute_bitset_cancellable(index, token),
+            MatchingEngine::List => {
+                token.poll()?;
+                Ok(Self::from_dag(&DominanceDag::from_index(index)))
+            }
+        }
+    }
+
     /// Computes the decomposition with an explicit engine choice.
     pub fn compute_with_engine(index: &DominanceIndex, engine: MatchingEngine) -> Self {
         match engine {
@@ -103,19 +120,32 @@ impl ChainDecomposition {
     /// masked copies only for duplicated points), so no adjacency lists
     /// or DAG are ever materialized.
     pub fn compute_bitset(index: &DominanceIndex) -> Self {
+        Self::compute_bitset_cancellable(index, &mc_obs::CancelToken::never())
+            .expect("a never-token cannot cancel")
+    }
+
+    /// Cancellable twin of [`compute_bitset`](Self::compute_bitset):
+    /// the token is threaded into the Hopcroft–Karp engine (polled per
+    /// round and checkpointed on greedy-seed word scans) so a portfolio
+    /// race can stop a losing chain decomposition mid-matching.
+    pub fn compute_bitset_cancellable(
+        index: &DominanceIndex,
+        token: &mc_obs::CancelToken,
+    ) -> Result<Self, mc_obs::Cancelled> {
         let _span = mc_obs::span("path_cover");
         let n = index.len();
         if n == 0 {
-            return Self {
+            return Ok(Self {
                 chains: Vec::new(),
                 antichain: Vec::new(),
-            };
+            });
         }
         let g = BitsetGraph::from_index(index);
-        let matching = HopcroftKarpBitset.solve(&g);
+        let (matching, _) = HopcroftKarpBitset.solve_with_stats_cancellable(&g, token)?;
+        token.poll()?;
         let chains = Self::chains_from_matching(n, &matching);
         let antichain = Self::antichain_from_cover(n, &g, &matching);
-        Self::finish(chains, antichain)
+        Ok(Self::finish(chains, antichain))
     }
 
     /// Computes the decomposition from a pre-built dominance DAG.

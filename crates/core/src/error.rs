@@ -30,6 +30,12 @@ pub enum McError {
         /// Human-readable description, e.g. `"ε must lie in (0, 1], got 2"`.
         message: String,
     },
+    /// The solve exceeded its deadline and stopped at a cooperative
+    /// cancellation checkpoint ([`mc_obs::CancelCause::Deadline`]).
+    Timeout,
+    /// The solve was cancelled explicitly — e.g. a portfolio race
+    /// stopping a losing engine ([`mc_obs::CancelCause::Explicit`]).
+    Cancelled,
 }
 
 impl McError {
@@ -51,6 +57,8 @@ impl fmt::Display for McError {
                 "oracle must cover exactly the input points: oracle has {oracle}, input has {points}"
             ),
             McError::InvalidParameter { message } => f.write_str(message),
+            McError::Timeout => f.write_str("solve deadline expired"),
+            McError::Cancelled => f.write_str("solve cancelled"),
         }
     }
 }
@@ -77,6 +85,15 @@ impl From<OracleError> for McError {
     }
 }
 
+impl From<mc_obs::Cancelled> for McError {
+    fn from(e: mc_obs::Cancelled) -> Self {
+        match e.cause {
+            mc_obs::CancelCause::Deadline => McError::Timeout,
+            mc_obs::CancelCause::Explicit => McError::Cancelled,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,6 +111,19 @@ mod tests {
         assert_eq!(e.to_string(), "dimensionality must be at least 1");
         let e: McError = OracleError::Abstain { probe: 4 }.into();
         assert_eq!(e.to_string(), "oracle abstained on point 4");
+        assert_eq!(McError::Timeout.to_string(), "solve deadline expired");
+        assert_eq!(McError::Cancelled.to_string(), "solve cancelled");
+    }
+
+    #[test]
+    fn cancellation_causes_map_to_distinct_variants() {
+        let token = mc_obs::CancelToken::new();
+        token.cancel();
+        let e: McError = token.poll().unwrap_err().into();
+        assert_eq!(e, McError::Cancelled);
+        let token = mc_obs::CancelToken::with_deadline(std::time::Duration::ZERO);
+        let e: McError = token.poll().unwrap_err().into();
+        assert_eq!(e, McError::Timeout);
     }
 
     #[test]

@@ -10,14 +10,17 @@
 //! amounts a fractional packing: summed up, *no* monotone classifier can
 //! have weighted error below the flow value.
 //!
-//! [`certify_passive`] re-solves the instance, decomposes the max flow,
-//! and returns the packing together with an independent
-//! [`Certificate::verify`] that checks every claim against the raw data —
-//! so a downstream user can audit optimality without trusting the solver
-//! (or this crate's flow code).
+//! [`certify_passive`] solves the instance, decomposes the max flow on
+//! whichever network the strategy built (`decompose_flow` handles all
+//! three gadget topologies), and returns the packing together with an
+//! independent [`Certificate::verify`] that checks every claim against
+//! the raw data — so a downstream user can audit optimality without
+//! trusting the solver (or this crate's flow code). The portfolio
+//! referee leans on the same property: any racing engine's answer is
+//! certifiable without a dense re-solve.
 
 use crate::passive::contending::ContendingPoints;
-use crate::passive::solver::{solve_passive, PassiveSolution};
+use crate::passive::solver::PassiveSolution;
 use mc_geom::WeightedSet;
 
 /// One inversion of the packing: `zero ⪰ one`, charged `amount`.
@@ -95,61 +98,134 @@ impl Certificate {
 /// Solves Problem 2 and returns the solution together with a verifiable
 /// dual certificate of optimality.
 ///
-/// Uses the dense network (so paths have the literal
-/// source→zero→one→sink shape) — intended for audit-sized inputs, not
-/// the large-Σ hot path.
+/// The certificate comes from `decompose_flow` on whatever network
+/// the solver's strategy built — dense, sweep, or ladder — so this
+/// costs one solve plus a near-linear decomposition, and works at any
+/// scale the solver itself handles.
 pub fn certify_passive(data: &WeightedSet) -> (PassiveSolution, Certificate) {
-    let solution = solve_passive(data);
-    let con = ContendingPoints::compute(data);
+    crate::passive::solver::PassiveSolver::new()
+        .solve_certified_cancellable(data, &mc_obs::CancelToken::never())
+        .expect("a never-token cannot cancel")
+}
 
-    // Rebuild the dense network, solve, and decompose the flow.
-    use mc_flow::{Capacity, Dinic, FlowNetwork, MaxFlowAlgorithm};
-    let mut charges = Vec::new();
-    if !con.is_empty() {
-        let source = 0usize;
-        let sink = 1usize;
-        let mut net = FlowNetwork::new(2 + con.len(), source, sink);
-        let zero_node = |zi: usize| 2 + zi;
-        let one_node = |oi: usize| 2 + con.zeros.len() + oi;
-        for (zi, &p) in con.zeros.iter().enumerate() {
-            net.add_edge(source, zero_node(zi), data.weight(p));
-        }
-        for (oi, &q) in con.ones.iter().enumerate() {
-            net.add_edge(one_node(oi), sink, data.weight(q));
-        }
-        // Remember the middle edges to read their flow back.
-        let mut middle = Vec::new();
-        for (zi, &p) in con.zeros.iter().enumerate() {
-            for (oi, &q) in con.ones.iter().enumerate() {
-                if data.points().dominates(p, q) {
-                    let e = net.add_edge(zero_node(zi), one_node(oi), Capacity::Infinite);
-                    middle.push((e, p, q));
-                }
-            }
-        }
-        let flow = Dinic.solve(&net);
-        debug_assert!(
-            (flow.value() - solution.weighted_error).abs()
-                <= 1e-6 * (1.0 + solution.weighted_error),
-            "dense certificate flow must match the solver's optimum"
-        );
-        for (e, p, q) in middle {
-            let amount = flow.flow_on(&net, e);
-            if amount > 1e-9 {
-                charges.push(InversionCharge {
-                    zero: p,
-                    one: q,
-                    amount,
-                });
-            }
+/// Decomposes a solved max flow into inversion charges, generically
+/// over the network topology.
+///
+/// All three builders share one structural invariant: the source's out
+/// edges land only on zero nodes, the sink's in edges leave only from
+/// one nodes, and every interior gadget edge is infinite and descends
+/// a chain (the positive-flow subgraph is a DAG). So each stripped
+/// path `source → zero → … → one → sink` charges exactly one inversion
+/// `(zero, one)` with its bottleneck amount; conservation makes the
+/// per-path amounts a feasible fractional packing summing to the flow
+/// value. Numeric cycles (possible only through rounding) are cancelled
+/// rather than charged. Runs in `O(E·paths)` worst case but near-linear
+/// in practice: every strip zeroes at least one edge and the current-arc
+/// pointers never move backwards.
+pub(crate) fn decompose_flow(
+    con: &ContendingPoints,
+    network: &crate::passive::sparse::ClassifierNetwork,
+    flow: &mc_flow::FlowSolution,
+) -> Vec<InversionCharge> {
+    const EPS: f64 = 1e-9;
+    let net = &network.net;
+    let n = net.num_nodes();
+    let (source, sink) = (net.source(), net.sink());
+
+    // Positive-flow forward adjacency (forward edges are the even ids
+    // of the paired residual layout).
+    let mut fl = vec![0.0f64; net.num_edges() * 2];
+    let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+    for e in (0..net.num_edges() * 2).step_by(2) {
+        let amount = flow.flow_on(net, e);
+        if amount > EPS {
+            let (u, v) = net.endpoints(e);
+            fl[e] = amount;
+            adj[u].push((e, v));
         }
     }
+    // Node → input point, defined exactly on zero/one nodes.
+    let mut point_of = vec![usize::MAX; n];
+    for (zi, &node) in network.zero_nodes.iter().enumerate() {
+        point_of[node] = con.zeros[zi];
+    }
+    for (oi, &node) in network.one_nodes.iter().enumerate() {
+        point_of[node] = con.ones[oi];
+    }
 
-    let certificate = Certificate {
-        optimal_error: solution.weighted_error,
-        charges,
-    };
-    (solution, certificate)
+    let mut arc = vec![0usize; n];
+    let mut stamp = vec![usize::MAX; n]; // position on the current path
+    let mut charges = Vec::new();
+    'strip: loop {
+        let mut path_edges: Vec<usize> = Vec::new();
+        let mut path_nodes: Vec<usize> = vec![source];
+        stamp[source] = 0;
+        let mut u = source;
+        let reached_sink = loop {
+            while arc[u] < adj[u].len() && fl[adj[u][arc[u]].0] <= EPS {
+                arc[u] += 1;
+            }
+            if arc[u] == adj[u].len() {
+                break false;
+            }
+            let (e, v) = adj[u][arc[u]];
+            if v == sink {
+                path_edges.push(e);
+                break true;
+            }
+            if stamp[v] != usize::MAX {
+                // A rounding-induced cycle: cancel its flow and resume
+                // the walk from the repeat node.
+                let pos = stamp[v];
+                let amt = path_edges[pos..]
+                    .iter()
+                    .map(|&c| fl[c])
+                    .fold(fl[e], f64::min);
+                fl[e] -= amt;
+                for &c in &path_edges[pos..] {
+                    fl[c] -= amt;
+                }
+                for &w in &path_nodes[pos + 1..] {
+                    stamp[w] = usize::MAX;
+                }
+                path_edges.truncate(pos);
+                path_nodes.truncate(pos + 1);
+                u = v;
+                continue;
+            }
+            path_edges.push(e);
+            path_nodes.push(v);
+            stamp[v] = path_nodes.len() - 1;
+            u = v;
+        };
+        for &w in &path_nodes {
+            stamp[w] = usize::MAX;
+        }
+        if !reached_sink {
+            if u == source {
+                break 'strip; // source's flow is fully decomposed
+            }
+            // A dead end below the strip threshold (conservation leaks
+            // only by rounding): drop the edge that led here and retry.
+            fl[*path_edges.last().expect("u ≠ source ⇒ an edge led here")] = 0.0;
+            continue;
+        }
+        let amount = path_edges
+            .iter()
+            .map(|&e| fl[e])
+            .fold(f64::INFINITY, f64::min);
+        for &e in &path_edges {
+            fl[e] -= amount;
+        }
+        let zero = point_of[path_nodes[1]];
+        let one = point_of[*path_nodes.last().expect("path holds ≥ the zero node")];
+        debug_assert!(
+            zero != usize::MAX && one != usize::MAX,
+            "paths must enter through a zero node and leave through a one node"
+        );
+        charges.push(InversionCharge { zero, one, amount });
+    }
+    charges
 }
 
 #[cfg(test)]
@@ -245,6 +321,125 @@ mod tests {
             // No inversions: claim a positive optimum with no charges.
             cert.optimal_error = 1.0;
             assert!(cert.verify(&ws).is_err());
+        }
+    }
+
+    /// A fixed instance with one inversion: `(1,1) ⪰ (0,0)` with the
+    /// zero on top, so the optimum flips the lighter endpoint (cost 2).
+    fn one_inversion() -> WeightedSet {
+        let mut ws = WeightedSet::empty(2);
+        ws.push(&[0.0, 0.0], Label::One, 5.0);
+        ws.push(&[1.0, 1.0], Label::Zero, 2.0);
+        ws.push(&[2.0, 0.0], Label::One, 1.0); // incomparable bystander
+        ws
+    }
+
+    #[test]
+    fn wrong_claimed_optimum_is_rejected() {
+        let ws = one_inversion();
+        let (sol, mut cert) = certify_passive(&ws);
+        assert_eq!(sol.weighted_error, 2.0);
+        cert.verify(&ws).unwrap();
+        cert.optimal_error += 1.0;
+        let err = cert.verify(&ws).unwrap_err();
+        assert!(
+            err.contains("charges sum to") && err.contains("claimed optimum"),
+            "unexpected message: {err}"
+        );
+    }
+
+    #[test]
+    fn wrong_label_endpoints_are_rejected() {
+        let ws = one_inversion();
+        // Point 2 is label-1, so it cannot be a `zero` endpoint: the
+        // claimed assignment is not a monotone contradiction at all.
+        let cert = Certificate {
+            optimal_error: 1.0,
+            charges: vec![InversionCharge {
+                zero: 2,
+                one: 0,
+                amount: 1.0,
+            }],
+        };
+        let err = cert.verify(&ws).unwrap_err();
+        assert!(err.contains("wrong labels"), "unexpected message: {err}");
+    }
+
+    #[test]
+    fn non_dominating_pair_is_rejected() {
+        let ws = one_inversion();
+        // 1 (at (1,1)) does not dominate... point 2 at (2,0): labels are
+        // right (zero, one) but there is no inversion between them.
+        let cert = Certificate {
+            optimal_error: 1.0,
+            charges: vec![InversionCharge {
+                zero: 1,
+                one: 2,
+                amount: 1.0,
+            }],
+        };
+        let err = cert.verify(&ws).unwrap_err();
+        assert!(
+            err.contains("does not dominate"),
+            "unexpected message: {err}"
+        );
+    }
+
+    #[test]
+    fn tampered_amounts_are_rejected_descriptively() {
+        let ws = one_inversion();
+        let (_, mut cert) = certify_passive(&ws);
+        let original = cert.clone();
+
+        // Inflating a charge overdraws the zero endpoint's weight.
+        cert.charges[0].amount = 10.0;
+        cert.optimal_error = 10.0;
+        let err = cert.verify(&ws).unwrap_err();
+        assert!(err.contains("beyond its weight"), "unexpected: {err}");
+
+        // Negative, zero, and NaN amounts are rejected up front.
+        for bad in [-1.0, 0.0, f64::NAN] {
+            let mut cert = original.clone();
+            cert.charges[0].amount = bad;
+            let err = cert.verify(&ws).unwrap_err();
+            assert!(
+                err.contains("non-positive amount"),
+                "amount {bad}: unexpected message: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn certificates_verify_across_all_network_strategies() {
+        // The decomposition must produce a valid packing whichever
+        // gadget built the network (dense, d≤2 sweep, d≥3 ladder).
+        use crate::passive::solver::{NetworkStrategy, PassiveSolver};
+        let mut rng = StdRng::seed_from_u64(0x9EF3);
+        for strategy in [
+            NetworkStrategy::Auto,
+            NetworkStrategy::Dense,
+            NetworkStrategy::Sparse,
+        ] {
+            for dim in [1usize, 2, 3] {
+                for trial in 0..10 {
+                    let n = rng.gen_range(1..40);
+                    let ws = random_weighted(n, dim, &mut rng);
+                    let (sol, cert) = PassiveSolver::new()
+                        .with_network(strategy)
+                        .solve_certified_cancellable(&ws, &mc_obs::CancelToken::never())
+                        .unwrap();
+                    assert_eq!(cert.optimal_error, sol.weighted_error);
+                    cert.verify(&ws)
+                        .unwrap_or_else(|e| panic!("{strategy:?} dim {dim} trial {trial}: {e}"));
+                    let total: f64 = cert.charges.iter().map(|c| c.amount).sum();
+                    assert!(
+                        (total - sol.weighted_error).abs() <= 1e-6 * (1.0 + sol.weighted_error),
+                        "{strategy:?} dim {dim} trial {trial}: packing total {total} \
+                         vs optimum {}",
+                        sol.weighted_error
+                    );
+                }
+            }
         }
     }
 

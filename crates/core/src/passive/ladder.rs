@@ -51,15 +51,33 @@ use crate::passive::sparse::ClassifierNetwork;
 use mc_chains::ChainDecomposition;
 use mc_flow::{Capacity, FlowNetwork, NodeId};
 use mc_geom::{DominanceIndex, Label, RankTable, WeightedSet};
+use mc_obs::{CancelToken, Cancelled, Checkpoint};
 
 /// Builds the sparsified network for any dimension off a prebuilt
-/// [`DominanceIndex`] over `data.points()`.
+/// [`DominanceIndex`] over `data.points()`. Production callers go
+/// through the cancellable twin; the equivalence tests keep this
+/// infallible spelling.
+#[cfg(test)]
 pub(crate) fn build_ladder_network(
     data: &WeightedSet,
     con: &ContendingPoints,
     index: &DominanceIndex,
 ) -> ClassifierNetwork {
+    build_ladder_network_cancellable(data, con, index, &CancelToken::never())
+        .expect("a never-token cannot cancel")
+}
+
+/// Cancellable twin of [`build_ladder_network`]: the token reaches the
+/// Hopcroft–Karp matching inside the chain decomposition, and the
+/// `|P₀^con| × w` binary-search loop ticks a checkpoint per pair.
+pub(crate) fn build_ladder_network_cancellable(
+    data: &WeightedSet,
+    con: &ContendingPoints,
+    index: &DominanceIndex,
+    token: &CancelToken,
+) -> Result<ClassifierNetwork, Cancelled> {
     let _span = mc_obs::span("ladder");
+    token.poll()?; // small inputs may never reach a checkpoint
     let source = 0;
     let sink = 1;
     let mut net = FlowNetwork::new(2 + con.len(), source, sink);
@@ -74,17 +92,17 @@ pub(crate) fn build_ladder_network(
         net.add_edge(one_nodes[oi], sink, data.weight(q));
     }
     if con.zeros.is_empty() || con.ones.is_empty() {
-        return ClassifierNetwork {
+        return Ok(ClassifierNetwork {
             net,
             zero_nodes,
             one_nodes,
-        };
+        });
     }
 
     // Lemma 6 on the contending ones. `subset` preserves order, so chain
     // entries are positions into `con.ones` (hence into `one_nodes`).
     let ones_index = index.subset(&con.ones);
-    let dec = ChainDecomposition::compute_from_index(&ones_index);
+    let dec = ChainDecomposition::compute_from_index_cancellable(&ones_index, token)?;
 
     // One rung ladder per chain; rungs[c][i] reaches ones 0..=i of chain c.
     let mut rungs: Vec<Vec<NodeId>> = Vec::with_capacity(dec.width());
@@ -108,8 +126,10 @@ pub(crate) fn build_ladder_network(
     // builder's row-AND semantics on duplicates).
     let cols: Vec<&[u32]> = (0..index.dim()).map(|k| index.rank_column(k)).collect();
     let dominates = |p: usize, q: usize| cols.iter().all(|c| c[p] >= c[q]);
+    let mut cp = Checkpoint::new(token);
     for (zi, &p) in con.zeros.iter().enumerate() {
         for (c, chain) in dec.chains().iter().enumerate() {
+            cp.tick(1)?;
             // Ascending chain ⇒ "p dominates chain[i]" holds on a prefix.
             let cnt = chain.partition_point(|&local| dominates(p, con.ones[local]));
             if cnt > 0 {
@@ -120,11 +140,11 @@ pub(crate) fn build_ladder_network(
 
     mc_obs::counter_add("passive.ladder_chains", dec.width() as u64);
     mc_obs::counter_add("passive.ladder_rungs", rung_edges);
-    ClassifierNetwork {
+    Ok(ClassifierNetwork {
         net,
         zero_nodes,
         one_nodes,
-    }
+    })
 }
 
 /// Matrix-free ladder pipeline: contending discovery *and* network
@@ -133,10 +153,23 @@ pub(crate) fn build_ladder_network(
 /// ascending) and, when they are non-empty, the sparsified network over
 /// exactly those points — identical min cut to what
 /// [`build_ladder_network`] produces from a full index.
+#[cfg(test)]
 pub(crate) fn discover_and_build(
     data: &WeightedSet,
 ) -> (ContendingPoints, Option<ClassifierNetwork>) {
+    discover_and_build_cancellable(data, &CancelToken::never())
+        .expect("a never-token cannot cancel")
+}
+
+/// Cancellable twin of [`discover_and_build`]: the rank/index builds
+/// and the matching take the token, and the two `O(|P₀|·w)` discovery
+/// loops tick a shared checkpoint.
+pub(crate) fn discover_and_build_cancellable(
+    data: &WeightedSet,
+    token: &CancelToken,
+) -> Result<(ContendingPoints, Option<ClassifierNetwork>), Cancelled> {
     let _span = mc_obs::span("ladder");
+    token.poll()?; // small inputs may never reach a checkpoint
     let mut zeros = Vec::new();
     let mut ones = Vec::new();
     for (i, &label) in data.labels().iter().enumerate() {
@@ -150,15 +183,15 @@ pub(crate) fn discover_and_build(
         ones: Vec::new(),
     };
     if zeros.is_empty() || ones.is_empty() {
-        return (empty, None);
+        return Ok((empty, None));
     }
 
     // Rank columns over the whole set (`O(d·n log n)`) decide every
     // zero-vs-one dominance test; the quadratic bitset matrix is only
     // needed on the label-1 subset, where Lemma 6 runs its matching.
-    let table = RankTable::build(data.points());
-    let ones_index = DominanceIndex::build(&data.points().subset(&ones));
-    let dec = ChainDecomposition::compute_from_index(&ones_index);
+    let table = RankTable::try_build(data.points(), token)?;
+    let ones_index = DominanceIndex::try_build(&data.points().subset(&ones), token)?;
+    let dec = ChainDecomposition::compute_from_index_cancellable(&ones_index, token)?;
 
     // One pass of chain binary searches per 0-point: the deepest
     // dominated prefix per chain places its rung edge *and* answers
@@ -168,9 +201,11 @@ pub(crate) fn discover_and_build(
     let mut con_zeros = Vec::new();
     let mut zero_hits: Vec<Vec<(u32, u32)>> = Vec::new();
     let mut max_cnt = vec![0usize; dec.width()];
+    let mut cp = Checkpoint::new(token);
     for &p in &zeros {
         let mut hits = Vec::new();
         for (c, chain) in dec.chains().iter().enumerate() {
+            cp.tick(1)?;
             // Ascending chain ⇒ "p dominates chain[i]" holds on a prefix.
             let cnt = chain.partition_point(|&local| table.dominates(p, ones[local]));
             if cnt > 0 {
@@ -191,7 +226,7 @@ pub(crate) fn discover_and_build(
         .collect();
     con_ones.sort_unstable();
     if con_zeros.is_empty() {
-        return (empty, None);
+        return Ok((empty, None));
     }
 
     let source = 0;
@@ -232,6 +267,7 @@ pub(crate) fn discover_and_build(
     }
     for (zi, hits) in zero_hits.iter().enumerate() {
         for &(c, cnt) in hits {
+            cp.tick(1)?;
             net.add_edge(
                 zero_nodes[zi],
                 rungs[c as usize][cnt as usize - 1],
@@ -251,7 +287,7 @@ pub(crate) fn discover_and_build(
         zero_nodes,
         one_nodes,
     };
-    (con, Some(network))
+    Ok((con, Some(network)))
 }
 
 #[cfg(test)]

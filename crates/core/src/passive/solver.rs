@@ -36,9 +36,11 @@
 //! ```
 
 use crate::classifier::MonotoneClassifier;
+use crate::passive::certificate::Certificate;
 use crate::passive::contending::ContendingPoints;
 use mc_flow::{Capacity, Dinic, FlowNetwork, MaxFlowAlgorithm};
 use mc_geom::{bitmask_of, iter_ones, DominanceIndex, Label, WeightedSet};
+use mc_obs::{CancelToken, Cancelled};
 
 /// Result of a passive solve.
 #[derive(Debug, Clone)]
@@ -168,7 +170,44 @@ impl<A: MaxFlowAlgorithm> PassiveSolver<A> {
     /// Solves Problem 2 on `data`, returning an optimal monotone
     /// classifier and its weighted error.
     pub fn solve(&self, data: &WeightedSet) -> PassiveSolution {
-        self.solve_inner(data, None)
+        self.solve_cancellable(data, &CancelToken::never())
+            .expect("a never-token cannot cancel")
+    }
+
+    /// Cancellable twin of [`PassiveSolver::solve`]: the token reaches
+    /// every super-linear stage of the pipeline — the dominance-matrix
+    /// fill, rank sorts, Hopcroft–Karp matching, ladder binary searches,
+    /// and the max-flow phases — each of which polls it at least every
+    /// ~64k units of work. On cancellation the partially-built state is
+    /// dropped wholesale; the inputs are never mutated, so a fresh solve
+    /// on the same data is unaffected (the portfolio property tests
+    /// assert bit-identical re-solves).
+    pub fn solve_cancellable(
+        &self,
+        data: &WeightedSet,
+        token: &CancelToken,
+    ) -> Result<PassiveSolution, Cancelled> {
+        Ok(self.solve_inner_cancellable(data, None, token, false)?.0)
+    }
+
+    /// Like [`PassiveSolver::solve_cancellable`], but also decomposes
+    /// the max flow into a verifiable dual [`Certificate`] — the packing
+    /// of inversions proving the returned error optimal. Works with
+    /// every network strategy (the decomposition walks flow paths
+    /// `source → zero → gadget… → one → sink`, a shape all three
+    /// builders share), so a portfolio referee can audit any engine's
+    /// answer without re-solving densely.
+    pub fn solve_certified_cancellable(
+        &self,
+        data: &WeightedSet,
+        token: &CancelToken,
+    ) -> Result<(PassiveSolution, Certificate), Cancelled> {
+        let (solution, certificate) = self.solve_inner_cancellable(data, None, token, true)?;
+        let certificate = certificate.unwrap_or(Certificate {
+            optimal_error: solution.weighted_error,
+            charges: Vec::new(),
+        });
+        Ok((solution, certificate))
     }
 
     /// Like [`PassiveSolver::solve`], but reuses a prebuilt
@@ -183,19 +222,31 @@ impl<A: MaxFlowAlgorithm> PassiveSolver<A> {
     /// Panics if `index` was not built over exactly `data.points()`.
     pub fn solve_with_index(&self, data: &WeightedSet, index: &DominanceIndex) -> PassiveSolution {
         assert_eq!(index.len(), data.len(), "index/point-set size mismatch");
-        self.solve_inner(data, Some(index))
+        self.solve_inner_cancellable(data, Some(index), &CancelToken::never(), false)
+            .expect("a never-token cannot cancel")
+            .0
     }
 
-    fn solve_inner(&self, data: &WeightedSet, index: Option<&DominanceIndex>) -> PassiveSolution {
+    fn solve_inner_cancellable(
+        &self,
+        data: &WeightedSet,
+        index: Option<&DominanceIndex>,
+        token: &CancelToken,
+        certify: bool,
+    ) -> Result<(PassiveSolution, Option<Certificate>), Cancelled> {
         let _span = mc_obs::span("passive");
+        token.poll()?; // small inputs may never reach a checkpoint
         let n = data.len();
         if n == 0 {
-            return PassiveSolution {
-                classifier: MonotoneClassifier::all_zero(data.dim().max(1)),
-                weighted_error: 0.0,
-                assignment: Vec::new(),
-                contending: 0,
-            };
+            return Ok((
+                PassiveSolution {
+                    classifier: MonotoneClassifier::all_zero(data.dim().max(1)),
+                    weighted_error: 0.0,
+                    assignment: Vec::new(),
+                    contending: 0,
+                },
+                None,
+            ));
         }
 
         // Resolve the network strategy: an explicit `with_network` choice
@@ -216,7 +267,7 @@ impl<A: MaxFlowAlgorithm> PassiveSolver<A> {
         let use_sweep = dim <= 2 && strategy == NetworkStrategy::Auto;
         let owned_index;
         let index = if strategy == NetworkStrategy::Dense && index.is_none() {
-            owned_index = DominanceIndex::build(data.points());
+            owned_index = DominanceIndex::try_build(data.points(), token)?;
             Some(&owned_index)
         } else {
             index
@@ -231,7 +282,7 @@ impl<A: MaxFlowAlgorithm> PassiveSolver<A> {
             // Matrix-free ladder: the chain binary searches double as
             // Lemma-15 contending discovery.
             let _span = mc_obs::span("build_network");
-            crate::passive::ladder::discover_and_build(data)
+            crate::passive::ladder::discover_and_build_cancellable(data, token)?
         } else {
             let con = {
                 let _span = mc_obs::span("contending");
@@ -244,6 +295,7 @@ impl<A: MaxFlowAlgorithm> PassiveSolver<A> {
                     ContendingPoints::compute_indexed(data, index.expect("index exists for d ≥ 3"))
                 }
             };
+            token.poll()?;
             let network = if con.is_empty() {
                 None
             } else {
@@ -251,9 +303,12 @@ impl<A: MaxFlowAlgorithm> PassiveSolver<A> {
                 Some(match (strategy, index) {
                     (_, None) => crate::passive::sparse::build_sparse_network(data, &con),
                     (NetworkStrategy::Dense, Some(idx)) => build_dense_network(data, &con, idx),
-                    (_, Some(idx)) => crate::passive::ladder::build_ladder_network(data, &con, idx),
+                    (_, Some(idx)) => crate::passive::ladder::build_ladder_network_cancellable(
+                        data, &con, idx, token,
+                    )?,
                 })
             };
+            token.poll()?;
             (con, network)
         };
         mc_obs::counter_add("passive.points", n as u64);
@@ -262,11 +317,12 @@ impl<A: MaxFlowAlgorithm> PassiveSolver<A> {
         let mut assignment: Vec<Label> = data.labels().to_vec();
 
         let mut weighted_error = 0.0;
+        let mut certificate = None;
         if let Some(network) = network {
             mc_obs::counter_add("passive.network_nodes", network.net.num_nodes() as u64);
             mc_obs::counter_add("passive.network_edges", network.net.num_edges() as u64);
 
-            let flow = self.algorithm.solve(&network.net);
+            let flow = self.algorithm.solve_cancellable(&network.net, token)?;
             let cut = flow.min_cut(&network.net);
             mc_obs::gauge_set("passive.cut_weight", cut.weight);
             debug_assert!(
@@ -286,6 +342,13 @@ impl<A: MaxFlowAlgorithm> PassiveSolver<A> {
                 if cut.on_source_side(network.one_nodes[oi]) {
                     assignment[q] = Label::Zero;
                 }
+            }
+            if certify {
+                token.poll()?;
+                certificate = Some(Certificate {
+                    optimal_error: weighted_error,
+                    charges: crate::passive::certificate::decompose_flow(&con, &network, &flow),
+                });
             }
         }
 
@@ -314,12 +377,15 @@ impl<A: MaxFlowAlgorithm> PassiveSolver<A> {
             );
         }
 
-        PassiveSolution {
-            classifier,
-            weighted_error,
-            assignment,
-            contending: con.len(),
-        }
+        Ok((
+            PassiveSolution {
+                classifier,
+                weighted_error,
+                assignment,
+                contending: con.len(),
+            },
+            certificate,
+        ))
     }
 }
 

@@ -34,12 +34,21 @@ pub struct SolveReport {
     /// `true` iff the result was fit on a sample degraded by permanent
     /// failures.
     pub degraded: bool,
+    /// Portfolio engines that panicked and were isolated during this
+    /// solve (0 outside portfolio runs). A panic never corrupts the
+    /// answer — the worker's state is dropped wholesale — but it is not
+    /// clean either: the run leaned on the surviving engines.
+    pub engine_panics: usize,
 }
 
 impl SolveReport {
     /// `true` iff the run saw no failures at all (retries included).
     pub fn is_clean(&self) -> bool {
-        self.retries == 0 && self.abstentions == 0 && !self.breaker_tripped && !self.degraded
+        self.retries == 0
+            && self.abstentions == 0
+            && !self.breaker_tripped
+            && !self.degraded
+            && self.engine_panics == 0
     }
 
     /// Folds in the oracle-layer counter movement across the solve
@@ -63,6 +72,7 @@ impl SolveReport {
             .u64("abstentions", self.abstentions as u64)
             .bool("breaker_tripped", self.breaker_tripped)
             .bool("degraded", self.degraded)
+            .u64("engine_panics", self.engine_panics as u64)
             .finish()
     }
 }
@@ -109,11 +119,22 @@ mod tests {
             abstentions: 1,
             breaker_tripped: false,
             degraded: true,
+            engine_panics: 1,
         };
         assert_eq!(
             r.to_json(),
-            r#"{"type":"solve_report","attempts":12,"retries":3,"abstentions":1,"breaker_tripped":false,"degraded":true}"#
+            r#"{"type":"solve_report","attempts":12,"retries":3,"abstentions":1,"breaker_tripped":false,"degraded":true,"engine_panics":1}"#
         );
+    }
+
+    #[test]
+    fn engine_panics_taint_cleanliness() {
+        let r = SolveReport {
+            engine_panics: 1,
+            ..SolveReport::default()
+        };
+        assert!(!r.is_clean());
+        assert!(!r.degraded, "an isolated panic does not degrade the answer");
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! frozen).
 
 use crate::EPS;
+use mc_obs::cancel::{CancelToken, Cancelled, Checkpoint};
 
 /// Read-only view of a residual graph's topology: who is adjacent to
 /// whom, and where each residual edge points. Capacities live in the
@@ -167,17 +168,39 @@ impl DinicEngine {
         sink: usize,
         residual: &mut [f64],
     ) -> f64 {
+        self.max_flow_cancellable(g, source, sink, residual, &CancelToken::never())
+            .expect("a never-token cannot cancel")
+    }
+
+    /// Cancellable twin of [`max_flow`](Self::max_flow): polls `token`
+    /// every [`mc_obs::cancel::CHECK_INTERVAL`] units of work (edges
+    /// scanned by the BFS, DFS advances/augment steps), so cancellation
+    /// latency is bounded by a constant amount of work rather than a
+    /// phase. On `Err(Cancelled)` the residual array is left mid-solve
+    /// — partially augmented but internally consistent (`e ^ 1` pairing
+    /// preserved); callers that might resume must re-run on a fresh
+    /// residual array.
+    pub fn max_flow_cancellable<G: ResidualTopology>(
+        &mut self,
+        g: &G,
+        source: usize,
+        sink: usize,
+        residual: &mut [f64],
+        token: &CancelToken,
+    ) -> Result<f64, Cancelled> {
+        token.poll()?; // small graphs may never reach a checkpoint
         let n = g.num_nodes();
         self.level.clear();
         self.level.resize(n, -1);
         self.arc.clear();
         self.arc.resize(n, 0);
+        let mut cp = Checkpoint::new(token);
         let mut added = 0.0;
-        while self.build_levels(g, source, sink, residual) {
+        while self.build_levels(g, source, sink, residual, &mut cp)? {
             self.bfs_rounds += 1;
             self.arc.iter_mut().for_each(|a| *a = 0);
             loop {
-                let pushed = self.push_one_path(g, source, sink, residual);
+                let pushed = self.push_one_path(g, source, sink, residual, &mut cp)?;
                 if pushed <= EPS {
                     break;
                 }
@@ -185,7 +208,7 @@ impl DinicEngine {
                 added += pushed;
             }
         }
-        added
+        Ok(added)
     }
 
     /// BFS from the source over positive-residual edges; returns `true`
@@ -196,7 +219,8 @@ impl DinicEngine {
         source: usize,
         sink: usize,
         residual: &[f64],
-    ) -> bool {
+        cp: &mut Checkpoint<'_>,
+    ) -> Result<bool, Cancelled> {
         self.level.iter_mut().for_each(|l| *l = -1);
         self.queue.clear();
         self.level[source] = 0;
@@ -205,7 +229,9 @@ impl DinicEngine {
         while qhead < self.queue.len() {
             let u = self.queue[qhead] as usize;
             qhead += 1;
-            for &e in g.adjacent(u) {
+            let adj = g.adjacent(u);
+            cp.tick(adj.len() as u64 + 1)?;
+            for &e in adj {
                 let e = e as usize;
                 if residual[e] > EPS {
                     let v = g.head(e);
@@ -217,7 +243,7 @@ impl DinicEngine {
             }
         }
         self.bfs_visits += self.queue.len() as u64;
-        self.level[sink] >= 0
+        Ok(self.level[sink] >= 0)
     }
 
     /// Iterative DFS pushing one augmenting path along the level graph;
@@ -232,7 +258,8 @@ impl DinicEngine {
         source: usize,
         sink: usize,
         residual: &mut [f64],
-    ) -> f64 {
+        cp: &mut Checkpoint<'_>,
+    ) -> Result<f64, Cancelled> {
         self.path.clear();
         loop {
             let u = match self.path.last() {
@@ -249,11 +276,13 @@ impl DinicEngine {
                     residual[e as usize] -= bottleneck;
                     residual[e as usize ^ 1] += bottleneck;
                 }
-                return bottleneck;
+                cp.tick(self.path.len() as u64)?;
+                return Ok(bottleneck);
             }
             // Advance u's current arc to an admissible edge.
             let adj = g.adjacent(u);
             let mut advanced = false;
+            let arc_before = self.arc[u];
             while (self.arc[u] as usize) < adj.len() {
                 let e = adj[self.arc[u] as usize] as usize;
                 let v = g.head(e);
@@ -264,6 +293,7 @@ impl DinicEngine {
                 }
                 self.arc[u] += 1;
             }
+            cp.tick((self.arc[u] - arc_before) as u64 + 1)?;
             if advanced {
                 continue;
             }
@@ -273,7 +303,7 @@ impl DinicEngine {
                     let parent = g.head(e as usize ^ 1);
                     self.arc[parent] += 1;
                 }
-                None => return 0.0, // source exhausted: blocking flow done
+                None => return Ok(0.0), // source exhausted: blocking flow done
             }
         }
     }
@@ -361,6 +391,49 @@ mod tests {
         residual.extend_from_slice(&fresh[residual.len()..]);
         let delta = engine.max_flow(&net.freeze(), 0, 2, &mut residual);
         assert_eq!(delta, 2.0);
+    }
+
+    #[test]
+    fn cancelled_engine_stops_and_fresh_resolve_is_identical() {
+        use mc_obs::cancel::CancelCause;
+        let net = clrs();
+        let csr = net.freeze();
+
+        // Pre-cancelled token: the engine must give up before finishing.
+        let token = CancelToken::new();
+        token.cancel();
+        let (mut residual, _) = net.initial_residuals();
+        let err = DinicEngine::new()
+            .max_flow_cancellable(&csr, 0, 5, &mut residual, &token)
+            .unwrap_err();
+        assert_eq!(err.cause, CancelCause::Explicit);
+
+        // The abandoned residual array is garbage to the caller; a fresh
+        // solve on fresh residuals must be bit-identical to an
+        // uncancelled one (no poisoned engine or topology state).
+        let (mut r1, _) = net.initial_residuals();
+        let (mut r2, _) = net.initial_residuals();
+        let v1 = DinicEngine::new().max_flow(&csr, 0, 5, &mut r1);
+        let v2 = DinicEngine::new()
+            .max_flow_cancellable(&csr, 0, 5, &mut r2, &CancelToken::new())
+            .unwrap();
+        assert_eq!(v1, 23.0);
+        assert_eq!(v1, v2);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn expired_deadline_reports_deadline_cause() {
+        use mc_obs::cancel::CancelCause;
+        let net = clrs();
+        let csr = net.freeze();
+        let token = CancelToken::with_deadline(std::time::Duration::from_millis(0));
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let (mut residual, _) = net.initial_residuals();
+        let err = DinicEngine::new()
+            .max_flow_cancellable(&csr, 0, 5, &mut residual, &token)
+            .unwrap_err();
+        assert_eq!(err.cause, CancelCause::Deadline);
     }
 
     #[test]

@@ -25,14 +25,24 @@ impl MaxFlowAlgorithm for Dinic {
     }
 
     fn solve(&self, net: &FlowNetwork) -> FlowSolution {
+        self.solve_cancellable(net, &mc_obs::CancelToken::never())
+            .expect("a never-token cannot cancel")
+    }
+
+    fn solve_cancellable(
+        &self,
+        net: &FlowNetwork,
+        token: &mc_obs::CancelToken,
+    ) -> Result<FlowSolution, mc_obs::Cancelled> {
         let _span = mc_obs::span("maxflow");
         mc_obs::counter_add("flow.edges", net.num_edges() as u64);
         let (mut residual, surrogate) = net.initial_residuals();
         let csr = net.freeze();
         let mut engine = DinicEngine::new();
-        let value = engine.max_flow(&csr, csr.source(), csr.sink(), &mut residual);
+        let value =
+            engine.max_flow_cancellable(&csr, csr.source(), csr.sink(), &mut residual, token);
         engine.flush_stats();
-        FlowSolution::new(value, residual, surrogate)
+        Ok(FlowSolution::new(value?, residual, surrogate))
     }
 }
 

@@ -61,6 +61,24 @@ pub trait MaxFlowAlgorithm {
 
     /// Computes a maximum flow on `net`.
     fn solve(&self, net: &FlowNetwork) -> FlowSolution;
+
+    /// Cancellable variant of [`solve`](Self::solve), polled through
+    /// `token` so a portfolio race can stop a losing solver mid-flow.
+    ///
+    /// The default implementation polls once up front and then runs the
+    /// plain `solve` to completion — correct for reference algorithms
+    /// whose loops are not instrumented ([`EdmondsKarp`],
+    /// [`CapacityScaling`]), but with unbounded cancellation latency.
+    /// The production engines ([`Dinic`], [`PushRelabel`]) override it
+    /// with bounded-latency checkpoint polling in their hot loops.
+    fn solve_cancellable(
+        &self,
+        net: &FlowNetwork,
+        token: &mc_obs::CancelToken,
+    ) -> Result<FlowSolution, mc_obs::Cancelled> {
+        token.poll()?;
+        Ok(self.solve(net))
+    }
 }
 
 /// All bundled solvers, for cross-validation sweeps.

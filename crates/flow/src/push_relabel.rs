@@ -9,6 +9,7 @@ use crate::csr::ResidualTopology;
 use crate::network::FlowNetwork;
 use crate::solution::FlowSolution;
 use crate::{MaxFlowAlgorithm, EPS};
+use mc_obs::cancel::{CancelToken, Cancelled, Checkpoint};
 use std::collections::VecDeque;
 
 /// Goldberg–Tarjan FIFO push-relabel.
@@ -21,6 +22,30 @@ impl MaxFlowAlgorithm for PushRelabel {
     }
 
     fn solve(&self, net: &FlowNetwork) -> FlowSolution {
+        self.solve_cancellable(net, &CancelToken::never())
+            .expect("a never-token cannot cancel")
+    }
+
+    /// Instrumented identically to [`Dinic`](crate::Dinic): a `maxflow`
+    /// span, the `flow.edges` size counter, and locally-accumulated
+    /// phase counters (`flow.pushes`, `flow.relabels`,
+    /// `flow.discharges`, `flow.gap_lifts`) flushed once at the end —
+    /// so portfolio win-rate accounting sees the same `flow.*` shape
+    /// whichever engine ran. The discharge loop ticks a cancellation
+    /// checkpoint per push/relabel attempt, bounding cancel latency.
+    fn solve_cancellable(
+        &self,
+        net: &FlowNetwork,
+        token: &CancelToken,
+    ) -> Result<FlowSolution, Cancelled> {
+        let _span = mc_obs::span("maxflow");
+        mc_obs::counter_add("flow.edges", net.num_edges() as u64);
+        token.poll()?; // small graphs may never reach a checkpoint
+        let mut pushes = 0u64;
+        let mut relabels = 0u64;
+        let mut discharges = 0u64;
+        let mut gap_lifts = 0u64;
+        let mut cp = Checkpoint::new(token);
         let (mut residual, surrogate) = net.initial_residuals();
         // Discharge loops revisit adjacency constantly; run them over the
         // frozen CSR slices rather than the nested build-time Vecs.
@@ -62,10 +87,13 @@ impl MaxFlowAlgorithm for PushRelabel {
 
         while let Some(u) = queue.pop_front() {
             in_queue[u] = false;
+            discharges += 1;
             // Discharge u.
             while excess[u] > EPS {
+                cp.tick(1)?;
                 if arc[u] == net.adjacent(u).len() {
                     // Relabel.
+                    relabels += 1;
                     let old_h = height[u];
                     let mut min_h = usize::MAX;
                     for &e in net.adjacent(u) {
@@ -74,6 +102,7 @@ impl MaxFlowAlgorithm for PushRelabel {
                             min_h = min_h.min(height[net.head(e)]);
                         }
                     }
+                    cp.tick(net.adjacent(u).len() as u64)?;
                     if min_h == usize::MAX {
                         break; // no admissible edges at all; excess is stuck (shouldn't happen)
                     }
@@ -86,6 +115,7 @@ impl MaxFlowAlgorithm for PushRelabel {
                                 height_count[height[v]] -= 1;
                                 height[v] = n + 1;
                                 height_count[n + 1] += 1;
+                                gap_lifts += 1;
                             }
                         }
                     }
@@ -101,6 +131,7 @@ impl MaxFlowAlgorithm for PushRelabel {
                 let v = net.head(e);
                 if residual[e] > EPS && height[u] == height[v] + 1 {
                     // Push.
+                    pushes += 1;
                     let delta = excess[u].min(residual[e]);
                     residual[e] -= delta;
                     residual[e ^ 1] += delta;
@@ -116,7 +147,11 @@ impl MaxFlowAlgorithm for PushRelabel {
             }
         }
 
-        FlowSolution::new(excess[t], residual, surrogate)
+        mc_obs::counter_add("flow.pushes", pushes);
+        mc_obs::counter_add("flow.relabels", relabels);
+        mc_obs::counter_add("flow.discharges", discharges);
+        mc_obs::counter_add("flow.gap_lifts", gap_lifts);
+        Ok(FlowSolution::new(excess[t], residual, surrogate))
     }
 }
 
@@ -186,6 +221,49 @@ mod tests {
         let cut = sol.min_cut(&net);
         assert!(!cut.crosses_infinite);
         assert_eq!(cut.weight, 5.0);
+    }
+
+    #[test]
+    fn cancelled_solve_errors_and_live_solve_matches() {
+        use mc_obs::cancel::CancelCause;
+        let mut net = FlowNetwork::new(6, 0, 5);
+        net.add_edge(0, 1, 16.0);
+        net.add_edge(0, 2, 13.0);
+        net.add_edge(1, 3, 12.0);
+        net.add_edge(2, 4, 14.0);
+        net.add_edge(3, 5, 20.0);
+        net.add_edge(4, 5, 4.0);
+        let token = mc_obs::CancelToken::new();
+        token.cancel();
+        let err = PushRelabel.solve_cancellable(&net, &token).unwrap_err();
+        assert_eq!(err.cause, CancelCause::Explicit);
+        let live = PushRelabel
+            .solve_cancellable(&net, &mc_obs::CancelToken::new())
+            .unwrap();
+        assert_eq!(live.value(), PushRelabel.solve(&net).value());
+    }
+
+    #[test]
+    fn emits_flow_counters_like_dinic() {
+        // Satellite parity check: the portfolio's win-rate accounting
+        // reads `flow.*`, so push-relabel must publish the same family
+        // Dinic does (edges + its own phase counters).
+        let prev = mc_obs::level();
+        mc_obs::set_level(mc_obs::Level::Info);
+        let before = mc_obs::snapshot();
+        let mut net = FlowNetwork::new(3, 0, 2);
+        net.add_edge(0, 1, 3.0);
+        net.add_edge(1, 2, 2.0);
+        let sol = PushRelabel.solve(&net);
+        assert_eq!(sol.value(), 2.0);
+        let after = mc_obs::snapshot();
+        for name in ["flow.edges", "flow.pushes", "flow.discharges"] {
+            assert!(
+                after.counter(name) > before.counter(name),
+                "{name} did not advance"
+            );
+        }
+        mc_obs::set_level(prev);
     }
 
     #[test]

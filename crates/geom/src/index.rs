@@ -48,6 +48,7 @@
 use crate::dataset::PointSet;
 use crate::dominance::Dominance;
 use crate::parallel::parallel_chunks_mut;
+use mc_obs::cancel::{CancelToken, Cancelled, Checkpoint};
 
 /// Identifies `-0.0` with `0.0` so that rank order matches the IEEE
 /// `>=` used by the naive [`crate::dominance::dominates`].
@@ -132,20 +133,34 @@ impl DominanceIndex {
     /// anchors; `NaN` is unsupported (the fallible dataset constructors
     /// reject it before it can get here).
     pub fn build(points: &PointSet) -> Self {
+        Self::try_build(points, &mc_obs::CancelToken::never()).expect("a never-token cannot cancel")
+    }
+
+    /// Cancellable twin of [`build`](Self::build): the matrix fill is
+    /// the workspace's single largest memory/CPU commitment, so a
+    /// portfolio race must be able to abandon it mid-build. The `d ≥ 3`
+    /// generic kernel checkpoints the token per row chunk inside
+    /// [`parallel_chunks_mut`] (workers cooperatively stop filling and
+    /// the partial matrix is dropped); the `O(n²/64)` `d ≤ 2` sweeps
+    /// and the rank sorts poll at phase boundaries.
+    pub fn try_build(points: &PointSet, token: &CancelToken) -> Result<Self, Cancelled> {
+        token.poll()?;
         let n = points.len();
         let dim = points.dim();
         let words = n.div_ceil(64);
-        let ranks = compress_ranks(points);
+        let ranks = try_compress_ranks(points, token)?;
         let dups = duplicate_groups(n, dim, &ranks);
+        token.poll()?;
         let mut bits = vec![0u64; n * words];
         if n > 0 {
             match dim {
                 1 => fill_bits_1d(n, words, &ranks, &mut bits),
                 2 => fill_bits_2d(n, words, &ranks, &mut bits),
-                _ => fill_bits_generic(n, dim, words, &ranks, &mut bits),
+                _ => fill_bits_generic(n, dim, words, &ranks, &mut bits, token),
             }
+            token.poll()?;
         }
-        Self {
+        Ok(Self {
             n,
             dim,
             words,
@@ -154,7 +169,7 @@ impl DominanceIndex {
             dup_members: dups.members,
             dup_offsets: dups.offsets,
             bits,
-        }
+        })
     }
 
     /// Number of indexed points.
@@ -380,11 +395,17 @@ pub struct RankTable {
 impl RankTable {
     /// Builds the rank columns in `O(d·n log n)`.
     pub fn build(points: &PointSet) -> Self {
-        Self {
+        Self::try_build(points, &CancelToken::never()).expect("a never-token cannot cancel")
+    }
+
+    /// Cancellable twin of [`build`](Self::build); polls the token
+    /// between the per-dimension sorts.
+    pub fn try_build(points: &PointSet, token: &CancelToken) -> Result<Self, Cancelled> {
+        Ok(Self {
             n: points.len(),
             dim: points.dim(),
-            ranks: compress_ranks(points),
-        }
+            ranks: try_compress_ranks(points, token)?,
+        })
     }
 
     /// Number of ranked points.
@@ -418,14 +439,22 @@ impl RankTable {
 
 /// Dense per-dimension rank compression, column-major.
 fn compress_ranks(points: &PointSet) -> Vec<u32> {
+    try_compress_ranks(points, &CancelToken::never()).expect("a never-token cannot cancel")
+}
+
+/// Cancellable rank compression: each dimension costs an `O(n log n)`
+/// sort, so the token is polled once per dimension rather than inside
+/// the comparator.
+fn try_compress_ranks(points: &PointSet, token: &CancelToken) -> Result<Vec<u32>, Cancelled> {
     let n = points.len();
     let dim = points.dim();
     let mut ranks = vec![0u32; dim * n];
     if n == 0 {
-        return ranks;
+        return Ok(ranks);
     }
     let mut order: Vec<u32> = (0..n as u32).collect();
     for k in 0..dim {
+        token.poll()?;
         debug_assert!(
             points.iter().all(|p| !p[k].is_nan()),
             "NaN coordinates are unsupported by DominanceIndex"
@@ -446,7 +475,7 @@ fn compress_ranks(points: &PointSet) -> Vec<u32> {
             col[order[pos] as usize] = rank;
         }
     }
-    ranks
+    Ok(ranks)
 }
 
 /// Duplicate-group assignment: canonical ids plus per-group member
@@ -588,9 +617,23 @@ fn fill_bits_2d(n: usize, words: usize, ranks: &[u32], bits: &mut [u64]) {
 /// narrowed one dimension at a time with a vectorizable `u32 >=` compare
 /// loop, short-circuiting once the block empties. Rows are filled in
 /// parallel chunks.
-fn fill_bits_generic(n: usize, dim: usize, words: usize, ranks: &[u32], bits: &mut [u64]) {
+fn fill_bits_generic(
+    n: usize,
+    dim: usize,
+    words: usize,
+    ranks: &[u32],
+    bits: &mut [u64],
+    token: &CancelToken,
+) {
     parallel_chunks_mut(bits, words, |rows, out| {
+        // Each worker carries its own checkpoint and abandons the rest
+        // of its chunk once the shared token trips; the caller's poll
+        // after the join turns the partial fill into an error.
+        let mut cp = Checkpoint::new(token);
         for (local, i) in rows.enumerate() {
+            if cp.tick(words as u64).is_err() {
+                return;
+            }
             let row = &mut out[local * words..(local + 1) * words];
             fill_row_generic(n, dim, ranks, i, row);
         }

@@ -240,7 +240,24 @@ impl HopcroftKarpBitset {
     /// Like [`MatchingAlgorithm::solve`] but also returns the phase
     /// statistics (greedy hits, rounds, augmentations, words scanned).
     pub fn solve_with_stats(&self, g: &BitsetGraph<'_>) -> (Matching, MatchingStats) {
+        self.solve_with_stats_cancellable(g, &mc_obs::CancelToken::never())
+            .expect("a never-token cannot cancel")
+    }
+
+    /// Cancellable twin of [`solve_with_stats`](Self::solve_with_stats):
+    /// the token is checkpointed on the words scanned by the greedy
+    /// seed and polled between Hopcroft–Karp rounds (each round is
+    /// `O(V²/64)` word ops, so round-granularity keeps latency bounded
+    /// without touching the word-parallel inner loops). On cancellation
+    /// the partial matching is discarded.
+    pub fn solve_with_stats_cancellable(
+        &self,
+        g: &BitsetGraph<'_>,
+        token: &mc_obs::CancelToken,
+    ) -> Result<(Matching, MatchingStats), mc_obs::Cancelled> {
         let _span = mc_obs::span("hopcroft_karp_bitset");
+        token.poll()?;
+        let mut cp = mc_obs::Checkpoint::new(token);
         let nl = g.num_left();
         let nr = g.num_right();
         let words = g.words();
@@ -280,6 +297,7 @@ impl HopcroftKarpBitset {
         let mut greedy = 0u64;
         for &l in &order {
             let l = l as usize;
+            cp.tick(words as u64 + 1)?;
             let (row, pw, pmask) = g.row_parts(l);
             for (wi, fw) in free.iter_mut().enumerate() {
                 st.words_scanned += 1;
@@ -299,7 +317,11 @@ impl HopcroftKarpBitset {
         }
         let mut rounds = 0u64;
         let mut augmented = 0u64;
-        while st.bfs() {
+        loop {
+            token.poll()?;
+            if !st.bfs() {
+                break;
+            }
             rounds += 1;
             for l in 0..nl {
                 if st.left_match[l].is_none() && st.dfs(l) {
@@ -314,13 +336,13 @@ impl HopcroftKarpBitset {
             words_scanned: st.words_scanned,
         };
         flush_stats(&stats);
-        (
+        Ok((
             Matching {
                 left_match: st.left_match,
                 right_match: st.right_match,
             },
             stats,
-        )
+        ))
     }
 }
 

@@ -30,6 +30,7 @@
 //! mc_obs::counter_add("flow.augmenting_paths", paths); // one gated call
 //! ```
 
+pub mod cancel;
 pub mod hist;
 pub mod json;
 pub mod meta;
@@ -37,6 +38,7 @@ mod registry;
 pub mod sink;
 mod span;
 
+pub use cancel::{CancelCause, CancelToken, Cancelled, Checkpoint};
 pub use hist::Histogram;
 pub use registry::{counter, histogram, reset, snapshot, HistStat, Snapshot, SpanStat};
 pub use span::SpanGuard;

@@ -26,6 +26,7 @@
 //! | 4 | data | malformed CSV, non-finite feature, bad label |
 //! | 5 | parameter | `--epsilon 1.5`, `--folds 1`, rates outside [0, 1] |
 //! | 6 | oracle | oracle/input size mismatch, unrecoverable oracle failure |
+//! | 7 | timeout | `--time-limit` exceeded with `--no-fallback`, solve cancelled |
 
 use monotone_classification::chains::{AntichainPartition, ChainDecomposition};
 use monotone_classification::core::metrics::ConfusionMatrix;
@@ -36,6 +37,7 @@ use monotone_classification::core::{ActiveParams, ActiveSolver, InMemoryOracle};
 use monotone_classification::data::csv;
 use monotone_classification::obs;
 use monotone_classification::obs::json::Value;
+use monotone_classification::portfolio::{race, EngineOutcome, EngineSpec, PortfolioConfig};
 use monotone_classification::{
     AbstainingOracle, FallibleOracle, FlakyOracle, InfallibleAdapter, Label, McError, OracleError,
     RetryOracle, RetryPolicy,
@@ -55,6 +57,9 @@ enum CliError {
     Param(String),
     /// The oracle could not serve the solve. Exit 6.
     Oracle(String),
+    /// The solve ran out of time (or was cancelled) and no fallback was
+    /// allowed. Exit 7.
+    Timeout(String),
 }
 
 impl CliError {
@@ -65,6 +70,7 @@ impl CliError {
             CliError::Data(_) => 4,
             CliError::Param(_) => 5,
             CliError::Oracle(_) => 6,
+            CliError::Timeout(_) => 7,
         }
     }
 
@@ -74,7 +80,8 @@ impl CliError {
             | CliError::Io(m)
             | CliError::Data(m)
             | CliError::Param(m)
-            | CliError::Oracle(m) => m,
+            | CliError::Oracle(m)
+            | CliError::Timeout(m) => m,
         }
     }
 }
@@ -87,6 +94,7 @@ impl From<McError> for CliError {
             McError::Oracle(_) | McError::OracleSizeMismatch { .. } => {
                 CliError::Oracle(e.to_string())
             }
+            McError::Timeout | McError::Cancelled => CliError::Timeout(e.to_string()),
         }
     }
 }
@@ -109,6 +117,9 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   mcc passive  <data.csv> [--weighted] [--out classifier.csv]
                [--net auto|dense|sparse] [--trace] [--metrics-out metrics.jsonl]
+               [--portfolio] [--engines e1,e2,...] [--time-limit SECS] [--no-fallback]
+               engines: auto-dinic | sparse-dinic | dense-dinic | sparse-pr
+                        | dense-pr | panic | hang   (MC_PORTFOLIO env also accepted)
   mcc active   <data.csv> [--epsilon E] [--seed S] [--out classifier.csv]
                [--flaky-rate P] [--abstain-rate P] [--retry-attempts N]
                [--fault-seed S] [--trace] [--metrics-out metrics.jsonl]
@@ -263,8 +274,11 @@ impl ObsOutput {
 }
 
 fn cmd_passive(args: &[String]) -> Result<(), CliError> {
-    let (pos, values, flags) =
-        parse_flags(args, &["out", "metrics-out", "net"], &["weighted", "trace"])?;
+    let (pos, values, flags) = parse_flags(
+        args,
+        &["out", "metrics-out", "net", "engines", "time-limit"],
+        &["weighted", "trace", "portfolio", "no-fallback"],
+    )?;
     let obs_out = ObsOutput::from_cli(&values, &flags);
     let path = pos
         .first()
@@ -282,15 +296,78 @@ fn cmd_passive(args: &[String]) -> Result<(), CliError> {
     } else {
         parse_data(&text)?.with_unit_weights()
     };
-    let sol = PassiveSolver::new().with_network(network).solve(&weighted);
-    obs_out.finish(
-        &[
-            ("tool", Value::S("mcc passive".into())),
-            ("n", Value::U(weighted.len() as u64)),
-            ("d", Value::U(weighted.dim() as u64)),
-        ],
-        &[],
-    )?;
+    // Portfolio mode: engine racing with cooperative cancellation (see
+    // mc-portfolio). Enabled by --portfolio / --engines on the CLI or
+    // the MC_PORTFOLIO env (a comma-separated engine list, the same
+    // spellings as --engines); --engines overrides the env.
+    let env_engines = std::env::var("MC_PORTFOLIO")
+        .ok()
+        .filter(|v| !v.trim().is_empty());
+    let cli_engines = get_value(&values, "engines");
+    let portfolio_mode =
+        flags.contains(&"portfolio".to_string()) || cli_engines.is_some() || env_engines.is_some();
+    let sol = if portfolio_mode {
+        let roster = match cli_engines.or(env_engines) {
+            Some(list) => EngineSpec::parse_list(&list)
+                .map_err(|e| CliError::Param(format!("--engines: {e}")))?,
+            None => PortfolioConfig::default().engines,
+        };
+        let mut config = PortfolioConfig::new(roster);
+        if let Some(v) = get_value(&values, "time-limit") {
+            let secs: f64 = v
+                .parse()
+                .ok()
+                .filter(|s: &f64| s.is_finite() && *s > 0.0)
+                .ok_or_else(|| {
+                    CliError::Param(format!(
+                        "--time-limit: expected positive seconds, got {v:?}"
+                    ))
+                })?;
+            config = config.with_time_limit(std::time::Duration::from_secs_f64(secs));
+        }
+        if flags.contains(&"no-fallback".to_string()) {
+            config = config.without_fallback();
+        }
+        let engine_list: Vec<&str> = config.engines.iter().map(|e| e.name()).collect();
+        let out = race(&weighted, &config)?;
+        match (out.race.winner, out.race.fallback_used) {
+            (Some(w), _) => println!("portfolio winner = {}", w.name()),
+            (None, true) => println!("portfolio winner = none (reference fallback)"),
+            (None, false) => unreachable!("no winner and no fallback is an error"),
+        }
+        for (engine, outcome) in &out.race.outcomes {
+            let verdict = match outcome {
+                EngineOutcome::Won => "won".into(),
+                EngineOutcome::Lost => "lost".into(),
+                EngineOutcome::Disqualified { reason } => format!("disqualified ({reason})"),
+                EngineOutcome::Cancelled => "cancelled".into(),
+                EngineOutcome::TimedOut => "timed out".into(),
+                EngineOutcome::Panicked { message } => format!("panicked ({message})"),
+            };
+            println!("  {} {verdict}", engine.name());
+        }
+        obs_out.finish(
+            &[
+                ("tool", Value::S("mcc passive".into())),
+                ("n", Value::U(weighted.len() as u64)),
+                ("d", Value::U(weighted.dim() as u64)),
+                ("engines", Value::S(engine_list.join(","))),
+            ],
+            &[out.report.to_json()],
+        )?;
+        out.solution
+    } else {
+        let sol = PassiveSolver::new().with_network(network).solve(&weighted);
+        obs_out.finish(
+            &[
+                ("tool", Value::S("mcc passive".into())),
+                ("n", Value::U(weighted.len() as u64)),
+                ("d", Value::U(weighted.dim() as u64)),
+            ],
+            &[],
+        )?;
+        sol
+    };
     println!(
         "n = {}, d = {}, contending = {}",
         weighted.len(),
@@ -673,6 +750,7 @@ mod tests {
             CliError::Data(String::new()),
             CliError::Param(String::new()),
             CliError::Oracle(String::new()),
+            CliError::Timeout(String::new()),
         ];
         let mut codes: Vec<u8> = errors.iter().map(|e| e.exit_code()).collect();
         codes.sort_unstable();
@@ -691,5 +769,9 @@ mod tests {
         assert_eq!(e.exit_code(), 6);
         let e: CliError = McError::invalid_parameter("ε must lie in (0, 1], got 2").into();
         assert_eq!(e.exit_code(), 5);
+        let e: CliError = McError::Timeout.into();
+        assert_eq!(e.exit_code(), 7);
+        let e: CliError = McError::Cancelled.into();
+        assert_eq!(e.exit_code(), 7);
     }
 }

@@ -381,3 +381,133 @@ fn active_rejects_bad_epsilon_cleanly() {
         assert!(!stderr.contains("panicked"), "panic leaked: {stderr}");
     }
 }
+
+#[test]
+fn passive_portfolio_races_faulty_engines_to_the_certified_answer() {
+    let data = write_temp("portfolio.csv", DEMO);
+    let metrics = write_temp("portfolio-metrics.jsonl", "");
+    let out = mcc()
+        .args(["passive"])
+        .arg(&data)
+        .args(["--portfolio", "--engines", "panic,hang,sparse-dinic"])
+        .args(["--time-limit", "10", "--metrics-out"])
+        .arg(&metrics)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("portfolio winner = sparse-dinic"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("panic panicked"), "{stdout}");
+    assert!(stdout.contains("hang cancelled"), "{stdout}");
+    assert!(stdout.contains("optimal weighted error = 0"), "{stdout}");
+
+    // The JSONL stream records exactly one panic and one cancellation,
+    // both in the counters and in the solve report line.
+    let jsonl = std::fs::read_to_string(&metrics).unwrap();
+    assert!(
+        jsonl.contains(r#""name":"portfolio.panics","value":1"#),
+        "{jsonl}"
+    );
+    assert!(
+        jsonl.contains(r#""name":"portfolio.cancelled","value":1"#),
+        "{jsonl}"
+    );
+    assert!(
+        jsonl.contains(r#""name":"portfolio.wins","value":1"#),
+        "{jsonl}"
+    );
+    let report = jsonl
+        .lines()
+        .find(|l| l.contains(r#""type":"solve_report""#))
+        .expect("solve_report line present");
+    assert!(report.contains(r#""engine_panics":1"#), "{report}");
+}
+
+#[test]
+fn passive_portfolio_timeout_without_fallback_exits_7() {
+    let data = write_temp("portfolio-timeout.csv", DEMO);
+    let out = mcc()
+        .args(["passive"])
+        .arg(&data)
+        .args(["--engines", "hang", "--time-limit", "0.05", "--no-fallback"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(7));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("deadline"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "panic leaked: {stderr}");
+}
+
+#[test]
+fn passive_portfolio_timeout_with_fallback_still_answers() {
+    let data = write_temp("portfolio-fallback.csv", DEMO);
+    let out = mcc()
+        .args(["passive"])
+        .arg(&data)
+        .args(["--engines", "hang", "--time-limit", "0.05"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("portfolio winner = none (reference fallback)"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("optimal weighted error = 0"), "{stdout}");
+}
+
+#[test]
+fn mc_portfolio_env_enables_racing_and_cli_overrides_it() {
+    let data = write_temp("portfolio-env.csv", DEMO);
+    let out = mcc()
+        .args(["passive"])
+        .arg(&data)
+        .env("MC_PORTFOLIO", "auto-dinic")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("portfolio winner = auto-dinic"), "{stdout}");
+
+    // --engines beats the env roster.
+    let out = mcc()
+        .args(["passive"])
+        .arg(&data)
+        .env("MC_PORTFOLIO", "auto-dinic")
+        .args(["--engines", "sparse-dinic"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("portfolio winner = sparse-dinic"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn passive_portfolio_rejects_unknown_engines_cleanly() {
+    let data = write_temp("portfolio-bad.csv", DEMO);
+    let out = mcc()
+        .args(["passive"])
+        .arg(&data)
+        .args(["--engines", "warp-drive"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(5));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("warp-drive"), "{stderr}");
+    assert!(stderr.contains("expected one of"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "panic leaked: {stderr}");
+}
