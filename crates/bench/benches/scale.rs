@@ -1,0 +1,244 @@
+//! The memory-wall record: streaming passive solves off columnar files
+//! at n ∈ {10⁵, 10⁶, 10⁷} (wall time, peak RSS, network size), the
+//! scalar-vs-blocked compare-kernel microbench, and the n = 20 000
+//! parity check of the matrix-free pipeline against the dominator-matrix
+//! path — all written to `BENCH_scale.json` at the repo root.
+//!
+//! Override the solve sizes with `MC_BENCH_SCALE_NS` (comma-separated,
+//! e.g. `MC_BENCH_SCALE_NS=100000,300000` for CI smoke runs).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mc_chains::ChainDecomposition;
+use mc_core::passive::{solve_passive_scale, NetworkStrategy, PassiveSolver};
+use mc_data::columnar::{write_scale_dataset, ColumnarDataset, ScaleConfig};
+use mc_geom::{kernel, PointSet};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Medians a few timed runs of `f`.
+fn time_runs<O>(reps: usize, mut f: impl FnMut() -> O) -> Duration {
+    let mut times: Vec<Duration> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("mc_bench_scale_{}_{tag}.mcc", std::process::id()));
+    p
+}
+
+/// Scalar vs u64×4-blocked rank-compare kernel on a realistic column
+/// length. Measures one full `rank ≥ t` compare-and-pack sweep over a
+/// dense row — both kernels share the empty-word short-circuit, so this
+/// isolates the blocked kernel's fixed-trip vectorized compare+pack,
+/// which is the part that differs. Also proves the two produce
+/// identical rows, so the speedup is not bought with a semantics change.
+fn kernel_section() -> String {
+    let n: usize = 1 << 20;
+    let dims = 1;
+    let reps = 9;
+    let mut state = 0x9E37_79B9u64;
+    let col: Vec<u32> = (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 40) as u32 % (n as u32)
+        })
+        .collect();
+    let words = n.div_ceil(64);
+    // Median rank threshold: every 64-bit word survives, so neither
+    // kernel can skip and the timing is pure compare+pack throughput.
+    let threshold = (n / 2) as u32;
+
+    let mut scalar_row = vec![0u64; words];
+    let scalar_pass = |row: &mut Vec<u64>| {
+        kernel::ones_mask_into(n, row);
+        kernel::and_ge_mask_scalar(&col, threshold, row);
+    };
+    let blocked_pass = |row: &mut Vec<u64>| {
+        kernel::ones_mask_into(n, row);
+        kernel::and_ge_mask(&col, threshold, row);
+    };
+    let scalar = time_runs(reps, || scalar_pass(&mut scalar_row));
+    let mut blocked_row = vec![0u64; words];
+    let blocked = time_runs(reps, || blocked_pass(&mut blocked_row));
+    scalar_pass(&mut scalar_row);
+    blocked_pass(&mut blocked_row);
+    let identical = scalar_row == blocked_row;
+    let speedup = scalar.as_secs_f64() / blocked.as_secs_f64();
+    println!(
+        "scale/kernel: {n} ranks | scalar {scalar:?} -> blocked {blocked:?} \
+         ({speedup:.2}x), identical: {identical}"
+    );
+    format!(
+        r#"{{
+    "ranks": {n},
+    "dims": {dims},
+    "reps": {reps},
+    "scalar_ms": {:.3},
+    "blocked_ms": {:.3},
+    "speedup": {speedup:.2},
+    "identical": {identical}
+  }}"#,
+        scalar.as_secs_f64() * 1e3,
+        blocked.as_secs_f64() * 1e3,
+    )
+}
+
+/// n = 20 000 parity: the streaming solve must agree with the in-memory
+/// ladder pipeline exactly (same algorithm, different plumbing) and
+/// with the paper-literal dense dominator-matrix path to flow tolerance;
+/// the width must match a matrix-built chain decomposition bit for bit.
+fn parity_section() -> String {
+    let n = 20_000;
+    let config = ScaleConfig::new(n, 4, 0x5CA1E);
+    let path = temp_path("parity");
+    write_scale_dataset(&path, &config).expect("write parity dataset");
+    let mut ds = ColumnarDataset::open(&path).expect("open parity dataset");
+    let table = ds.rank_table().expect("rank table");
+    let labels = ds.read_labels().expect("labels");
+    let weights = ds.read_weights().expect("weights");
+    let ws = ds.to_weighted_set().expect("weighted set");
+    std::fs::remove_file(&path).ok();
+
+    let scale = solve_passive_scale(&table, &labels, &weights);
+    let ladder = PassiveSolver::new().solve(&ws);
+    let dense = PassiveSolver::new()
+        .with_network(NetworkStrategy::Dense)
+        .solve(&ws);
+
+    // The matrix-built width: a chain decomposition over the label-1
+    // points from a full dominator matrix (the pre-oracle code path).
+    let one_rows: Vec<Vec<f64>> = (0..ws.len())
+        .filter(|&i| ws.label(i).is_one())
+        .map(|i| ws.points().point(i).to_vec())
+        .collect();
+    let ones_points = PointSet::from_rows(ws.dim(), &one_rows);
+    let width_matrix = ChainDecomposition::compute(&ones_points).width();
+
+    let ladder_identical = scale.weighted_error == ladder.weighted_error;
+    let dense_delta = (scale.weighted_error - dense.weighted_error).abs();
+    let width_identical = scale.width == width_matrix;
+    println!(
+        "scale/parity: n = {n} | error {} (ladder identical: {ladder_identical}, \
+         dense delta {dense_delta:.2e}) | width {} vs matrix {width_matrix}",
+        scale.weighted_error, scale.width
+    );
+    assert!(ladder_identical, "streaming vs in-memory ladder disagree");
+    assert!(dense_delta < 1e-9, "streaming vs dense matrix disagree");
+    assert!(width_identical, "oracle vs matrix width disagree");
+    format!(
+        r#"{{
+    "n": {n},
+    "weighted_error": {},
+    "error_identical_to_ladder": {ladder_identical},
+    "error_delta_vs_dense": {dense_delta:.3e},
+    "width": {},
+    "width_matrix": {width_matrix},
+    "width_identical": {width_identical}
+  }}"#,
+        scale.weighted_error, scale.width
+    )
+}
+
+/// One streamed solve at `n`: generate → load (rank table + labels +
+/// weights) → solve, timing each leg and recording the process peak RSS
+/// after the solve (sizes run ascending, so each entry's RSS is set by
+/// its own run, not a later one).
+fn size_entry(n: usize) -> String {
+    let config = ScaleConfig::new(n, 4, 0x5CA1E);
+    let path = temp_path(&format!("n{n}"));
+    let gen_start = Instant::now();
+    write_scale_dataset(&path, &config).expect("write scale dataset");
+    let generate = gen_start.elapsed();
+
+    let load_start = Instant::now();
+    let mut ds = ColumnarDataset::open(&path).expect("open scale dataset");
+    let table = ds.rank_table().expect("rank table");
+    let labels = ds.read_labels().expect("labels");
+    let weights = ds.read_weights().expect("weights");
+    drop(ds);
+    let load = load_start.elapsed();
+    std::fs::remove_file(&path).ok();
+
+    let ones = labels.iter().filter(|l| l.is_one()).count();
+    let solve_start = Instant::now();
+    let sol = solve_passive_scale(&table, &labels, &weights);
+    let solve = solve_start.elapsed();
+    println!(
+        "scale/solve: n = {n} | ones {ones} | gen {generate:?}, load {load:?}, \
+         solve {solve:?} | err {}, contending {}, width {}, edges {}, rss {} MiB",
+        sol.weighted_error,
+        sol.contending_zeros + sol.contending_ones,
+        sol.width,
+        sol.network_edges,
+        sol.report.peak_rss_bytes / (1 << 20)
+    );
+    format!(
+        r#"{{
+      "n": {n},
+      "ones": {ones},
+      "contending": {},
+      "width": {},
+      "network_edges": {},
+      "weighted_error": {},
+      "generate_ms": {:.1},
+      "load_ms": {:.1},
+      "solve_ms": {:.1},
+      "peak_rss_bytes": {}
+    }}"#,
+        sol.contending_zeros + sol.contending_ones,
+        sol.width,
+        sol.network_edges,
+        sol.weighted_error,
+        generate.as_secs_f64() * 1e3,
+        load.as_secs_f64() * 1e3,
+        solve.as_secs_f64() * 1e3,
+        sol.report.peak_rss_bytes,
+    )
+}
+
+/// The whole record, written as one JSON document. Section order is
+/// load-bearing for the RSS column: kernel (tiny) → solves ascending →
+/// parity (which builds a 20k×20k matrix, after every RSS is taken).
+fn record_scale(_c: &mut Criterion) {
+    let sizes: Vec<usize> = std::env::var("MC_BENCH_SCALE_NS")
+        .unwrap_or_else(|_| "100000,1000000,10000000".into())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    assert!(!sizes.is_empty(), "MC_BENCH_SCALE_NS parsed to no sizes");
+
+    let kernel_json = kernel_section();
+    let size_entries: Vec<String> = sizes.iter().map(|&n| size_entry(n)).collect();
+    let parity_json = parity_section();
+
+    let mut json = String::from("{\n  \"bench\": \"scale\",\n");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{ \"dim\": 4, \"seed\": {}, \"threshold\": 0.82, \"band\": 0.02, \
+         \"profile\": \"bench\" }},",
+        0x5CA1E
+    );
+    let _ = writeln!(json, "  \"kernel\": {kernel_json},");
+    let _ = writeln!(json, "  \"parity\": {parity_json},");
+    let _ = writeln!(
+        json,
+        "  \"sizes\": [\n    {}\n  ]\n}}",
+        size_entries.join(",\n    ")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale.json");
+    std::fs::write(path, json).expect("write BENCH_scale.json");
+    println!("scale: wrote {path}");
+}
+
+criterion_group!(benches, record_scale);
+criterion_main!(benches);

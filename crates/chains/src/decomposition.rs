@@ -21,10 +21,10 @@
 //! adjacency-list reference path survives behind `MC_MATCHING=list`.
 
 use crate::dag::DominanceDag;
-use mc_geom::{DominanceIndex, PointSet};
+use mc_geom::{DominanceIndex, GeomError, PointSet, RankOracle};
 use mc_matching::{
     minimum_vertex_cover, BipartiteAdjacency, BipartiteGraph, BitsetGraph, HopcroftKarp,
-    HopcroftKarpBitset, Matching, MatchingAlgorithm,
+    HopcroftKarpBitset, Matching, MatchingAlgorithm, OracleGraph,
 };
 
 /// Which Hopcroft–Karp engine drives the Lemma-6 path cover.
@@ -80,6 +80,60 @@ impl ChainDecomposition {
     /// dominance pass.
     pub fn compute(points: &PointSet) -> Self {
         Self::compute_from_index(&DominanceIndex::build(points))
+    }
+
+    /// Budget-guarded twin of [`compute`](Self::compute): refuses with a
+    /// typed [`GeomError::MatrixBudget`] — instead of attempting an
+    /// allocation that may OOM the process — when the dominator matrix
+    /// would exceed the `MC_MATRIX_BUDGET_BYTES` budget. Callers that
+    /// must stay matrix-free regardless of budget should build a
+    /// [`RankOracle`] and use [`compute_from_oracle`](Self::compute_from_oracle).
+    pub fn try_compute(points: &PointSet) -> Result<Self, GeomError> {
+        mc_geom::check_matrix_budget(points.len())?;
+        Ok(Self::compute_from_index(&DominanceIndex::build(points)))
+    }
+
+    /// Matrix-free decomposition over a [`RankOracle`]: the Lemma-6
+    /// split graph's rows are computed on demand from rank columns
+    /// (`O(d·n)` resident instead of `Θ(n²/64)`), and the oracle rows
+    /// are bit-identical to the dominator-matrix rows, so the chains,
+    /// width, and antichain certificate match the matrix path exactly.
+    pub fn compute_from_oracle(oracle: &RankOracle) -> Self {
+        Self::compute_from_oracle_cancellable(oracle, &mc_obs::CancelToken::never())
+            .expect("a never-token cannot cancel")
+    }
+
+    /// Cancellable twin of [`compute_from_oracle`](Self::compute_from_oracle).
+    ///
+    /// Always runs the word-parallel engine: the `MC_MATCHING=list`
+    /// reference path needs materialized adjacency lists, which is
+    /// exactly what this entry point exists to avoid, so the toggle
+    /// warns once and is ignored here (the matching is identical).
+    pub fn compute_from_oracle_cancellable(
+        oracle: &RankOracle,
+        token: &mc_obs::CancelToken,
+    ) -> Result<Self, mc_obs::Cancelled> {
+        if MatchingEngine::from_env() == MatchingEngine::List {
+            mc_obs::warn_once(
+                "mc_matching_oracle_list",
+                "MC_MATCHING=list has no matrix-free variant; the rank-oracle \
+                 path uses the bitset engine (the matching is identical)",
+            );
+        }
+        let _span = mc_obs::span("path_cover");
+        let n = oracle.len();
+        if n == 0 {
+            return Ok(Self {
+                chains: Vec::new(),
+                antichain: Vec::new(),
+            });
+        }
+        let g = OracleGraph::new(oracle);
+        let (matching, _) = HopcroftKarpBitset.solve_with_stats_cancellable(&g, token)?;
+        token.poll()?;
+        let chains = Self::chains_from_matching(n, &matching);
+        let antichain = Self::antichain_from_cover(n, &g, &matching);
+        Ok(Self::finish(chains, antichain))
     }
 
     /// Computes the decomposition from a prebuilt [`DominanceIndex`],
@@ -367,6 +421,54 @@ mod tests {
         let dec = ChainDecomposition::compute(&single);
         assert_eq!(dec.width(), 1);
         dec.validate(&single).unwrap();
+    }
+
+    #[test]
+    fn oracle_path_reproduces_matrix_path_exactly() {
+        // Same chains, same antichain — not merely the same width: the
+        // oracle rows are bit-identical to the matrix rows, so every
+        // tie-break in the matching engine resolves the same way.
+        let cases = [
+            crate::test_support::figure1_like_points(),
+            PointSet::from_rows(2, &[vec![1.0, 1.0], vec![1.0, 1.0], vec![1.0, 1.0]]),
+            PointSet::from_values_1d(&[5.0, 2.0, 9.0, 1.0, 2.0]),
+        ];
+        for points in &cases {
+            let via_matrix = ChainDecomposition::compute_from_index(&DominanceIndex::build(points));
+            let via_oracle = ChainDecomposition::compute_from_oracle(&RankOracle::build(points));
+            assert_eq!(via_matrix.chains(), via_oracle.chains());
+            assert_eq!(via_matrix.antichain(), via_oracle.antichain());
+            via_oracle.validate(points).unwrap();
+        }
+    }
+
+    #[test]
+    fn oracle_path_handles_empty_input() {
+        let dec = ChainDecomposition::compute_from_oracle(&RankOracle::build(&PointSet::new(2)));
+        assert_eq!(dec.width(), 0);
+    }
+
+    #[test]
+    fn try_compute_respects_matrix_budget() {
+        // 10 bytes cannot hold any dominator matrix with n >= 2; the
+        // guard must refuse with the typed error instead of building.
+        std::env::set_var("MC_MATRIX_BUDGET_BYTES", "10");
+        let points = PointSet::from_rows(2, &[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let err = ChainDecomposition::try_compute(&points).unwrap_err();
+        std::env::remove_var("MC_MATRIX_BUDGET_BYTES");
+        match err {
+            GeomError::MatrixBudget {
+                points: n,
+                budget_bytes,
+                ..
+            } => {
+                assert_eq!(n, 2);
+                assert_eq!(budget_bytes, 10);
+            }
+            other => panic!("expected MatrixBudget, got {other:?}"),
+        }
+        // With the budget lifted the same input solves fine.
+        assert_eq!(ChainDecomposition::try_compute(&points).unwrap().width(), 2);
     }
 
     #[test]

@@ -38,19 +38,23 @@
 //!   [`DominanceIndex`] (the `solve_with_index` path, where the matrix
 //!   is already paid for).
 //! * [`discover_and_build`] — **matrix-free**: only the `O(d·n log n)`
-//!   [`RankTable`] over all points plus a [`DominanceIndex`] over the
-//!   label-1 points (for the Lemma-6 matching), `O(d·|P₁|²)` instead of
-//!   `O(d·n²)`. The same binary searches that place the zero→rung edges
-//!   double as Lemma-15 contending discovery: a 0-point contends iff
-//!   some chain search returns a non-empty prefix, and the contending
-//!   1-points of chain `c` are exactly its prefix up to the deepest
-//!   rung any 0-point reaches.
+//!   [`RankTable`] over all points plus a [`RankOracle`] gathered from
+//!   its label-1 rows, whose Lemma-6 split-graph rows are computed on
+//!   demand (`O(d·|P₁|)` resident — no quadratic structure at any
+//!   subset size). The same binary searches that place the zero→rung
+//!   edges double as Lemma-15 contending discovery: a 0-point contends
+//!   iff some chain search returns a non-empty prefix, and the
+//!   contending 1-points of chain `c` are exactly its prefix up to the
+//!   deepest rung any 0-point reaches. The zero sweep fans out over
+//!   `parallel_chunks` behind two `O(d)` prefilters (per-dimension
+//!   minimum head rank, then per-chain head tests), which is what
+//!   carries the `n = 10⁷` scale solves of [`super::scale`].
 
 use crate::passive::contending::ContendingPoints;
 use crate::passive::sparse::ClassifierNetwork;
 use mc_chains::ChainDecomposition;
 use mc_flow::{Capacity, FlowNetwork, NodeId};
-use mc_geom::{DominanceIndex, Label, RankTable, WeightedSet};
+use mc_geom::{parallel_chunks, DominanceIndex, Label, RankOracle, RankTable, WeightedSet};
 use mc_obs::{CancelToken, Cancelled, Checkpoint};
 
 /// Builds the sparsified network for any dimension off a prebuilt
@@ -161,18 +165,55 @@ pub(crate) fn discover_and_build(
         .expect("a never-token cannot cancel")
 }
 
-/// Cancellable twin of [`discover_and_build`]: the rank/index builds
-/// and the matching take the token, and the two `O(|P₀|·w)` discovery
-/// loops tick a shared checkpoint.
+/// Cancellable twin of [`discover_and_build`]: builds the `O(d·n)`
+/// [`RankTable`] and delegates to the table-based pipeline.
 pub(crate) fn discover_and_build_cancellable(
     data: &WeightedSet,
     token: &CancelToken,
 ) -> Result<(ContendingPoints, Option<ClassifierNetwork>), Cancelled> {
+    let table = RankTable::try_build(data.points(), token)?;
+    let out =
+        discover_and_build_from_table_cancellable(&table, data.labels(), data.weights(), token)?;
+    Ok((out.con, out.network))
+}
+
+/// Everything the matrix-free discovery learns in one pass: the
+/// Lemma-15 contending sets, the ladder network over them (when any
+/// contention exists), and the dominance width of the label-1 points
+/// (the scale benches record it, and the parity harness checks it
+/// against the matrix path bit for bit).
+pub(crate) struct LadderOutcome {
+    pub con: ContendingPoints,
+    pub network: Option<ClassifierNetwork>,
+    pub width: usize,
+}
+
+/// The matrix-free ladder pipeline off prebuilt rank columns. This is
+/// the only spelling the streaming scale path can use (coordinates may
+/// never have been resident all at once — see [`super::scale`]), and
+/// the [`WeightedSet`] entry points delegate here.
+///
+/// No `Θ(n²/64)` structure exists anywhere in this path: the Lemma-6
+/// matching runs over a [`RankOracle`] gathered from the table's
+/// label-1 rows (`O(d·|P₁|)` resident, rows computed on demand and
+/// bit-identical to the dominator matrix's), and the zero sweep is
+/// `O(d)`-prefiltered rank comparisons. The sweep fans out over
+/// `parallel_chunks`; chunk results concatenate in index order, so the
+/// contending sets, the network, and hence the min cut are identical to
+/// the sequential pipeline.
+pub(crate) fn discover_and_build_from_table_cancellable(
+    table: &RankTable,
+    labels: &[Label],
+    weights: &[f64],
+    token: &CancelToken,
+) -> Result<LadderOutcome, Cancelled> {
     let _span = mc_obs::span("ladder");
     token.poll()?; // small inputs may never reach a checkpoint
+    debug_assert_eq!(table.len(), labels.len());
+    debug_assert_eq!(labels.len(), weights.len());
     let mut zeros = Vec::new();
     let mut ones = Vec::new();
-    for (i, &label) in data.labels().iter().enumerate() {
+    for (i, &label) in labels.iter().enumerate() {
         match label {
             Label::Zero => zeros.push(i),
             Label::One => ones.push(i),
@@ -183,39 +224,94 @@ pub(crate) fn discover_and_build_cancellable(
         ones: Vec::new(),
     };
     if zeros.is_empty() || ones.is_empty() {
-        return Ok((empty, None));
+        // Width 0 here means "the decomposition never ran" — with no
+        // contention possible, nothing downstream reads it.
+        return Ok(LadderOutcome {
+            con: empty,
+            network: None,
+            width: 0,
+        });
     }
 
-    // Rank columns over the whole set (`O(d·n log n)`) decide every
-    // zero-vs-one dominance test; the quadratic bitset matrix is only
-    // needed on the label-1 subset, where Lemma 6 runs its matching.
-    let table = RankTable::try_build(data.points(), token)?;
-    let ones_index = DominanceIndex::try_build(&data.points().subset(&ones), token)?;
-    let dec = ChainDecomposition::compute_from_index_cancellable(&ones_index, token)?;
+    // Lemma 6 on the label-1 points, matrix-free: gathering rank
+    // columns preserves per-dimension order (and equality), so the
+    // oracle's on-demand rows — and with them the matching, chains, and
+    // width — are bit-identical to a dominator matrix over the subset.
+    let oracle = RankOracle::try_from_table_subset(table, &ones, token)?;
+    let dec = ChainDecomposition::compute_from_oracle_cancellable(&oracle, token)?;
 
     // One pass of chain binary searches per 0-point: the deepest
     // dominated prefix per chain places its rung edge *and* answers
     // Lemma 15 — `p` contends iff any prefix is non-empty, and chain
     // `c`'s contending 1-points are its prefix up to the deepest rung
-    // any 0-point reaches.
-    let mut con_zeros = Vec::new();
-    let mut zero_hits: Vec<Vec<(u32, u32)>> = Vec::new();
-    let mut max_cnt = vec![0usize; dec.width()];
-    let mut cp = Checkpoint::new(token);
-    for &p in &zeros {
-        let mut hits = Vec::new();
-        for (c, chain) in dec.chains().iter().enumerate() {
-            cp.tick(1)?;
-            // Ascending chain ⇒ "p dominates chain[i]" holds on a prefix.
-            let cnt = chain.partition_point(|&local| table.dominates(p, ones[local]));
-            if cnt > 0 {
+    // any 0-point reaches. Two prefilters carry the scale workloads,
+    // where almost every zero dominates nothing:
+    //
+    // * per dimension, the minimum rank over all chain *heads*: a zero
+    //   below that floor anywhere dominates no head, hence nothing in
+    //   any chain — one `O(d)` test retires it;
+    // * per chain, the head itself: an ascending chain's dominated
+    //   prefix is empty iff the head is not dominated, so the
+    //   `O(d log ·)` binary search only runs on chains that hit.
+    let dim = table.dim();
+    let cols: Vec<&[u32]> = (0..dim).map(|k| table.column(k)).collect();
+    let heads: Vec<usize> = dec.chains().iter().map(|chain| ones[chain[0]]).collect();
+    let mut min_head_rank = vec![u32::MAX; dim];
+    for &h in &heads {
+        for (k, col) in cols.iter().enumerate() {
+            min_head_rank[k] = min_head_rank[k].min(col[h]);
+        }
+    }
+    let chains = dec.chains();
+    let width = dec.width();
+    /// Per-chunk sweep output: each contending zero with its
+    /// `(chain, dominated-prefix length)` hits, plus the chunk's
+    /// deepest rung per chain.
+    type SweepChunk = (Vec<(usize, Vec<(u32, u32)>)>, Vec<usize>);
+    let sweep: Vec<SweepChunk> = parallel_chunks(zeros.len(), |range| {
+        let mut hits_out: Vec<(usize, Vec<(u32, u32)>)> = Vec::new();
+        let mut local_max = vec![0usize; width];
+        let mut cp = Checkpoint::new(token);
+        for zi in range {
+            if cp.tick(1).is_err() {
+                break; // partial chunk; the caller polls and bails
+            }
+            let p = zeros[zi];
+            if cols
+                .iter()
+                .zip(&min_head_rank)
+                .any(|(col, &floor)| col[p] < floor)
+            {
+                continue;
+            }
+            let mut hits = Vec::new();
+            for (c, chain) in chains.iter().enumerate() {
+                if !table.dominates(p, heads[c]) {
+                    continue;
+                }
+                // Ascending chain ⇒ "p dominates chain[i]" holds on
+                // a prefix, and the head is already known dominated.
+                let cnt = 1 + chain[1..].partition_point(|&local| table.dominates(p, ones[local]));
                 hits.push((c as u32, cnt as u32));
-                max_cnt[c] = max_cnt[c].max(cnt);
+                local_max[c] = local_max[c].max(cnt);
+            }
+            if !hits.is_empty() {
+                hits_out.push((p, hits));
             }
         }
-        if !hits.is_empty() {
+        (hits_out, local_max)
+    });
+    token.poll()?;
+    let mut con_zeros = Vec::new();
+    let mut zero_hits: Vec<Vec<(u32, u32)>> = Vec::new();
+    let mut max_cnt = vec![0usize; width];
+    for (chunk_hits, local_max) in sweep {
+        for (p, hits) in chunk_hits {
             con_zeros.push(p);
             zero_hits.push(hits);
+        }
+        for (m, l) in max_cnt.iter_mut().zip(local_max) {
+            *m = (*m).max(l);
         }
     }
     let mut con_ones: Vec<usize> = dec
@@ -226,7 +322,11 @@ pub(crate) fn discover_and_build_cancellable(
         .collect();
     con_ones.sort_unstable();
     if con_zeros.is_empty() {
-        return Ok((empty, None));
+        return Ok(LadderOutcome {
+            con: empty,
+            network: None,
+            width,
+        });
     }
 
     let source = 0;
@@ -237,11 +337,11 @@ pub(crate) fn discover_and_build_cancellable(
         .map(|i| 2 + con_zeros.len() + i)
         .collect();
     for (zi, &p) in con_zeros.iter().enumerate() {
-        net.add_edge(source, zero_nodes[zi], data.weight(p));
+        net.add_edge(source, zero_nodes[zi], weights[p]);
     }
-    let mut one_pos = vec![u32::MAX; data.len()];
+    let mut one_pos = vec![u32::MAX; labels.len()];
     for (oi, &q) in con_ones.iter().enumerate() {
-        net.add_edge(one_nodes[oi], sink, data.weight(q));
+        net.add_edge(one_nodes[oi], sink, weights[q]);
         one_pos[q] = oi as u32;
     }
 
@@ -265,6 +365,7 @@ pub(crate) fn discover_and_build_cancellable(
         rung_edges += (2 * ladder.len()).saturating_sub(1) as u64;
         rungs.push(ladder);
     }
+    let mut cp = Checkpoint::new(token);
     for (zi, hits) in zero_hits.iter().enumerate() {
         for &(c, cnt) in hits {
             cp.tick(1)?;
@@ -287,7 +388,11 @@ pub(crate) fn discover_and_build_cancellable(
         zero_nodes,
         one_nodes,
     };
-    Ok((con, Some(network)))
+    Ok(LadderOutcome {
+        con,
+        network: Some(network),
+        width,
+    })
 }
 
 #[cfg(test)]

@@ -13,6 +13,7 @@ pub mod contending;
 pub mod incremental;
 pub(crate) mod ladder;
 pub mod one_dim;
+pub mod scale;
 pub mod solver;
 pub(crate) mod sparse;
 
@@ -21,4 +22,5 @@ pub use certificate::{certify_passive, Certificate, InversionCharge};
 pub use contending::ContendingPoints;
 pub use incremental::IncrementalPassive;
 pub use one_dim::{solve_passive_1d, OneDimOptimum};
+pub use scale::{solve_passive_scale, solve_passive_scale_cancellable, ScaleSolution};
 pub use solver::{solve_passive, NetworkStrategy, PassiveSolution, PassiveSolver};

@@ -152,8 +152,13 @@ impl<A: MaxFlowAlgorithm> PassiveSolver<A> {
     /// Validating variant of [`PassiveSolver::solve`] for user-supplied
     /// data: rejects non-finite coordinates (which would poison every
     /// dominance comparison) with a typed error instead of computing
-    /// nonsense. Weights and lengths are already guaranteed by
-    /// [`WeightedSet`]'s constructors.
+    /// nonsense, and refuses up front — [`crate::McError::Budget`], not
+    /// an OOM kill — when the strategy would materialize a dominator
+    /// matrix over the `MC_MATRIX_BUDGET_BYTES` budget (only the
+    /// paper-literal [`NetworkStrategy::Dense`] path builds one; the
+    /// default ladder pipeline is matrix-free at every `n`). Weights
+    /// and lengths are already guaranteed by [`WeightedSet`]'s
+    /// constructors.
     pub fn try_solve(&self, data: &WeightedSet) -> Result<PassiveSolution, crate::error::McError> {
         for (index, p) in data.points().iter().enumerate() {
             for (axis, &value) in p.iter().enumerate() {
@@ -163,6 +168,13 @@ impl<A: MaxFlowAlgorithm> PassiveSolver<A> {
                     );
                 }
             }
+        }
+        let strategy = match self.network {
+            NetworkStrategy::Auto => NetworkStrategy::from_env(),
+            s => s,
+        };
+        if strategy == NetworkStrategy::Dense {
+            mc_geom::check_matrix_budget(data.len())?;
         }
         Ok(self.solve(data))
     }

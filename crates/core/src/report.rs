@@ -39,6 +39,12 @@ pub struct SolveReport {
     /// answer — the worker's state is dropped wholesale — but it is not
     /// clean either: the run leaned on the surviving engines.
     pub engine_panics: usize,
+    /// Process peak RSS in bytes when the report was finalized (`VmHWM`
+    /// on Linux, 0 elsewhere — see `mc_obs::peak_rss_bytes`). A
+    /// process-wide high-water mark, not a per-solve delta, so it upper
+    /// bounds the solve's residency. Purely informational: never
+    /// affects [`is_clean`](Self::is_clean).
+    pub peak_rss_bytes: u64,
 }
 
 impl SolveReport {
@@ -57,6 +63,14 @@ impl SolveReport {
         self.retries += after.retries.saturating_sub(before.retries);
         self.breaker_tripped |= after.breaker_tripped;
         self.degraded = self.abstentions > 0 || self.breaker_tripped;
+        self.stamp_peak_rss();
+    }
+
+    /// Records the process's current peak RSS into the report and the
+    /// `mem.peak_rss_bytes` gauge. Called by `finalize` on the active
+    /// paths; passive/scale report builders call it directly.
+    pub fn stamp_peak_rss(&mut self) {
+        self.peak_rss_bytes = mc_obs::record_peak_rss();
     }
 
     /// Renders the report as one JSON object in the `mc-obs` JSONL
@@ -73,6 +87,7 @@ impl SolveReport {
             .bool("breaker_tripped", self.breaker_tripped)
             .bool("degraded", self.degraded)
             .u64("engine_panics", self.engine_panics as u64)
+            .u64("peak_rss_bytes", self.peak_rss_bytes)
             .finish()
     }
 }
@@ -120,10 +135,11 @@ mod tests {
             breaker_tripped: false,
             degraded: true,
             engine_panics: 1,
+            peak_rss_bytes: 4096,
         };
         assert_eq!(
             r.to_json(),
-            r#"{"type":"solve_report","attempts":12,"retries":3,"abstentions":1,"breaker_tripped":false,"degraded":true,"engine_panics":1}"#
+            r#"{"type":"solve_report","attempts":12,"retries":3,"abstentions":1,"breaker_tripped":false,"degraded":true,"engine_panics":1,"peak_rss_bytes":4096}"#
         );
     }
 

@@ -8,8 +8,12 @@
 //! * [`controlled_width`] — datasets whose dominance width is an exact
 //!   knob (for the probes-vs-`w` sweep);
 //! * [`mod@hard_family`] — the Section-6 `P00/P11` lower-bound family behind
-//!   Theorem 1.
+//!   Theorem 1;
+//! * [`columnar`] — the `MCC1` column-major binary format plus the
+//!   banded minority-positive scale workload, for the streaming
+//!   `n = 10⁷` passive solves.
 
+pub mod columnar;
 pub mod controlled_width;
 pub mod csv;
 pub mod entity_matching;
@@ -18,6 +22,10 @@ pub mod paper_example;
 pub mod planted;
 pub mod zoo;
 
+pub use columnar::{
+    write_scale_dataset, write_weighted_set, ColumnarDataset, ColumnarError, ColumnarWriter,
+    ScaleConfig,
+};
 pub use controlled_width::{ControlledWidthConfig, ControlledWidthDataset};
 pub use entity_matching::{EntityMatchingConfig, EntityMatchingDataset};
 pub use hard_family::{hard_family, hard_family_member, AnomalyKind};

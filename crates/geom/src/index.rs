@@ -47,6 +47,8 @@
 
 use crate::dataset::PointSet;
 use crate::dominance::Dominance;
+use crate::error::GeomError;
+use crate::kernel;
 use crate::parallel::parallel_chunks_mut;
 use mc_obs::cancel::{CancelToken, Cancelled, Checkpoint};
 
@@ -99,6 +101,60 @@ pub fn bitmask_of(n: usize, indices: impl IntoIterator<Item = usize>) -> Vec<u64
         set_bit(&mut mask, i);
     }
     mask
+}
+
+/// Bytes an `n`-point bitset dominator matrix would occupy
+/// (`n · ⌈n/64⌉` words of 8 bytes).
+pub fn matrix_bytes(n: usize) -> u64 {
+    n as u64 * n.div_ceil(64) as u64 * 8
+}
+
+/// The `MC_MATRIX_BUDGET_BYTES` budget, if one is configured: the most
+/// bytes a single bitset dominator matrix may occupy before builders
+/// refuse with [`GeomError::MatrixBudget`] instead of attempting an
+/// allocation that would OOM. Unset means unlimited; a set-but-invalid
+/// value (non-numeric, zero) is ignored with a one-shot warning, like
+/// the `MC_FLOW_NET` / `MC_MATCHING` knobs.
+pub fn matrix_budget_bytes() -> Option<u64> {
+    let raw = std::env::var_os("MC_MATRIX_BUDGET_BYTES")?;
+    match raw
+        .into_string()
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+    {
+        Some(v) if v >= 1 => Some(v),
+        _ => {
+            mc_obs::warn_once(
+                "mc_matrix_budget_env",
+                "MC_MATRIX_BUDGET_BYTES must be a positive integer byte count; ignoring it (unlimited)",
+            );
+            None
+        }
+    }
+}
+
+/// Refuses with [`GeomError::MatrixBudget`] when an `n × n` bitset
+/// dominator matrix would exceed [`matrix_budget_bytes`]. A no-op when
+/// no budget is configured.
+pub fn check_matrix_budget(n: usize) -> Result<(), GeomError> {
+    check_matrix_budget_against(n, matrix_budget_bytes())
+}
+
+/// [`check_matrix_budget`] against an explicit budget (`None` =
+/// unlimited), for callers and tests that resolve the env knob once.
+pub fn check_matrix_budget_against(n: usize, budget: Option<u64>) -> Result<(), GeomError> {
+    let Some(budget) = budget else {
+        return Ok(());
+    };
+    let required = matrix_bytes(n);
+    if required > budget {
+        return Err(GeomError::MatrixBudget {
+            points: n,
+            required_bytes: required,
+            budget_bytes: budget,
+        });
+    }
+    Ok(())
 }
 
 /// The precomputed dominance relation of a [`PointSet`]. See the module
@@ -435,6 +491,53 @@ impl RankTable {
     pub fn dominates(&self, i: usize, j: usize) -> bool {
         (0..self.dim).all(|k| self.ranks[k * self.n + i] >= self.ranks[k * self.n + j])
     }
+
+    /// Assembles a table from prepared column-major rank columns
+    /// (`ranks[k * n + i]`), the streaming entry point: callers that
+    /// cannot hold all coordinates resident (e.g. a columnar file at
+    /// `n = 10⁷`) compress one dimension at a time with
+    /// [`compress_column_ranks`] and hand the concatenated columns here,
+    /// so peak residency stays one `f64` column plus the `u32` ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ranks.len() != dim * n`.
+    pub fn from_rank_columns(n: usize, dim: usize, ranks: Vec<u32>) -> Self {
+        assert_eq!(ranks.len(), dim * n, "rank column layout mismatch");
+        Self { n, dim, ranks }
+    }
+}
+
+/// Dense rank compression of a single coordinate column — the
+/// per-dimension kernel of [`RankTable::build`], exposed for streaming
+/// builders that load one column at a time. Identical semantics:
+/// `-0.0` and `0.0` share a rank, `±∞` sentinels order naturally,
+/// `NaN` is unsupported.
+pub fn compress_column_ranks(values: &[f64]) -> Vec<u32> {
+    let n = values.len();
+    let mut out = vec![0u32; n];
+    if n == 0 {
+        return out;
+    }
+    debug_assert!(
+        values.iter().all(|v| !v.is_nan()),
+        "NaN coordinates are unsupported by rank compression"
+    );
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order
+        .sort_unstable_by(|&a, &b| canon(values[a as usize]).total_cmp(&canon(values[b as usize])));
+    let mut rank = 0u32;
+    for pos in 0..n {
+        if pos > 0 {
+            let prev = canon(values[order[pos - 1] as usize]);
+            let cur = canon(values[order[pos] as usize]);
+            if prev.total_cmp(&cur) != std::cmp::Ordering::Equal {
+                rank += 1;
+            }
+        }
+        out[order[pos] as usize] = rank;
+    }
+    out
 }
 
 /// Dense per-dimension rank compression, column-major.
@@ -445,7 +548,10 @@ fn compress_ranks(points: &PointSet) -> Vec<u32> {
 /// Cancellable rank compression: each dimension costs an `O(n log n)`
 /// sort, so the token is polled once per dimension rather than inside
 /// the comparator.
-fn try_compress_ranks(points: &PointSet, token: &CancelToken) -> Result<Vec<u32>, Cancelled> {
+pub(crate) fn try_compress_ranks(
+    points: &PointSet,
+    token: &CancelToken,
+) -> Result<Vec<u32>, Cancelled> {
     let n = points.len();
     let dim = points.dim();
     let mut ranks = vec![0u32; dim * n];
@@ -479,20 +585,21 @@ fn try_compress_ranks(points: &PointSet, token: &CancelToken) -> Result<Vec<u32>
 }
 
 /// Duplicate-group assignment: canonical ids plus per-group member
-/// lists (see [`DupGroups`]).
-struct DupGroups {
+/// lists (see [`DupGroups`]). Shared with [`crate::RankOracle`], which
+/// derives the same groups from its gathered rank columns.
+pub(crate) struct DupGroups {
     /// Group id per point; equal rank tuples ⇔ equal group.
-    group: Vec<u32>,
+    pub(crate) group: Vec<u32>,
     /// Points sorted by (group, index).
-    members: Vec<u32>,
+    pub(crate) members: Vec<u32>,
     /// Per-group offsets into `members` (`num_groups + 1` entries).
-    offsets: Vec<u32>,
+    pub(crate) offsets: Vec<u32>,
 }
 
 /// Canonical group ids: equal rank tuples ⇔ equal group. The member
 /// lists let consumers mask out a point's duplicates in `O(|group|)`
 /// instead of rescanning rows.
-fn duplicate_groups(n: usize, dim: usize, ranks: &[u32]) -> DupGroups {
+pub(crate) fn duplicate_groups(n: usize, dim: usize, ranks: &[u32]) -> DupGroups {
     let mut group = vec![0u32; n];
     if n == 0 {
         return DupGroups {
@@ -642,23 +749,16 @@ fn fill_bits_generic(
 
 #[inline]
 fn fill_row_generic(n: usize, dim: usize, ranks: &[u32], i: usize, row: &mut [u64]) {
-    for (w, slot) in row.iter_mut().enumerate() {
-        let base = w * 64;
-        let len = (n - base).min(64);
-        let mut word = if len == 64 { !0u64 } else { (1u64 << len) - 1 };
-        for k in 0..dim {
-            let threshold = ranks[k * n + i];
-            let col = &ranks[k * n + base..k * n + base + len];
-            let mut ge = 0u64;
-            for (b, &r) in col.iter().enumerate() {
-                ge |= ((r >= threshold) as u64) << b;
-            }
-            word &= ge;
-            if word == 0 {
-                break;
-            }
+    kernel::ones_mask_into(n, row);
+    for k in 0..dim {
+        let threshold = ranks[k * n + i];
+        if threshold == 0 {
+            continue; // ranks are non-negative: nothing to filter
         }
-        *slot = word;
+        let col = &ranks[k * n..k * n + n];
+        if !kernel::and_ge_mask(col, threshold, row) {
+            break; // the row emptied; later dimensions cannot revive bits
+        }
     }
 }
 
@@ -1035,5 +1135,52 @@ mod tests {
         let points = PointSet::from_values_1d(&[1.0, 2.0]);
         let index = DominanceIndex::build(&points);
         assert_eq!(index.dominator_row_words(0), index.dominators(0));
+    }
+
+    /// Streaming rank compression must reproduce the batch build
+    /// column for column, including signed-zero canonicalization.
+    #[test]
+    fn column_compression_matches_batch_build() {
+        let mut rng = StdRng::seed_from_u64(0xC01);
+        for dim in [1usize, 3] {
+            for n in [0usize, 1, 57, 200] {
+                let points = random_points(n, dim, 6.0, &mut rng);
+                let table = RankTable::build(&points);
+                let mut ranks = Vec::with_capacity(dim * n);
+                for k in 0..dim {
+                    let col: Vec<f64> = points.iter().map(|p| p[k]).collect();
+                    ranks.extend(compress_column_ranks(&col));
+                }
+                let streamed = RankTable::from_rank_columns(n, dim, ranks);
+                for k in 0..dim {
+                    assert_eq!(streamed.column(k), table.column(k), "dim {dim} n {n} k {k}");
+                }
+            }
+        }
+        let col = compress_column_ranks(&[5.0, -0.0, 0.0, -1.0]);
+        assert_eq!(col, vec![2, 1, 1, 0]);
+    }
+
+    /// The matrix budget refuses exactly when `n·⌈n/64⌉·8` exceeds the
+    /// configured limit, and is a no-op without one.
+    #[test]
+    fn matrix_budget_refusal_is_typed_and_sized() {
+        assert_eq!(matrix_bytes(0), 0);
+        assert_eq!(matrix_bytes(64), 64 * 8);
+        assert_eq!(matrix_bytes(65), 65 * 2 * 8);
+        assert!(check_matrix_budget_against(1 << 20, None).is_ok());
+        assert!(check_matrix_budget_against(1_000, Some(matrix_bytes(1_000))).is_ok());
+        match check_matrix_budget_against(1_001, Some(matrix_bytes(1_000))) {
+            Err(GeomError::MatrixBudget {
+                points,
+                required_bytes,
+                budget_bytes,
+            }) => {
+                assert_eq!(points, 1_001);
+                assert_eq!(required_bytes, matrix_bytes(1_001));
+                assert_eq!(budget_bytes, matrix_bytes(1_000));
+            }
+            other => panic!("expected a MatrixBudget refusal, got {other:?}"),
+        }
     }
 }

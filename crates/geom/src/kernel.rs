@@ -1,0 +1,218 @@
+//! Blocked rank-compare kernels shared by every dominance sweep.
+//!
+//! The workspace's one remaining hot loop (after the chain-ladder
+//! sparsification of PR 5) is the `u32` rank comparison that turns a
+//! rank column and a threshold into a bitset of the points at or above
+//! it. Three consumers run it:
+//!
+//! * the explicit `d ≥ 3` matrix fill of [`crate::DominanceIndex`]
+//!   (only when a caller still asks for the full matrix),
+//! * the on-demand dominator rows of [`crate::RankOracle`], and
+//! * the rank-column sweeps behind the passive chain-ladder builder.
+//!
+//! All of them now share the kernels here. The inner loops are written
+//! for autovectorization rather than explicit intrinsics (the crate is
+//! `forbid(unsafe)`-adjacent and dependency-free): each 64-rank lane is
+//! a fixed-trip-count loop over a `&[u32; 64]` chunk — no bounds checks,
+//! no early exit — packing `rank ≥ threshold` flags into one `u64`, and
+//! lanes are processed [`LANES`] at a time (u64×4, 256 ranks per block)
+//! so the compiler can keep four independent accumulators in vector
+//! registers. Block-level short-circuiting happens *between* blocks,
+//! where it does not break the vector body.
+
+/// Words per block: the kernels narrow bitset rows in u64×4 strides
+/// (256 ranks at a time).
+pub const LANES: usize = 4;
+
+/// Ranks covered by one block (`LANES * 64`).
+pub const BLOCK_RANKS: usize = LANES * 64;
+
+/// Packs `chunk[b] >= threshold` into bit `b` of the returned word.
+/// Fixed 64-iteration trip count so the compiler vectorizes the compare
+/// and keeps the bit packing branch-free.
+#[inline]
+fn ge_word_full(chunk: &[u32; 64], threshold: u32) -> u64 {
+    let mut ge = 0u64;
+    for (b, &r) in chunk.iter().enumerate() {
+        ge |= ((r >= threshold) as u64) << b;
+    }
+    ge
+}
+
+/// Tail variant of [`ge_word_full`] for the final partial word; bits at
+/// or beyond `chunk.len()` stay zero.
+#[inline]
+fn ge_word_partial(chunk: &[u32], threshold: u32) -> u64 {
+    debug_assert!(chunk.len() <= 64);
+    let mut ge = 0u64;
+    for (b, &r) in chunk.iter().enumerate() {
+        ge |= ((r >= threshold) as u64) << b;
+    }
+    ge
+}
+
+/// Packs `col[j] >= threshold` into bit `j` of `out` (one fresh mask,
+/// no narrowing). `out.len()` must be `col.len().div_ceil(64)`; padding
+/// bits of the final word are left zero.
+pub fn ge_mask_into(col: &[u32], threshold: u32, out: &mut [u64]) {
+    debug_assert_eq!(out.len(), col.len().div_ceil(64));
+    let full_words = col.len() / 64;
+    let (full, tail) = col.split_at(full_words * 64);
+    let mut chunks = full.chunks_exact(64);
+    for (w, chunk) in chunks.by_ref().enumerate() {
+        let chunk: &[u32; 64] = chunk.try_into().expect("exact 64-rank chunk");
+        out[w] = ge_word_full(chunk, threshold);
+    }
+    if !tail.is_empty() {
+        out[full_words] = ge_word_partial(tail, threshold);
+    }
+}
+
+/// Narrows the bitset `row` over `col.len()` points to those with
+/// `col[j] >= threshold`: `row &= ge_mask(col, threshold)`, blocked in
+/// u64×4 strides with per-block skip of already-empty regions. Returns
+/// `true` iff any bit of `row` survives.
+///
+/// `row.len()` must be `col.len().div_ceil(64)`; the caller is expected
+/// to have zeroed the padding bits of the final word (the kernel never
+/// sets bits, so padding stays clear).
+pub fn and_ge_mask(col: &[u32], threshold: u32, row: &mut [u64]) -> bool {
+    debug_assert_eq!(row.len(), col.len().div_ceil(64));
+    let mut any = 0u64;
+    let mut w = 0usize;
+    // u64×4 body: four independent lane accumulators per block.
+    while (w + LANES) * 64 <= col.len() {
+        let block = &mut row[w..w + LANES];
+        if block.iter().any(|&x| x != 0) {
+            let ranks = &col[w * 64..w * 64 + BLOCK_RANKS];
+            let mut masks = [0u64; LANES];
+            for (lane, mask) in masks.iter_mut().enumerate() {
+                let chunk: &[u32; 64] = ranks[lane * 64..(lane + 1) * 64]
+                    .try_into()
+                    .expect("exact 64-rank lane");
+                *mask = ge_word_full(chunk, threshold);
+            }
+            for (slot, mask) in block.iter_mut().zip(masks) {
+                *slot &= mask;
+                any |= *slot;
+            }
+        }
+        w += LANES;
+    }
+    // Word-at-a-time remainder (fewer than 4 words left).
+    while w * 64 < col.len() {
+        if row[w] != 0 {
+            let base = w * 64;
+            let len = (col.len() - base).min(64);
+            let chunk = &col[base..base + len];
+            row[w] &= if len == 64 {
+                ge_word_full(chunk.try_into().expect("full word"), threshold)
+            } else {
+                ge_word_partial(chunk, threshold)
+            };
+            any |= row[w];
+        }
+        w += 1;
+    }
+    any != 0
+}
+
+/// Scalar reference kernel: the pre-blocking per-word loop, kept as the
+/// correctness baseline for tests and as the "before" side of the
+/// kernel microbench in `mc-bench`.
+pub fn and_ge_mask_scalar(col: &[u32], threshold: u32, row: &mut [u64]) -> bool {
+    debug_assert_eq!(row.len(), col.len().div_ceil(64));
+    let mut any = 0u64;
+    for (w, slot) in row.iter_mut().enumerate() {
+        if *slot == 0 {
+            continue;
+        }
+        let base = w * 64;
+        let len = (col.len() - base).min(64);
+        let mut ge = 0u64;
+        for (b, &r) in col[base..base + len].iter().enumerate() {
+            ge |= ((r >= threshold) as u64) << b;
+        }
+        *slot &= ge;
+        any |= *slot;
+    }
+    any != 0
+}
+
+/// Fills `row` with the all-ones mask over `n` points (padding bits of
+/// the final word cleared) — the starting state every narrowing pass
+/// expects.
+pub fn ones_mask_into(n: usize, row: &mut [u64]) {
+    debug_assert_eq!(row.len(), n.div_ceil(64));
+    row.fill(!0u64);
+    let spill = n % 64;
+    if spill != 0 {
+        if let Some(last) = row.last_mut() {
+            *last = (1u64 << spill) - 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn blocked_matches_scalar_on_random_columns() {
+        let mut rng = StdRng::seed_from_u64(0x51D);
+        for n in [0usize, 1, 63, 64, 65, 255, 256, 257, 1000] {
+            let col: Vec<u32> = (0..n).map(|_| rng.gen_range(0..50)).collect();
+            for t in [0u32, 1, 25, 49, 50] {
+                let mut a = vec![0u64; n.div_ceil(64)];
+                let mut b = vec![0u64; n.div_ceil(64)];
+                ones_mask_into(n, &mut a);
+                ones_mask_into(n, &mut b);
+                let ra = and_ge_mask(&col, t, &mut a);
+                let rb = and_ge_mask_scalar(&col, t, &mut b);
+                assert_eq!(a, b, "n {n} t {t}");
+                assert_eq!(ra, rb, "n {n} t {t}");
+                assert_eq!(ra, a.iter().any(|&w| w != 0));
+            }
+        }
+    }
+
+    #[test]
+    fn ge_mask_into_matches_naive_bits() {
+        let col: Vec<u32> = (0..130).map(|i| (i % 7) as u32).collect();
+        let mut out = vec![0u64; 3];
+        ge_mask_into(&col, 3, &mut out);
+        for (j, &r) in col.iter().enumerate() {
+            let bit = out[j / 64] >> (j % 64) & 1 == 1;
+            assert_eq!(bit, r >= 3, "bit {j}");
+        }
+        // Padding bits beyond n stay clear.
+        assert_eq!(out[2] >> (130 - 128), 0);
+    }
+
+    #[test]
+    fn narrowing_composes_like_intersection() {
+        let mut rng = StdRng::seed_from_u64(0xC0);
+        let n = 300usize;
+        let c0: Vec<u32> = (0..n).map(|_| rng.gen_range(0..9)).collect();
+        let c1: Vec<u32> = (0..n).map(|_| rng.gen_range(0..9)).collect();
+        let mut row = vec![0u64; n.div_ceil(64)];
+        ones_mask_into(n, &mut row);
+        and_ge_mask(&c0, 4, &mut row);
+        and_ge_mask(&c1, 6, &mut row);
+        for j in 0..n {
+            let bit = row[j / 64] >> (j % 64) & 1 == 1;
+            assert_eq!(bit, c0[j] >= 4 && c1[j] >= 6, "bit {j}");
+        }
+    }
+
+    #[test]
+    fn empty_row_reports_no_survivors() {
+        let col = vec![5u32; 70];
+        let mut row = vec![0u64; 2];
+        ones_mask_into(70, &mut row);
+        assert!(!and_ge_mask(&col, 6, &mut row));
+        assert!(row.iter().all(|&w| w == 0));
+    }
+}

@@ -23,7 +23,9 @@ pub mod dataset;
 pub mod dominance;
 pub mod error;
 pub mod index;
+pub mod kernel;
 pub mod label;
+pub mod oracle;
 pub mod parallel;
 pub mod pareto;
 pub mod point;
@@ -32,8 +34,13 @@ pub mod transform;
 pub use dataset::{LabeledSet, PointSet, WeightedSet};
 pub use dominance::{dominates, incomparable, strictly_dominates, Dominance};
 pub use error::GeomError;
-pub use index::{bitmask_of, count_dominating_pairs, iter_ones, DominanceIndex, RankTable};
+pub use index::{
+    bitmask_of, check_matrix_budget, check_matrix_budget_against, compress_column_ranks,
+    count_dominating_pairs, iter_ones, matrix_budget_bytes, matrix_bytes, DominanceIndex,
+    RankTable,
+};
 pub use label::Label;
+pub use oracle::RankOracle;
 pub use parallel::{max_threads, parallel_chunks, parallel_chunks_mut, parallel_threshold};
 pub use pareto::{maxima, minima, minima_2d};
 pub use point::Point;

@@ -1,12 +1,15 @@
-//! Hopcroft–Karp over [`BitsetGraph`] rows: word-parallel BFS/DFS.
+//! Hopcroft–Karp over bitset rows: word-parallel BFS/DFS.
 //!
 //! Same algorithm and `O(E·sqrt(V))` bound as the list engine in
 //! [`hopcroft_karp`](crate::hopcroft_karp), but every neighbourhood scan
 //! is a `u64` word operation over a bitset row instead of a pointer walk
-//! over an adjacency list, so each of the `O(sqrt(V))` phases costs
-//! `O(V²/64)` word ops on dense Lemma-6 split graphs — with zero edge
-//! materialization when the rows are borrowed from a
-//! `mc_geom::DominanceIndex`.
+//! over an adjacency list. The engine is generic over [`RowSource`]:
+//! rows can be materialized up front ([`BitsetGraph`], zero-copy borrows
+//! from a `mc_geom::DominanceIndex`) or computed on demand from rank
+//! columns ([`OracleGraph`]) — the matrix-free path
+//! that removes the `Θ(n²/64)` residency wall. Both produce the same
+//! row bits, so the matching (and everything downstream: König cover,
+//! width, antichain) is identical either way.
 //!
 //! Three tricks keep the constant small:
 //!
@@ -29,6 +32,13 @@
 //!    clears its matched right from the level mask in place, so dead
 //!    subtrees cost zero bits on later scans within the same phase.
 //!
+//! On-demand sources get one extra structure: a **depth-indexed row
+//! cache** for the DFS. A frame's row lands in the scratch buffer for
+//! its depth and stays valid while that left owns the slot, so
+//! backtracking and resuming a frame never recomputes its row — the
+//! per-thread scratch is reused across BFS layers, DFS descents, and
+//! phases alike.
+//!
 //! The layering is level-synchronous and rights are claimed lowest-index
 //! first, which makes the engine's tie-breaking line up with the list
 //! engine on graphs whose adjacency lists are ascending (as Lemma-6
@@ -38,8 +48,11 @@
 use crate::bitset::BitsetGraph;
 use crate::graph::Matching;
 use crate::hopcroft_karp::flush_stats;
-use crate::{BipartiteAdjacency, MatchingAlgorithm, MatchingStats};
+use crate::oracle_graph::OracleGraph;
+use crate::row_source::RowSource;
+use crate::{MatchingAlgorithm, MatchingStats};
 use mc_geom::parallel_chunks;
+use mc_obs::cancel::Checkpoint;
 
 /// Bitset-native Hopcroft–Karp algorithm.
 #[derive(Debug, Clone, Copy, Default)]
@@ -47,8 +60,11 @@ pub struct HopcroftKarpBitset;
 
 const INF: u32 = u32::MAX;
 
-struct State<'g, 'a> {
-    g: &'g BitsetGraph<'a>,
+/// Sentinel for a DFS row-cache slot nobody owns.
+const NO_OWNER: u32 = u32::MAX;
+
+struct State<'g, G: RowSource> {
+    g: &'g G,
     left_match: Vec<Option<u32>>,
     right_match: Vec<Option<u32>>,
     /// BFS layer of each left vertex.
@@ -60,10 +76,16 @@ struct State<'g, 'a> {
     /// only has useful edges into `levels[d]`, so DFS scans are masked
     /// by (and retirement prunes from) these in place.
     levels: Vec<(Vec<u64>, Vec<u32>)>,
+    /// Per-DFS-depth row scratch, grown lazily to the deepest frame and
+    /// reused across roots and phases (rows are static per graph).
+    row_pool: Vec<Vec<u64>>,
+    /// Which left vertex's row currently sits in each pool slot
+    /// ([`NO_OWNER`] when the slot holds no reusable row).
+    pool_owner: Vec<u32>,
     words_scanned: u64,
 }
 
-impl State<'_, '_> {
+impl<G: RowSource> State<'_, G> {
     /// Level-synchronous layered BFS from all unmatched left vertices.
     /// Returns `true` iff an augmenting path exists. Like the list
     /// engine, the whole reachable graph is layered every phase (no
@@ -94,9 +116,10 @@ impl State<'_, '_> {
             let fr = &frontier;
             let partials = parallel_chunks(fr.len(), |range| {
                 let mut acc = vec![0u64; words];
+                let mut scratch = vec![0u64; words];
                 let mut scanned = 0u64;
                 for &l in &fr[range] {
-                    scanned += g.or_row_into(l as usize, &mut acc);
+                    scanned += g.or_row_into(l as usize, &mut acc, &mut scratch);
                 }
                 (acc, scanned)
             });
@@ -146,16 +169,19 @@ impl State<'_, '_> {
     /// nonzero words — every surviving bit is a free right (augment) or
     /// a next-layer left (descend), so no edge is examined in vain.
     fn dfs(&mut self, root: usize) -> bool {
+        let words = self.g.words();
         let State {
             g,
             left_match,
             right_match,
             dist,
             levels,
+            row_pool,
+            pool_owner,
             words_scanned,
             ..
         } = self;
-        let g: &BitsetGraph<'_> = g;
+        let g: &G = g;
         // Each frame: (left vertex, next position in its level's
         // nonzero-word list, unconsumed bits of the previously loaded
         // word); `via[depth]` is the right vertex used to reach frame
@@ -171,8 +197,22 @@ impl State<'_, '_> {
             // Lefts layered in the BFS step that found a free right are
             // never expanded, so they have no level to scan into.
             if d < levels.len() {
+                if row_pool.len() <= depth {
+                    row_pool.push(vec![0u64; words]);
+                    pool_owner.push(NO_OWNER);
+                }
+                // Resolve the frame's row, reusing the depth slot's
+                // cached copy when this left still owns it (on-demand
+                // sources would otherwise recompute on every resume).
+                let slot = &mut row_pool[depth];
+                let (row, pw, pmask): (&[u64], usize, u64) = if pool_owner[depth] == l {
+                    (&slot[..], 0, !0u64)
+                } else {
+                    let resolved = g.resolve_row(lu, slot);
+                    pool_owner[depth] = if resolved.cached { l } else { NO_OWNER };
+                    (resolved.row, resolved.patch_word, resolved.patch_mask)
+                };
                 let (lvl_mask, lvl_nz) = &mut levels[d];
-                let (row, pw, pmask) = g.row_parts(lu);
                 'scan: loop {
                     while word == 0 {
                         if pos as usize >= lvl_nz.len() {
@@ -239,20 +279,22 @@ impl State<'_, '_> {
 impl HopcroftKarpBitset {
     /// Like [`MatchingAlgorithm::solve`] but also returns the phase
     /// statistics (greedy hits, rounds, augmentations, words scanned).
-    pub fn solve_with_stats(&self, g: &BitsetGraph<'_>) -> (Matching, MatchingStats) {
+    /// Generic over the row source: materialized [`BitsetGraph`] rows
+    /// and on-demand [`OracleGraph`] rows produce identical matchings.
+    pub fn solve_with_stats<G: RowSource>(&self, g: &G) -> (Matching, MatchingStats) {
         self.solve_with_stats_cancellable(g, &mc_obs::CancelToken::never())
             .expect("a never-token cannot cancel")
     }
 
     /// Cancellable twin of [`solve_with_stats`](Self::solve_with_stats):
-    /// the token is checkpointed on the words scanned by the greedy
-    /// seed and polled between Hopcroft–Karp rounds (each round is
-    /// `O(V²/64)` word ops, so round-granularity keeps latency bounded
-    /// without touching the word-parallel inner loops). On cancellation
-    /// the partial matching is discarded.
-    pub fn solve_with_stats_cancellable(
+    /// the token is checkpointed on the words scanned by the degree
+    /// pass and greedy seed and polled between Hopcroft–Karp rounds
+    /// (each round is `O(V²/64)` word ops, so round-granularity keeps
+    /// latency bounded without touching the word-parallel inner loops).
+    /// On cancellation the partial matching is discarded.
+    pub fn solve_with_stats_cancellable<G: RowSource>(
         &self,
-        g: &BitsetGraph<'_>,
+        g: &G,
         token: &mc_obs::CancelToken,
     ) -> Result<(Matching, MatchingStats), mc_obs::Cancelled> {
         let _span = mc_obs::span("hopcroft_karp_bitset");
@@ -268,6 +310,8 @@ impl HopcroftKarpBitset {
             dist: vec![INF; nl],
             seen: vec![0u64; words],
             levels: Vec::new(),
+            row_pool: Vec::new(),
+            pool_owner: Vec::new(),
             words_scanned: 0,
         };
         // All-valid-rights mask (padding bits beyond `nr` stay zero).
@@ -279,26 +323,49 @@ impl HopcroftKarpBitset {
         // scarce lefts take a right before flexible ones use it up),
         // each taking its lowest free right. Ties keep ascending index
         // order, so chain-shaped inputs still seed perfectly and
-        // deterministically. The popcount pass is one linear sweep over
-        // the row matrix, far cheaper than the phases it saves.
+        // deterministically. The popcount pass fans out over row chunks
+        // (each worker with its own scratch); chunk results concatenate
+        // in index order, so the degrees — and everything downstream —
+        // are identical to the sequential sweep.
         let mut order: Vec<u32> = (0..nl as u32).collect();
-        let mut deg: Vec<u32> = Vec::with_capacity(nl);
-        for l in 0..nl {
-            let (row, pw, pmask) = g.row_parts(l);
-            st.words_scanned += words as u64;
-            let mut count = 0u32;
-            for (wi, &w) in row.iter().enumerate() {
-                let w = if wi == pw { w & pmask } else { w };
-                count += w.count_ones();
+        let deg_parts = parallel_chunks(nl, |range| {
+            let mut scratch = vec![0u64; words];
+            let mut local: Vec<u32> = Vec::with_capacity(range.len());
+            let mut scanned = 0u64;
+            let mut cp_w = Checkpoint::new(token);
+            for l in range {
+                if cp_w.tick(words as u64).is_err() {
+                    return (local, scanned);
+                }
+                let resolved = g.resolve_row(l, &mut scratch);
+                scanned += words as u64;
+                let mut count = 0u32;
+                for (wi, &w) in resolved.row.iter().enumerate() {
+                    let w = if wi == resolved.patch_word {
+                        w & resolved.patch_mask
+                    } else {
+                        w
+                    };
+                    count += w.count_ones();
+                }
+                local.push(count);
             }
-            deg.push(count);
+            (local, scanned)
+        });
+        let mut deg: Vec<u32> = Vec::with_capacity(nl);
+        for (part, scanned) in deg_parts {
+            deg.extend(part);
+            st.words_scanned += scanned;
         }
+        token.poll()?;
         order.sort_unstable_by_key(|&l| (deg[l as usize], l));
         let mut greedy = 0u64;
+        let mut scratch = vec![0u64; words];
         for &l in &order {
             let l = l as usize;
             cp.tick(words as u64 + 1)?;
-            let (row, pw, pmask) = g.row_parts(l);
+            let resolved = g.resolve_row(l, &mut scratch);
+            let (row, pw, pmask) = (resolved.row, resolved.patch_word, resolved.patch_mask);
             for (wi, fw) in free.iter_mut().enumerate() {
                 st.words_scanned += 1;
                 let mut cand = row[wi] & *fw;
@@ -352,6 +419,16 @@ impl<'a> MatchingAlgorithm<BitsetGraph<'a>> for HopcroftKarpBitset {
     }
 
     fn solve(&self, g: &BitsetGraph<'a>) -> Matching {
+        self.solve_with_stats(g).0
+    }
+}
+
+impl<'a> MatchingAlgorithm<OracleGraph<'a>> for HopcroftKarpBitset {
+    fn name(&self) -> &'static str {
+        "hopcroft-karp-oracle"
+    }
+
+    fn solve(&self, g: &OracleGraph<'a>) -> Matching {
         self.solve_with_stats(g).0
     }
 }
@@ -486,6 +563,41 @@ mod tests {
             m.validate(&g).unwrap();
             let k = Kuhn.solve(&list);
             assert_eq!(m.size(), k.size(), "trial {trial}: sizes differ");
+        }
+    }
+
+    /// The on-demand oracle source must reproduce the materialized
+    /// matching vertex for vertex — not just the same size — across
+    /// dimensions and duplicate-heavy grids.
+    #[test]
+    fn oracle_source_matches_bitset_source_exactly() {
+        use crate::{BitsetGraph, OracleGraph};
+        use mc_geom::{DominanceIndex, PointSet, RankOracle};
+        let mut rng = StdRng::seed_from_u64(0x0DD);
+        for dim in [1usize, 2, 3, 4] {
+            for _ in 0..4 {
+                let n = rng.gen_range(1..120);
+                let rows: Vec<Vec<f64>> = (0..n)
+                    .map(|_| {
+                        (0..dim)
+                            .map(|_| rng.gen_range(0.0..4.0f64).round())
+                            .collect()
+                    })
+                    .collect();
+                let points = PointSet::from_rows(dim, &rows);
+                let index = DominanceIndex::build(&points);
+                let oracle = RankOracle::build(&points);
+                let bg = BitsetGraph::from_index(&index);
+                let og = OracleGraph::new(&oracle);
+                let (mb, sb) = HopcroftKarpBitset.solve_with_stats(&bg);
+                let (mo, so) = HopcroftKarpBitset.solve_with_stats(&og);
+                assert_eq!(mb.left_match, mo.left_match, "dim {dim} n {n}");
+                assert_eq!(mb.right_match, mo.right_match, "dim {dim} n {n}");
+                assert_eq!(sb.greedy_matched, so.greedy_matched);
+                assert_eq!(sb.rounds, so.rounds);
+                assert_eq!(sb.augmented, so.augmented);
+                mo.validate(&og).unwrap();
+            }
         }
     }
 }

@@ -11,8 +11,11 @@
 //!   no adjacency-list materialization at all;
 //! * [`HopcroftKarp`] — the `O(E·sqrt(V))` algorithm used by Lemma 6;
 //! * [`HopcroftKarpBitset`] — the same algorithm with word-parallel
-//!   BFS/DFS over [`BitsetGraph`] rows: each phase is `O(n²/64)` word
-//!   operations instead of an `O(E)` pointer walk;
+//!   BFS/DFS over bitset rows: each phase is `O(n²/64)` word
+//!   operations instead of an `O(E)` pointer walk; generic over
+//!   [`RowSource`], so rows can be materialized ([`BitsetGraph`]) or
+//!   computed on demand ([`OracleGraph`] over `mc_geom::RankOracle` —
+//!   the matrix-free path with `O(d·n)` residency);
 //! * [`Kuhn`] — an `O(V·E)` reference implementation for cross-validation;
 //! * [`minimum_vertex_cover`] — König's construction, used to certify
 //!   maximum antichains; generic over either graph representation via
@@ -36,6 +39,8 @@ pub mod hopcroft_karp;
 pub mod hopcroft_karp_bitset;
 pub mod koenig;
 pub mod kuhn;
+pub mod oracle_graph;
+pub mod row_source;
 
 pub use bitset::BitsetGraph;
 pub use graph::{BipartiteGraph, Matching};
@@ -43,6 +48,8 @@ pub use hopcroft_karp::HopcroftKarp;
 pub use hopcroft_karp_bitset::HopcroftKarpBitset;
 pub use koenig::{minimum_vertex_cover, VertexCover};
 pub use kuhn::Kuhn;
+pub use oracle_graph::OracleGraph;
+pub use row_source::{ResolvedRow, RowSource};
 
 /// Read access to a bipartite graph, abstracting over the adjacency-list
 /// ([`BipartiteGraph`]) and bitset-row ([`BitsetGraph`]) representations.

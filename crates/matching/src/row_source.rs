@@ -1,0 +1,92 @@
+//! Abstraction over bitset-row providers for the word-parallel engine.
+//!
+//! [`HopcroftKarpBitset`](crate::HopcroftKarpBitset) consumes left-side
+//! neighbourhoods as `⌈nr/64⌉`-word bitset rows. Where those words come
+//! from is the difference between the Θ(n²/64) memory wall and the
+//! matrix-free path:
+//!
+//! * [`BitsetGraph`] stores (mostly borrows) every
+//!   row up front — O(n²/64) words resident;
+//! * [`OracleGraph`](crate::OracleGraph) computes each row on demand
+//!   from `mc_geom::RankOracle` rank columns — O(d·n) words resident.
+//!
+//! [`RowSource`] is the seam between them. The engine always offers a
+//! scratch buffer when it asks for a row; materialized sources ignore
+//! it and hand back a borrow (with the single-word dup patch the
+//! `BitsetGraph` representation uses), on-demand sources fill it and
+//! report `cached = true` so the engine can reuse the buffer without
+//! recomputing while the same left vertex stays resident at that DFS
+//! depth.
+
+use crate::bitset::BitsetGraph;
+
+/// One resolved left-vertex row: the words to scan plus a single-word
+/// patch `(patch_word, patch_mask)` to AND in (identity `(0, !0)` when
+/// nothing is masked). `cached` is `true` iff the words were written
+/// into the scratch buffer the caller supplied (and can therefore be
+/// reused until the buffer is handed to a different vertex).
+pub struct ResolvedRow<'s> {
+    /// The row's words (`words()` of them).
+    pub row: &'s [u64],
+    /// Index of the word `patch_mask` applies to.
+    pub patch_word: usize,
+    /// Bits to KEEP in `row[patch_word]`; all-ones elsewhere.
+    pub patch_mask: u64,
+    /// `true` iff `row` aliases the caller's scratch buffer.
+    pub cached: bool,
+}
+
+/// A provider of left-side neighbourhood bitset rows for the
+/// word-parallel matching engine. `Sync` because the BFS fans row ORs
+/// out over `mc_geom::parallel_chunks`.
+pub trait RowSource: Sync {
+    /// Number of left vertices.
+    fn num_left(&self) -> usize;
+
+    /// Number of right vertices.
+    fn num_right(&self) -> usize;
+
+    /// Words per row: `ceil(num_right / 64)`.
+    fn words(&self) -> usize;
+
+    /// Resolves left vertex `l`'s row for scanning. `scratch` has
+    /// exactly [`words`](Self::words) words; sources that compute rows
+    /// on demand fill it and return it (`cached = true`), materialized
+    /// sources return their own storage untouched.
+    fn resolve_row<'s>(&'s self, l: usize, scratch: &'s mut [u64]) -> ResolvedRow<'s>;
+
+    /// ORs left vertex `l`'s row into `acc`, using `scratch` as working
+    /// space if the row must be computed first. Returns the number of
+    /// words charged to the scan statistics.
+    fn or_row_into(&self, l: usize, acc: &mut [u64], scratch: &mut [u64]) -> u64;
+}
+
+impl RowSource for BitsetGraph<'_> {
+    fn num_left(&self) -> usize {
+        crate::BipartiteAdjacency::num_left(self)
+    }
+
+    fn num_right(&self) -> usize {
+        crate::BipartiteAdjacency::num_right(self)
+    }
+
+    fn words(&self) -> usize {
+        BitsetGraph::words(self)
+    }
+
+    #[inline]
+    fn resolve_row<'s>(&'s self, l: usize, _scratch: &'s mut [u64]) -> ResolvedRow<'s> {
+        let (row, patch_word, patch_mask) = self.row_parts(l);
+        ResolvedRow {
+            row,
+            patch_word,
+            patch_mask,
+            cached: false,
+        }
+    }
+
+    #[inline]
+    fn or_row_into(&self, l: usize, acc: &mut [u64], _scratch: &mut [u64]) -> u64 {
+        BitsetGraph::or_row_into(self, l, acc)
+    }
+}

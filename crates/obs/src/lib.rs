@@ -33,6 +33,7 @@
 pub mod cancel;
 pub mod hist;
 pub mod json;
+pub mod mem;
 pub mod meta;
 mod registry;
 pub mod sink;
@@ -40,6 +41,7 @@ mod span;
 
 pub use cancel::{CancelCause, CancelToken, Cancelled, Checkpoint};
 pub use hist::Histogram;
+pub use mem::{peak_rss_bytes, record_peak_rss};
 pub use registry::{counter, histogram, reset, snapshot, HistStat, Snapshot, SpanStat};
 pub use span::SpanGuard;
 

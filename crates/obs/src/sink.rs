@@ -155,6 +155,7 @@ pub fn write_jsonl(
         meta = meta.str("git_sha", &sha);
     }
     meta = meta.u64("threads_available", crate::meta::available_threads());
+    meta = meta.u64("peak_rss_bytes", crate::mem::peak_rss_bytes());
     for (k, v) in extra_meta {
         meta = meta.value(k, v);
     }
@@ -248,6 +249,7 @@ mod tests {
         assert!(first.contains(r#""schema":"mc-obs/1""#));
         assert!(first.contains(r#""seed":7"#));
         assert!(first.contains(r#""tool":"test""#));
+        assert!(first.contains(r#""peak_rss_bytes":"#));
     }
 
     #[test]

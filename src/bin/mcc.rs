@@ -27,6 +27,17 @@
 //! | 5 | parameter | `--epsilon 1.5`, `--folds 1`, rates outside [0, 1] |
 //! | 6 | oracle | oracle/input size mismatch, unrecoverable oracle failure |
 //! | 7 | timeout | `--time-limit` exceeded with `--no-fallback`, solve cancelled |
+//! | 8 | budget | a dense dominator matrix would exceed `MC_MATRIX_BUDGET_BYTES` |
+//!
+//! ## Columnar datasets
+//!
+//! `mcc passive` also accepts `MCC1` columnar files (extension `.mcc`,
+//! written by `mcc generate scale`). These stream through the
+//! matrix-free rank-oracle pipeline — `O(d·n)` resident, no `Θ(n²)`
+//! structure — which is what carries the `n = 10⁷` solves; the output
+//! is the optimal weighted error and flip counts rather than a
+//! classifier file (the coordinates are never all resident, so there is
+//! nothing to anchor one on).
 
 use monotone_classification::chains::{AntichainPartition, ChainDecomposition};
 use monotone_classification::core::metrics::ConfusionMatrix;
@@ -60,6 +71,11 @@ enum CliError {
     /// The solve ran out of time (or was cancelled) and no fallback was
     /// allowed. Exit 7.
     Timeout(String),
+    /// A memory-budget refusal: the requested path would build a
+    /// dominator matrix over `MC_MATRIX_BUDGET_BYTES`. Exit 8 — distinct
+    /// from data errors so scripts can fall back to the matrix-free
+    /// path instead of rejecting the input.
+    Budget(String),
 }
 
 impl CliError {
@@ -71,6 +87,7 @@ impl CliError {
             CliError::Param(_) => 5,
             CliError::Oracle(_) => 6,
             CliError::Timeout(_) => 7,
+            CliError::Budget(_) => 8,
         }
     }
 
@@ -81,7 +98,8 @@ impl CliError {
             | CliError::Data(m)
             | CliError::Param(m)
             | CliError::Oracle(m)
-            | CliError::Timeout(m) => m,
+            | CliError::Timeout(m)
+            | CliError::Budget(m) => m,
         }
     }
 }
@@ -95,6 +113,7 @@ impl From<McError> for CliError {
                 CliError::Oracle(e.to_string())
             }
             McError::Timeout | McError::Cancelled => CliError::Timeout(e.to_string()),
+            McError::Budget { .. } => CliError::Budget(e.to_string()),
         }
     }
 }
@@ -120,6 +139,9 @@ const USAGE: &str = "usage:
                [--portfolio] [--engines e1,e2,...] [--time-limit SECS] [--no-fallback]
                engines: auto-dinic | sparse-dinic | dense-dinic | sparse-pr
                         | dense-pr | panic | hang   (MC_PORTFOLIO env also accepted)
+  mcc passive  <data.mcc> [--trace] [--metrics-out metrics.jsonl] [--time-limit SECS]
+               columnar MCC1 input: streams the matrix-free solve, prints
+               error and flip counts (no classifier output at scale)
   mcc active   <data.csv> [--epsilon E] [--seed S] [--out classifier.csv]
                [--flaky-rate P] [--abstain-rate P] [--retry-attempts N]
                [--fault-seed S] [--trace] [--metrics-out metrics.jsonl]
@@ -128,7 +150,9 @@ const USAGE: &str = "usage:
   mcc crossval <data.csv> [--folds K] [--seed S]
   mcc certify  <data.csv> [--weighted]
   mcc generate <family> <out.csv> [--n N] [--noise P] [--seed S]
-               families: planted | entity-matching | hard-family | width-W";
+               families: planted | entity-matching | hard-family | width-W
+  mcc generate scale <out.mcc> [--n N] [--dim D] [--seed S]
+               columnar MCC1 banded scale workload (streamed; any N)";
 
 fn run(args: &[String]) -> Result<(), CliError> {
     let command = args
@@ -290,6 +314,9 @@ fn cmd_passive(args: &[String]) -> Result<(), CliError> {
         })?,
         None => NetworkStrategy::Auto,
     };
+    if path.ends_with(".mcc") {
+        return cmd_passive_columnar(path, &values, &flags, &obs_out, network);
+    }
     let text = read_file(path)?;
     let weighted = if flags.contains(&"weighted".to_string()) {
         csv::parse_weighted(&text).map_err(|e| CliError::Data(e.to_string()))?
@@ -357,7 +384,9 @@ fn cmd_passive(args: &[String]) -> Result<(), CliError> {
         )?;
         out.solution
     } else {
-        let sol = PassiveSolver::new().with_network(network).solve(&weighted);
+        let sol = PassiveSolver::new()
+            .with_network(network)
+            .try_solve(&weighted)?;
         obs_out.finish(
             &[
                 ("tool", Value::S("mcc passive".into())),
@@ -380,6 +409,108 @@ fn cmd_passive(args: &[String]) -> Result<(), CliError> {
         write_file(&out, &csv::classifier_to_csv(&sol.classifier))?;
         println!("wrote classifier to {out}");
     }
+    Ok(())
+}
+
+/// Maps a columnar-format error onto the CLI's exit classes: real
+/// filesystem trouble is I/O, everything else (bad magic, truncation,
+/// bad labels/weights, non-finite coordinates) is a data error.
+fn columnar_err(e: monotone_classification::data::columnar::ColumnarError) -> CliError {
+    use monotone_classification::data::columnar::ColumnarError;
+    match e {
+        ColumnarError::Io(_) => CliError::Io(e.to_string()),
+        _ => CliError::Data(e.to_string()),
+    }
+}
+
+/// The `n = 10⁷` path: streams an `MCC1` file through the matrix-free
+/// rank-oracle pipeline. Residency is `O(d·n)` (the rank table, labels,
+/// weights, and one column buffer during the build) — no dominator
+/// matrix, no row-major coordinate set — so the only outputs are the
+/// optimal error and the solve's shape, not a classifier file.
+fn cmd_passive_columnar(
+    path: &str,
+    values: &[(String, String)],
+    flags: &[String],
+    obs_out: &ObsOutput,
+    network: NetworkStrategy,
+) -> Result<(), CliError> {
+    use monotone_classification::core::passive::solve_passive_scale_cancellable;
+    use monotone_classification::data::columnar::ColumnarDataset;
+    if get_value(values, "out").is_some() {
+        return Err(CliError::Usage(
+            "--out: columnar solves report counts, not a classifier \
+             (the coordinates are never all resident)"
+                .into(),
+        ));
+    }
+    if flags.contains(&"portfolio".to_string()) || get_value(values, "engines").is_some() {
+        return Err(CliError::Usage(
+            "--portfolio/--engines need row data; columnar files use the streaming solver".into(),
+        ));
+    }
+    if network == NetworkStrategy::Dense {
+        return Err(CliError::Usage(
+            "--net dense would build the Θ(n²) matrix; columnar files stream the \
+             matrix-free path (use auto)"
+                .into(),
+        ));
+    }
+    let token = match get_value(values, "time-limit") {
+        Some(v) => {
+            let secs: f64 = v
+                .parse()
+                .ok()
+                .filter(|s: &f64| s.is_finite() && *s > 0.0)
+                .ok_or_else(|| {
+                    CliError::Param(format!(
+                        "--time-limit: expected positive seconds, got {v:?}"
+                    ))
+                })?;
+            monotone_classification::obs::CancelToken::with_deadline(
+                std::time::Duration::from_secs_f64(secs),
+            )
+        }
+        None => monotone_classification::obs::CancelToken::never(),
+    };
+    let start = std::time::Instant::now();
+    let mut ds = ColumnarDataset::open(path).map_err(columnar_err)?;
+    let (n, d) = (ds.len(), ds.dim());
+    let table = ds.rank_table().map_err(columnar_err)?;
+    let labels = ds.read_labels().map_err(columnar_err)?;
+    let weights = ds.read_weights().map_err(columnar_err)?;
+    drop(ds);
+    let load_secs = start.elapsed().as_secs_f64();
+    let sol = solve_passive_scale_cancellable(&table, &labels, &weights, &token)?;
+    let total_secs = start.elapsed().as_secs_f64();
+    println!(
+        "n = {n}, d = {d}, contending = {} ({} label-0, {} label-1)",
+        sol.contending_zeros + sol.contending_ones,
+        sol.contending_zeros,
+        sol.contending_ones
+    );
+    println!("optimal weighted error = {}", sol.weighted_error);
+    println!(
+        "flips: {} zeros -> 1, {} ones -> 0; dominance width = {}",
+        sol.flips_to_one, sol.flips_to_zero, sol.width
+    );
+    println!(
+        "network: {} nodes, {} edges",
+        sol.network_nodes, sol.network_edges
+    );
+    println!(
+        "load {load_secs:.2}s, total {total_secs:.2}s, peak rss {} MiB",
+        sol.report.peak_rss_bytes / (1 << 20)
+    );
+    obs_out.finish(
+        &[
+            ("tool", Value::S("mcc passive".into())),
+            ("format", Value::S("columnar".into())),
+            ("n", Value::U(n as u64)),
+            ("d", Value::U(d as u64)),
+        ],
+        &[sol.report.to_json()],
+    )?;
     Ok(())
 }
 
@@ -621,13 +752,28 @@ fn cmd_crossval(args: &[String]) -> Result<(), CliError> {
 
 fn cmd_generate(args: &[String]) -> Result<(), CliError> {
     use monotone_classification::data as mcd;
-    let (pos, values, _) = parse_flags(args, &["n", "noise", "seed"], &[])?;
+    let (pos, values, _) = parse_flags(args, &["n", "noise", "seed", "dim"], &[])?;
     let [family, out] = pos.as_slice() else {
         return Err(CliError::Usage("generate: need <family> <out.csv>".into()));
     };
     let n: usize = parse_num(&values, "n", 1000)?;
     let noise: f64 = parse_num(&values, "noise", 0.05)?;
     let seed: u64 = parse_num(&values, "seed", 0)?;
+    if family == "scale" {
+        // Columnar: streamed one column at a time, so any n works
+        // without holding the dataset resident.
+        let dim: usize = parse_num(&values, "dim", 4)?;
+        if dim == 0 || dim > mcd::columnar::MAX_DIM as usize {
+            return Err(CliError::Param(format!(
+                "--dim must lie in 1 ..= {}, got {dim}",
+                mcd::columnar::MAX_DIM
+            )));
+        }
+        let config = mcd::columnar::ScaleConfig::new(n, dim, seed);
+        mcd::columnar::write_scale_dataset(out, &config).map_err(columnar_err)?;
+        println!("wrote {n} points (d = {dim}) of family scale to {out}");
+        return Ok(());
+    }
     let data = match family.as_str() {
         "planted" => {
             mcd::planted::planted_sum_concept(&mcd::planted::PlantedConfig::new(n, 2, noise, seed))
@@ -751,6 +897,7 @@ mod tests {
             CliError::Param(String::new()),
             CliError::Oracle(String::new()),
             CliError::Timeout(String::new()),
+            CliError::Budget(String::new()),
         ];
         let mut codes: Vec<u8> = errors.iter().map(|e| e.exit_code()).collect();
         codes.sort_unstable();
@@ -773,5 +920,13 @@ mod tests {
         assert_eq!(e.exit_code(), 7);
         let e: CliError = McError::Cancelled.into();
         assert_eq!(e.exit_code(), 7);
+        let e: CliError = McError::Budget {
+            points: 100_000,
+            required_bytes: 1_250_200_000,
+            budget_bytes: 1_000_000,
+        }
+        .into();
+        assert_eq!(e.exit_code(), 8);
+        assert!(e.message().contains("MC_MATRIX_BUDGET_BYTES"));
     }
 }
