@@ -149,6 +149,75 @@ fn parity_section() -> String {
     )
 }
 
+/// Live-telemetry overhead: the same streamed solve with collection off
+/// vs with the 100 ms sampler running (progress gauges, live RSS,
+/// active-span sampling). Guards the "< 2% at the default cadence"
+/// promise in docs/OBSERVABILITY.md; `MC_BENCH_TELEMETRY_N` overrides
+/// the instance size (CI smoke runs it small).
+fn telemetry_section() -> String {
+    let n: usize = std::env::var("MC_BENCH_TELEMETRY_N")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(1_000_000);
+    let reps = 3;
+    let config = ScaleConfig::new(n, 4, 0x5CA1E);
+    let path = temp_path("telemetry");
+    write_scale_dataset(&path, &config).expect("write telemetry dataset");
+    let mut ds = ColumnarDataset::open(&path).expect("open telemetry dataset");
+    let table = ds.rank_table().expect("rank table");
+    let labels = ds.read_labels().expect("labels");
+    let weights = ds.read_weights().expect("weights");
+    drop(ds);
+    std::fs::remove_file(&path).ok();
+
+    let plain = time_runs(reps, || solve_passive_scale(&table, &labels, &weights));
+
+    let ts_path = {
+        let mut p = std::env::temp_dir();
+        p.push(format!("mc_bench_scale_{}_ts.jsonl", std::process::id()));
+        p
+    };
+    let prev_level = mc_obs::level();
+    mc_obs::set_level(mc_obs::Level::Info);
+    let mut sampler = mc_obs::telemetry::SamplerConfig::new(&ts_path);
+    sampler.interval = Duration::from_millis(100);
+    assert!(
+        mc_obs::telemetry::start(sampler).expect("start sampler"),
+        "a sampler was already running"
+    );
+    let sampled = time_runs(reps, || solve_passive_scale(&table, &labels, &weights));
+    mc_obs::telemetry::stop();
+    mc_obs::set_level(prev_level);
+    let samples = std::fs::read_to_string(&ts_path)
+        .map(|t| {
+            t.lines()
+                .filter(|l| l.contains(r#""type":"sample""#))
+                .count()
+        })
+        .unwrap_or(0);
+    std::fs::remove_file(&ts_path).ok();
+
+    let overhead = sampled.as_secs_f64() / plain.as_secs_f64() - 1.0;
+    println!(
+        "scale/telemetry: n = {n} | plain {plain:?} -> sampled {sampled:?} \
+         ({:+.2}% overhead, {samples} samples at 100 ms)",
+        overhead * 1e2
+    );
+    format!(
+        r#"{{
+    "n": {n},
+    "reps": {reps},
+    "interval_ms": 100,
+    "plain_solve_ms": {:.1},
+    "sampled_solve_ms": {:.1},
+    "overhead_frac": {overhead:.4},
+    "samples": {samples}
+  }}"#,
+        plain.as_secs_f64() * 1e3,
+        sampled.as_secs_f64() * 1e3,
+    )
+}
+
 /// One streamed solve at `n`: generate → load (rank table + labels +
 /// weights) → solve, timing each leg and recording the process peak RSS
 /// after the solve (sizes run ascending, so each entry's RSS is set by
@@ -220,6 +289,7 @@ fn record_scale(_c: &mut Criterion) {
     let kernel_json = kernel_section();
     let size_entries: Vec<String> = sizes.iter().map(|&n| size_entry(n)).collect();
     let parity_json = parity_section();
+    let telemetry_json = telemetry_section();
 
     let mut json = String::from("{\n  \"bench\": \"scale\",\n");
     let _ = writeln!(
@@ -230,6 +300,7 @@ fn record_scale(_c: &mut Criterion) {
     );
     let _ = writeln!(json, "  \"kernel\": {kernel_json},");
     let _ = writeln!(json, "  \"parity\": {parity_json},");
+    let _ = writeln!(json, "  \"telemetry\": {telemetry_json},");
     let _ = writeln!(
         json,
         "  \"sizes\": [\n    {}\n  ]\n}}",

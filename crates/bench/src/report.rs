@@ -224,6 +224,7 @@ mod tests {
             hists: vec![],
             events: vec![],
             events_dropped: 0,
+            active: vec![],
         };
         let doc = experiment_json("E1-theorem1", 12345, 2, &snap);
         assert!(doc.contains("\"name\":\"E1-theorem1\""), "{doc}");

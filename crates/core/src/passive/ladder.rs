@@ -130,7 +130,11 @@ pub(crate) fn build_ladder_network_cancellable(
     // builder's row-AND semantics on duplicates).
     let cols: Vec<&[u32]> = (0..index.dim()).map(|k| index.rank_column(k)).collect();
     let dominates = |p: usize, q: usize| cols.iter().all(|c| c[p] >= c[q]);
-    let mut cp = Checkpoint::new(token);
+    let mut cp = Checkpoint::with_progress(
+        token,
+        "ladder_build",
+        con.zeros.len() as u64 * dec.chains().len() as u64,
+    );
     for (zi, &p) in con.zeros.iter().enumerate() {
         for (c, chain) in dec.chains().iter().enumerate() {
             cp.tick(1)?;
@@ -271,7 +275,9 @@ pub(crate) fn discover_and_build_from_table_cancellable(
     let sweep: Vec<SweepChunk> = parallel_chunks(zeros.len(), |range| {
         let mut hits_out: Vec<(usize, Vec<(u32, u32)>)> = Vec::new();
         let mut local_max = vec![0usize; width];
-        let mut cp = Checkpoint::new(token);
+        // Every worker passes the same global total (one unit per zero),
+        // so `progress.ladder_sweep.frac` is exact for the sweep.
+        let mut cp = Checkpoint::with_progress(token, "ladder_sweep", zeros.len() as u64);
         for zi in range {
             if cp.tick(1).is_err() {
                 break; // partial chunk; the caller polls and bails
@@ -365,7 +371,8 @@ pub(crate) fn discover_and_build_from_table_cancellable(
         rung_edges += (2 * ladder.len()).saturating_sub(1) as u64;
         rungs.push(ladder);
     }
-    let mut cp = Checkpoint::new(token);
+    let total_hits: u64 = zero_hits.iter().map(|h| h.len() as u64).sum();
+    let mut cp = Checkpoint::with_progress(token, "ladder_wire", total_hits);
     for (zi, hits) in zero_hits.iter().enumerate() {
         for &(c, cnt) in hits {
             cp.tick(1)?;

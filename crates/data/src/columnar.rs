@@ -242,9 +242,19 @@ impl ColumnarDataset {
     pub fn rank_table(&mut self) -> Result<RankTable, ColumnarError> {
         let mut ranks: Vec<u32> = Vec::with_capacity(self.dim * self.n);
         let mut column: Vec<f64> = Vec::new();
+        // Progress only — loading is not cancellable, so the checkpoint
+        // rides a never-token and just publishes one unit per value
+        // streamed into `progress.columnar_load.*`.
+        let token = mc_obs::CancelToken::never();
+        let mut cp = mc_obs::Checkpoint::with_progress(
+            &token,
+            "columnar_load",
+            self.dim as u64 * self.n as u64,
+        );
         for k in 0..self.dim {
             self.read_column_into(k, &mut column)?;
             ranks.extend(compress_column_ranks(&column));
+            let _ = cp.tick(self.n as u64);
         }
         Ok(RankTable::from_rank_columns(self.n, self.dim, ranks))
     }

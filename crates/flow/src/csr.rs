@@ -194,7 +194,10 @@ impl DinicEngine {
         self.level.resize(n, -1);
         self.arc.clear();
         self.arc.resize(n, 0);
-        let mut cp = Checkpoint::new(token);
+        // One BFS sweep over the residual edges is the natural unit of
+        // the work estimate; later rounds push `frac` toward (and cap
+        // at) 1, which still reads correctly as "nearly done".
+        let mut cp = Checkpoint::with_progress(token, "maxflow", residual.len() as u64);
         let mut added = 0.0;
         while self.build_levels(g, source, sink, residual, &mut cp)? {
             self.bfs_rounds += 1;

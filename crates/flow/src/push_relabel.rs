@@ -45,7 +45,9 @@ impl MaxFlowAlgorithm for PushRelabel {
         let mut relabels = 0u64;
         let mut discharges = 0u64;
         let mut gap_lifts = 0u64;
-        let mut cp = Checkpoint::new(token);
+        // Discharge work scales with edges; one full pass seeds the
+        // estimate and later passes saturate `frac` at 1.
+        let mut cp = Checkpoint::with_progress(token, "maxflow", net.num_edges() as u64);
         let (mut residual, surrogate) = net.initial_residuals();
         // Discharge loops revisit adjacency constantly; run them over the
         // frozen CSR slices rather than the nested build-time Vecs.

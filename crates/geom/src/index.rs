@@ -735,8 +735,10 @@ fn fill_bits_generic(
     parallel_chunks_mut(bits, words, |rows, out| {
         // Each worker carries its own checkpoint and abandons the rest
         // of its chunk once the shared token trips; the caller's poll
-        // after the join turns the partial fill into an error.
-        let mut cp = Checkpoint::new(token);
+        // after the join turns the partial fill into an error. Workers
+        // tick one unit per word written against the shared n×words
+        // total, so `progress.index_build.frac` is exact.
+        let mut cp = Checkpoint::with_progress(token, "index_build", n as u64 * words as u64);
         for (local, i) in rows.enumerate() {
             if cp.tick(words as u64).is_err() {
                 return;

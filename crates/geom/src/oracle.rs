@@ -33,7 +33,7 @@
 use crate::dataset::PointSet;
 use crate::index::{duplicate_groups, try_compress_ranks, RankTable};
 use crate::kernel::{self, BLOCK_RANKS, LANES};
-use mc_obs::cancel::{CancelToken, Cancelled};
+use mc_obs::cancel::{CancelToken, Cancelled, Checkpoint};
 
 /// On-demand dominator-row oracle; see the module docs.
 #[derive(Debug, Clone)]
@@ -88,8 +88,11 @@ impl RankOracle {
         let m = indices.len();
         let dim = table.dim();
         let mut ranks = vec![0u32; dim * m];
+        // One unit per gathered rank, so `progress.oracle_build.frac`
+        // tracks the narrowing gather exactly.
+        let mut cp = Checkpoint::with_progress(token, "oracle_build", (dim * m) as u64);
         for k in 0..dim {
-            token.poll()?;
+            cp.tick(m as u64)?;
             let col = table.column(k);
             let sub = &mut ranks[k * m..(k + 1) * m];
             for (local, &g) in indices.iter().enumerate() {

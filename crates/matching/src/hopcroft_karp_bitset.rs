@@ -299,10 +299,12 @@ impl HopcroftKarpBitset {
     ) -> Result<(Matching, MatchingStats), mc_obs::Cancelled> {
         let _span = mc_obs::span("hopcroft_karp_bitset");
         token.poll()?;
-        let mut cp = mc_obs::Checkpoint::new(token);
         let nl = g.num_left();
         let nr = g.num_right();
         let words = g.words();
+        // One full row sweep (the degree pass) is the work estimate;
+        // BFS/DFS rounds beyond it saturate `frac` at 1.
+        let mut cp = mc_obs::Checkpoint::with_progress(token, "matching", nl as u64 * words as u64);
         let mut st = State {
             g,
             left_match: vec![None; nl],
@@ -332,7 +334,9 @@ impl HopcroftKarpBitset {
             let mut scratch = vec![0u64; words];
             let mut local: Vec<u32> = Vec::with_capacity(range.len());
             let mut scanned = 0u64;
-            let mut cp_w = Checkpoint::new(token);
+            // Workers contribute units to the same phase; a zero hint
+            // leaves the total set by the owning solve.
+            let mut cp_w = Checkpoint::with_progress(token, "matching", 0);
             for l in range {
                 if cp_w.tick(words as u64).is_err() {
                     return (local, scanned);

@@ -41,6 +41,7 @@
 //! }
 //! ```
 
+use crate::registry::{progress_cell, ProgressCell};
 use std::sync::atomic::{AtomicU8, Ordering::Relaxed};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -193,11 +194,21 @@ impl CancelToken {
 ///
 /// Deliberately *not* `Clone`: each worker loop owns its own checkpoint
 /// so the unit counters never contend.
+///
+/// With [`with_progress`](Self::with_progress), the checkpoint also
+/// publishes the units it has counted into a shared per-phase
+/// [`ProgressCell`] — but only on the existing slow path (once per
+/// [`CHECK_INTERVAL`] units) and on drop, so live progress reporting
+/// costs the hot loop nothing beyond the subtract-and-branch it already
+/// pays for cancellation.
 #[derive(Debug)]
 pub struct Checkpoint<'t> {
     token: &'t CancelToken,
     /// Units until the next poll (counts down; ≤ 0 triggers).
     budget: i64,
+    /// Shared progress cell to flush spent units into (`None` unless
+    /// collection was enabled at construction).
+    progress: Option<&'static ProgressCell>,
 }
 
 impl<'t> Checkpoint<'t> {
@@ -206,6 +217,33 @@ impl<'t> Checkpoint<'t> {
         Self {
             token,
             budget: CHECK_INTERVAL as i64,
+            progress: None,
+        }
+    }
+
+    /// A checkpoint that additionally publishes its ticked units as
+    /// `progress.<phase>.units`, with `total_hint` seeding the phase's
+    /// work-budget estimate. The first nonzero hint of an epoch wins
+    /// and later hints are ignored: a stable total keeps the derived
+    /// `progress.<phase>.frac` monotone, which the stall watchdog and
+    /// the CI telemetry smoke rely on (parallel workers all pass the
+    /// same global total, so "first wins" is not a race in practice).
+    /// When collection is disabled this is exactly [`new`](Self::new):
+    /// no cell is touched and the single-relaxed-load discipline holds.
+    pub fn with_progress(token: &'t CancelToken, phase: &'static str, total_hint: u64) -> Self {
+        let progress = if crate::enabled() {
+            let cell = progress_cell(phase);
+            if total_hint > 0 {
+                let _ = cell.total.compare_exchange(0, total_hint, Relaxed, Relaxed);
+            }
+            Some(cell)
+        } else {
+            None
+        };
+        Self {
+            token,
+            budget: CHECK_INTERVAL as i64,
+            progress,
         }
     }
 
@@ -216,10 +254,30 @@ impl<'t> Checkpoint<'t> {
     pub fn tick(&mut self, units: u64) -> Result<(), Cancelled> {
         self.budget -= units as i64;
         if self.budget <= 0 {
+            self.flush_spent();
             self.budget = CHECK_INTERVAL as i64;
             self.token.poll()?;
         }
         Ok(())
+    }
+
+    /// Publishes the units consumed since the last flush (runs only on
+    /// the slow path and on drop, never per tick).
+    #[cold]
+    fn flush_spent(&self) {
+        if let Some(cell) = self.progress {
+            let spent = CHECK_INTERVAL as i64 - self.budget;
+            if spent > 0 {
+                cell.done.fetch_add(spent as u64, Relaxed);
+            }
+        }
+    }
+}
+
+impl Drop for Checkpoint<'_> {
+    fn drop(&mut self) {
+        // Flush the sub-interval remainder so short loops still report.
+        self.flush_spent();
     }
 }
 
@@ -306,6 +364,75 @@ mod tests {
         t.cancel();
         let mut cp = Checkpoint::new(&t);
         assert!(cp.tick(CHECK_INTERVAL * 10).is_err());
+    }
+
+    #[test]
+    fn oversized_ticks_on_live_token_flush_progress() {
+        let _l = crate::registry::test_lock();
+        let prev = crate::level();
+        crate::set_level(crate::Level::Info);
+        crate::reset();
+        let t = CancelToken::new();
+        {
+            let mut cp = Checkpoint::with_progress(&t, "test_cancel_oversized", CHECK_INTERVAL * 8);
+            // A tick far past the interval polls (live token: Ok) and
+            // flushes the full spent amount, not one interval's worth.
+            assert!(cp.tick(CHECK_INTERVAL * 10).is_ok());
+        } // drop flushes any sub-interval remainder
+        let cell = progress_cell("test_cancel_oversized");
+        assert_eq!(cell.done.load(Relaxed), CHECK_INTERVAL * 10);
+        assert_eq!(cell.total.load(Relaxed), CHECK_INTERVAL * 8);
+        // done > total still reports frac = 1 (capped), keeping the
+        // derived gauge monotone for the watchdog.
+        let snap = crate::snapshot();
+        let frac = snap
+            .gauges
+            .iter()
+            .find(|(n, _)| n == "progress.test_cancel_oversized.frac")
+            .expect("frac gauge published")
+            .1;
+        assert_eq!(frac, 1.0);
+        crate::set_level(prev);
+        crate::reset();
+    }
+
+    #[test]
+    fn first_nonzero_total_hint_wins() {
+        let _l = crate::registry::test_lock();
+        let prev = crate::level();
+        crate::set_level(crate::Level::Info);
+        crate::reset();
+        let t = CancelToken::new();
+        let _a = Checkpoint::with_progress(&t, "test_cancel_hint", 100);
+        let _b = Checkpoint::with_progress(&t, "test_cancel_hint", 999); // ignored
+        let _c = Checkpoint::with_progress(&t, "test_cancel_hint", 0); // no-op hint
+        assert_eq!(progress_cell("test_cancel_hint").total.load(Relaxed), 100);
+        crate::set_level(prev);
+        crate::reset();
+    }
+
+    #[test]
+    fn with_progress_is_inert_when_collection_is_off() {
+        let _l = crate::registry::test_lock();
+        let prev = crate::level();
+        crate::set_level(crate::Level::Warn);
+        crate::reset();
+        let t = CancelToken::new();
+        {
+            let mut cp = Checkpoint::with_progress(&t, "test_cancel_gated", CHECK_INTERVAL);
+            assert!(cp.tick(CHECK_INTERVAL * 2).is_ok());
+        }
+        // The phase cell was never registered, let alone written.
+        let snap = crate::snapshot();
+        assert!(
+            !snap
+                .gauges
+                .iter()
+                .any(|(n, _)| n.starts_with("progress.test_cancel_gated")),
+            "disabled checkpoint leaked progress gauges"
+        );
+        crate::set_level(prev);
+        crate::reset();
     }
 
     #[test]

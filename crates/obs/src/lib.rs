@@ -7,7 +7,9 @@
 //! [warnings](warn_once), all feeding a single thread-safe global
 //! registry. Two sinks render a [`Snapshot`]: a human-readable phase
 //! tree ([`sink::render_phase_tree`]) and a JSON-lines stream
-//! ([`sink::write_jsonl`]).
+//! ([`sink::write_jsonl`]). For long solves, the [`telemetry`] module
+//! adds a live time-series sampler, a flight-recorder ring, and a
+//! progress/stall watchdog on top of the same registry.
 //!
 //! # Enabling
 //!
@@ -38,11 +40,14 @@ pub mod meta;
 mod registry;
 pub mod sink;
 mod span;
+pub mod telemetry;
 
 pub use cancel::{CancelCause, CancelToken, Cancelled, Checkpoint};
 pub use hist::Histogram;
-pub use mem::{peak_rss_bytes, record_peak_rss};
-pub use registry::{counter, histogram, reset, snapshot, HistStat, Snapshot, SpanStat};
+pub use mem::{current_rss_bytes, peak_rss_bytes, record_peak_rss};
+pub use registry::{
+    counter, histogram, progress_cell, reset, snapshot, HistStat, ProgressCell, Snapshot, SpanStat,
+};
 pub use span::SpanGuard;
 
 use json::{Obj, Value};

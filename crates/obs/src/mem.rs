@@ -1,28 +1,56 @@
-//! Peak-memory introspection for scale runs.
+//! Memory introspection for scale runs and live telemetry.
 //!
-//! The scale benches (and the CI memory-budget assert) need to know the
-//! process's high-water resident set without any profiler attached. On
-//! Linux the kernel tracks it for free: `VmHWM` in `/proc/self/status`
-//! is the peak RSS in kB since process start (or the last reset via
-//! `/proc/self/clear_refs`, which we never touch). Elsewhere there is
-//! no portable zero-dependency source, so [`peak_rss_bytes`] returns 0
-//! and consumers treat the measurement as unavailable.
+//! The scale benches (and the CI memory-budget assert) need the
+//! process's high-water resident set, and the telemetry sampler needs
+//! the *current* resident set, without any profiler attached. On Linux
+//! the kernel tracks both for free: `VmHWM` and `VmRSS` in
+//! `/proc/self/status` (kB; `VmHWM` is the peak since process start or
+//! the last reset via `/proc/self/clear_refs`, which we never touch).
+//!
+//! # Platform behavior
+//!
+//! Elsewhere there is no portable zero-dependency source, so both
+//! readings return 0 and a one-shot warning
+//! (`mem.proc_status_unavailable`) is emitted the first time a reading
+//! is attempted — consumers treat 0 as "measurement unavailable", never
+//! as a real size. The same warning fires on Linux if
+//! `/proc/self/status` cannot be read or parsed (e.g. a hardened
+//! sandbox masking `/proc`).
+
+/// Reads `/proc/self/status`, warning once per process when it is
+/// unavailable (off-Linux, or `/proc` masked).
+fn proc_self_status() -> Option<String> {
+    #[cfg(target_os = "linux")]
+    let status = std::fs::read_to_string("/proc/self/status").ok();
+    #[cfg(not(target_os = "linux"))]
+    let status: Option<String> = None;
+    if status.is_none() {
+        crate::warn_once(
+            "mem.proc_status_unavailable",
+            "/proc/self/status unavailable on this platform; \
+             RSS gauges will read 0 (measurement unavailable)",
+        );
+    }
+    status
+}
 
 /// The process's peak resident set size in bytes: `VmHWM` from
-/// `/proc/self/status` on Linux, 0 on other platforms (and on any
-/// read/parse failure — the measurement is best-effort by design).
+/// `/proc/self/status` on Linux; 0 (plus a one-shot warning) when the
+/// source is unavailable — the measurement is best-effort by design.
 pub fn peak_rss_bytes() -> u64 {
-    #[cfg(target_os = "linux")]
-    {
-        std::fs::read_to_string("/proc/self/status")
-            .ok()
-            .and_then(|s| parse_vm_hwm(&s))
-            .unwrap_or(0)
-    }
-    #[cfg(not(target_os = "linux"))]
-    {
-        0
-    }
+    proc_self_status()
+        .and_then(|s| parse_kb_field(&s, "VmHWM:"))
+        .unwrap_or(0)
+}
+
+/// The process's *current* resident set size in bytes: `VmRSS` from
+/// `/proc/self/status` on Linux; 0 (plus a one-shot warning) when the
+/// source is unavailable. Sampled live by the telemetry stream, where
+/// peak-only numbers would hide deallocation phases.
+pub fn current_rss_bytes() -> u64 {
+    proc_self_status()
+        .and_then(|s| parse_kb_field(&s, "VmRSS:"))
+        .unwrap_or(0)
 }
 
 /// Reads the peak RSS and publishes it as the `mem.peak_rss_bytes`
@@ -35,12 +63,11 @@ pub fn record_peak_rss() -> u64 {
     bytes
 }
 
-/// Extracts `VmHWM:  <n> kB` from a `/proc/self/status` dump.
-#[cfg_attr(not(target_os = "linux"), allow(dead_code))]
-fn parse_vm_hwm(status: &str) -> Option<u64> {
-    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+/// Extracts `<key>  <n> kB` from a `/proc/self/status` dump.
+fn parse_kb_field(status: &str, key: &str) -> Option<u64> {
+    let line = status.lines().find(|l| l.starts_with(key))?;
     let kb: u64 = line
-        .strip_prefix("VmHWM:")?
+        .strip_prefix(key)?
         .trim()
         .trim_end_matches("kB")
         .trim()
@@ -54,17 +81,21 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parses_vm_hwm_line() {
+    fn parses_kb_fields() {
         let status = "Name:\tmcc\nVmPeak:\t  999 kB\nVmHWM:\t  123456 kB\nVmRSS:\t 5 kB\n";
-        assert_eq!(parse_vm_hwm(status), Some(123456 * 1024));
-        assert_eq!(parse_vm_hwm("Name:\tmcc\n"), None);
-        assert_eq!(parse_vm_hwm("VmHWM:\tgarbage kB\n"), None);
+        assert_eq!(parse_kb_field(status, "VmHWM:"), Some(123456 * 1024));
+        assert_eq!(parse_kb_field(status, "VmRSS:"), Some(5 * 1024));
+        assert_eq!(parse_kb_field("Name:\tmcc\n", "VmHWM:"), None);
+        assert_eq!(parse_kb_field("VmHWM:\tgarbage kB\n", "VmHWM:"), None);
     }
 
     #[test]
     #[cfg(target_os = "linux")]
-    fn linux_reports_nonzero_peak() {
+    fn linux_reports_nonzero_rss() {
         // Any live process has touched at least a page.
         assert!(peak_rss_bytes() > 0);
+        assert!(current_rss_bytes() > 0);
+        // Peak is at least the current resident set.
+        assert!(peak_rss_bytes() >= current_rss_bytes());
     }
 }

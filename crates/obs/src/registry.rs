@@ -24,17 +24,35 @@ pub const MAX_EVENTS: usize = 4096;
 #[derive(Debug)]
 pub(crate) struct SpanNode {
     pub name: &'static str,
+    pub parent: usize,
     pub children: Vec<usize>,
     pub calls: u64,
     pub total_ns: u64,
+}
+
+/// Live progress of one instrumented phase: work units completed and the
+/// (best-known) total. Leaked `'static` like counters, so hot loops can
+/// update it with relaxed atomics and no lock. `done` only accumulates
+/// within an epoch, which makes the derived `frac` monotone — exactly
+/// what the stall watchdog and the telemetry smoke test rely on.
+#[derive(Debug, Default)]
+pub struct ProgressCell {
+    /// Work units completed so far.
+    pub done: AtomicU64,
+    /// Best-known total work (0 = unknown; `frac` is then unreported).
+    pub total: AtomicU64,
 }
 
 pub(crate) struct Inner {
     pub counters: BTreeMap<&'static str, &'static AtomicU64>,
     pub gauges: BTreeMap<&'static str, f64>,
     pub hists: BTreeMap<&'static str, &'static Histogram>,
+    /// Per-phase progress cells, keyed by phase name.
+    pub progress: BTreeMap<&'static str, &'static ProgressCell>,
     /// Span forest; node 0 is the synthetic root (never reported).
     pub nodes: Vec<SpanNode>,
+    /// Innermost open span per live thread: tid → (epoch, node).
+    pub active: BTreeMap<u64, (u64, usize)>,
     /// Pre-rendered JSON event lines.
     pub events: Vec<String>,
     pub events_dropped: u64,
@@ -52,12 +70,15 @@ impl Inner {
             counters: BTreeMap::new(),
             gauges: BTreeMap::new(),
             hists: BTreeMap::new(),
+            progress: BTreeMap::new(),
             nodes: vec![SpanNode {
                 name: "",
+                parent: 0,
                 children: Vec::new(),
                 calls: 0,
                 total_ns: 0,
             }],
+            active: BTreeMap::new(),
             events: Vec::new(),
             events_dropped: 0,
             warned: BTreeSet::new(),
@@ -77,6 +98,7 @@ impl Inner {
         let id = self.nodes.len();
         self.nodes.push(SpanNode {
             name,
+            parent,
             children: Vec::new(),
             calls: 0,
             total_ns: 0,
@@ -91,6 +113,46 @@ impl Inner {
         } else {
             self.events_dropped += 1;
         }
+    }
+
+    /// Slash-joined path of span node `id` (walking parent links up to
+    /// the synthetic root).
+    pub fn node_path(&self, id: usize) -> String {
+        let mut parts = Vec::new();
+        let mut cur = id;
+        while cur != 0 {
+            parts.push(self.nodes[cur].name);
+            cur = self.nodes[cur].parent;
+        }
+        parts.reverse();
+        parts.join("/")
+    }
+
+    /// Appends the progress-derived gauges (`progress.<phase>.units` and,
+    /// when the total is known, `progress.<phase>.frac`) to `out`.
+    pub fn progress_gauges(&self, out: &mut Vec<(String, f64)>) {
+        for (&phase, cell) in &self.progress {
+            let done = cell.done.load(Relaxed);
+            let total = cell.total.load(Relaxed);
+            if done == 0 && total == 0 {
+                continue;
+            }
+            out.push((format!("progress.{phase}.units"), done as f64));
+            if total > 0 {
+                let frac = (done as f64 / total as f64).min(1.0);
+                out.push((format!("progress.{phase}.frac"), frac));
+            }
+        }
+    }
+
+    /// Active span path per live thread, tid-sorted; threads whose entry
+    /// predates the current epoch are skipped.
+    pub fn active_paths(&self) -> Vec<(u64, String)> {
+        self.active
+            .iter()
+            .filter(|(_, &(e, _))| e == self.epoch)
+            .map(|(&tid, &(_, node))| (tid, self.node_path(node)))
+            .collect()
     }
 }
 
@@ -119,6 +181,16 @@ pub fn histogram(name: &'static str) -> &'static Histogram {
         .hists
         .entry(name)
         .or_insert_with(|| Box::leak(Box::new(Histogram::new())))
+}
+
+/// Returns the `'static` progress cell for `phase`, creating it on first
+/// use (same handle semantics as [`counter`]). Rendered in snapshots and
+/// telemetry samples as the `progress.<phase>.{units,frac}` gauges.
+pub fn progress_cell(phase: &'static str) -> &'static ProgressCell {
+    inner()
+        .progress
+        .entry(phase)
+        .or_insert_with(|| Box::leak(Box::new(ProgressCell::default())))
 }
 
 /// Aggregated statistics of one span path.
@@ -170,7 +242,8 @@ pub struct Snapshot {
     pub spans: Vec<SpanStat>,
     /// Counter values, name-sorted.
     pub counters: Vec<(String, u64)>,
-    /// Gauge values, name-sorted.
+    /// Gauge values, name-sorted (includes the derived
+    /// `progress.<phase>.{units,frac}` gauges).
     pub gauges: Vec<(String, f64)>,
     /// Histogram statistics, name-sorted.
     pub hists: Vec<HistStat>,
@@ -178,6 +251,8 @@ pub struct Snapshot {
     pub events: Vec<String>,
     /// Events discarded once the buffer cap was reached.
     pub events_dropped: u64,
+    /// Innermost open span path per live thread, tid-sorted.
+    pub active: Vec<(u64, String)>,
 }
 
 impl Snapshot {
@@ -225,6 +300,10 @@ pub fn snapshot() -> Snapshot {
             total_ns: node.total_ns,
         });
     }
+    let mut gauges: Vec<(String, f64)> =
+        g.gauges.iter().map(|(&n, &v)| (n.to_string(), v)).collect();
+    g.progress_gauges(&mut gauges);
+    gauges.sort_by(|a, b| a.0.cmp(&b.0));
     Snapshot {
         spans,
         counters: g
@@ -232,7 +311,7 @@ pub fn snapshot() -> Snapshot {
             .iter()
             .map(|(&n, c)| (n.to_string(), c.load(Relaxed)))
             .collect(),
-        gauges: g.gauges.iter().map(|(&n, &v)| (n.to_string(), v)).collect(),
+        gauges,
         hists: g
             .hists
             .iter()
@@ -247,6 +326,7 @@ pub fn snapshot() -> Snapshot {
             .collect(),
         events: g.events.clone(),
         events_dropped: g.events_dropped,
+        active: g.active_paths(),
     }
 }
 
@@ -259,11 +339,16 @@ pub fn reset() {
     g.epoch += 1;
     g.nodes.truncate(1);
     g.nodes[0].children.clear();
+    g.active.clear();
     for c in g.counters.values() {
         c.store(0, Relaxed);
     }
     for h in g.hists.values() {
         h.reset();
+    }
+    for p in g.progress.values() {
+        p.done.store(0, Relaxed);
+        p.total.store(0, Relaxed);
     }
     g.gauges.clear();
     g.events.clear();
@@ -293,6 +378,29 @@ mod tests {
         assert_eq!(snapshot().counter("test.registry.survivor"), 0);
         c.fetch_add(7, Relaxed);
         assert_eq!(snapshot().counter("test.registry.survivor"), 7);
+    }
+
+    #[test]
+    fn event_buffer_overflow_counts_drops_and_reset_rearms() {
+        let _l = test_lock();
+        let prev = crate::level();
+        crate::set_level(crate::Level::Info);
+        reset();
+        for _ in 0..MAX_EVENTS + 7 {
+            crate::event("test.registry.overflow", &[]);
+        }
+        let s = snapshot();
+        assert_eq!(s.events.len(), MAX_EVENTS);
+        assert_eq!(s.events_dropped, 7);
+        // Reset opens a new epoch: the buffer accepts events again and
+        // the drop count starts over.
+        reset();
+        crate::event("test.registry.overflow", &[]);
+        let s = snapshot();
+        assert_eq!(s.events.len(), 1);
+        assert_eq!(s.events_dropped, 0);
+        crate::set_level(prev);
+        reset();
     }
 
     #[test]

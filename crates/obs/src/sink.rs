@@ -206,6 +206,7 @@ mod tests {
             }],
             events: vec![r#"{"type":"event","name":"x"}"#.into()],
             events_dropped: 0,
+            active: Vec::new(),
         }
     }
 
@@ -250,6 +251,22 @@ mod tests {
         assert!(first.contains(r#""seed":7"#));
         assert!(first.contains(r#""tool":"test""#));
         assert!(first.contains(r#""peak_rss_bytes":"#));
+    }
+
+    #[test]
+    fn meta_line_reports_dropped_events() {
+        let mut snap = sample_snapshot();
+        snap.events_dropped = 12;
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &snap, &[]).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let first = text.lines().next().unwrap();
+        assert!(first.contains(r#""events_dropped":12"#), "{first}");
+        // Absent when nothing was dropped, so the common case stays lean.
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &sample_snapshot(), &[]).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(!text.lines().next().unwrap().contains("events_dropped"));
     }
 
     #[test]

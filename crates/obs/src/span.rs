@@ -10,6 +10,7 @@
 
 use crate::registry;
 use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::time::Instant;
 
 thread_local! {
@@ -17,6 +18,18 @@ thread_local! {
     /// stale epoch (after a registry reset, or the initial `(0, 0)`)
     /// resolves to the synthetic root.
     static CURRENT: Cell<(u64, usize)> = const { Cell::new((0, 0)) };
+
+    /// Small stable per-thread id for the registry's active-span map
+    /// (`ThreadId` has no stable integer form on stable Rust).
+    static TID: u64 = {
+        static NEXT: AtomicU64 = AtomicU64::new(1);
+        NEXT.fetch_add(1, Relaxed)
+    };
+}
+
+/// This thread's stable small integer id (used by telemetry samples).
+pub(crate) fn tid() -> u64 {
+    TID.with(|t| *t)
 }
 
 struct Active {
@@ -52,6 +65,9 @@ pub(crate) fn enter(name: &'static str) -> SpanGuard {
         }
     });
     let node = g.child(parent, name);
+    // The active-span map rides on the lock we already hold; telemetry
+    // samples read it to report what every thread is doing right now.
+    g.active.insert(tid(), (epoch, node));
     drop(g);
     let prev = CURRENT.with(|c| c.replace((epoch, node)));
     SpanGuard(Some(Active {
@@ -73,6 +89,12 @@ impl Drop for SpanGuard {
                 let node = &mut g.nodes[a.node];
                 node.calls += 1;
                 node.total_ns += elapsed_ns;
+                // Restore (or retire) this thread's active-span entry.
+                if a.prev.0 == a.epoch && a.prev.1 != 0 {
+                    g.active.insert(tid(), a.prev);
+                } else {
+                    g.active.remove(&tid());
+                }
             }
             drop(g);
             CURRENT.with(|c| c.set(a.prev));

@@ -29,6 +29,7 @@ use crate::history::History;
 use mc_core::passive::{Certificate, PassiveSolution};
 use mc_core::{McError, SolveReport};
 use mc_geom::WeightedSet;
+use mc_obs::json::Value;
 use mc_obs::{CancelCause, CancelToken, Cancelled};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
@@ -52,6 +53,12 @@ pub struct PortfolioConfig {
     /// Let the process-wide [`History`] reorder the roster by win rate
     /// (default `true`; stable, so ties keep the configured order).
     pub rank_by_history: bool,
+    /// External kill switch: when this token stops (e.g. the telemetry
+    /// stall watchdog cancelled it), the coordinator cancels every
+    /// engine token and the race drains as `Cancelled` (default
+    /// `None`). Distinct from the per-engine deadline tokens: those
+    /// belong to the race; this one belongs to whoever is watching it.
+    pub watchdog: Option<CancelToken>,
 }
 
 impl PortfolioConfig {
@@ -62,6 +69,7 @@ impl PortfolioConfig {
             time_limit: None,
             fallback_on_timeout: true,
             rank_by_history: true,
+            watchdog: None,
         }
     }
 
@@ -74,6 +82,13 @@ impl PortfolioConfig {
     /// Disables the reference-engine fallback (timeouts become errors).
     pub fn without_fallback(mut self) -> Self {
         self.fallback_on_timeout = false;
+        self
+    }
+
+    /// Attaches an external kill-switch token (see
+    /// [`watchdog`](Self::watchdog)).
+    pub fn with_watchdog(mut self, token: CancelToken) -> Self {
+        self.watchdog = Some(token);
         self
     }
 }
@@ -216,35 +231,64 @@ pub fn race(data: &WeightedSet, config: &PortfolioConfig) -> Result<PortfolioOut
         let mut cancel_started: Option<Instant> = None;
         let mut pending = engines.len();
         while pending > 0 {
-            let message = match config.time_limit {
-                Some(limit) if winner.is_none() => {
-                    let budget = (limit + grace).saturating_sub(started.elapsed());
-                    match rx.recv_timeout(budget) {
-                        Ok(m) => m,
-                        Err(mpsc::RecvTimeoutError::Timeout) => {
-                            // Total watchdog timeout: force-cancel and
-                            // keep draining (deadline tokens are already
-                            // expired, so workers exit on their next poll).
+            let waiting =
+                winner.is_none() && (config.time_limit.is_some() || config.watchdog.is_some());
+            let message = if waiting {
+                let budget = match config.time_limit {
+                    Some(limit) => (limit + grace).saturating_sub(started.elapsed()),
+                    None => Duration::MAX,
+                };
+                // With an external watchdog attached, wake periodically
+                // to check it — its trip arrives on another thread's
+                // schedule, not through the channel.
+                let slice = if config.watchdog.is_some() {
+                    budget.min(Duration::from_millis(25))
+                } else {
+                    budget
+                };
+                match rx.recv_timeout(slice) {
+                    Ok(m) => m,
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        let watchdog_tripped =
+                            config.watchdog.as_ref().is_some_and(|w| w.poll().is_err());
+                        let deadline_over = config
+                            .time_limit
+                            .is_some_and(|limit| started.elapsed() >= limit + grace);
+                        if watchdog_tripped || deadline_over {
+                            // Force-cancel and keep draining (deadline
+                            // tokens may already be expired, so workers
+                            // exit on their next poll either way).
                             for t in &tokens {
                                 t.cancel();
                             }
                             cancel_started.get_or_insert_with(Instant::now);
-                            continue;
                         }
-                        Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                        continue;
                     }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
                 }
-                _ => match rx.recv() {
+            } else {
+                match rx.recv() {
                     Ok(m) => m,
                     Err(_) => break,
-                },
+                }
             };
             pending -= 1;
             let (i, _elapsed, result) = message;
             outcomes[i] = Some(match result {
-                Err(payload) => EngineOutcome::Panicked {
-                    message: panic_message(payload.as_ref()),
-                },
+                Err(payload) => {
+                    let message = panic_message(payload.as_ref());
+                    // Land the panic in the flight recorder while the
+                    // other workers' span stacks are still live.
+                    mc_obs::telemetry::flight_event(
+                        "portfolio.worker_panic",
+                        &[
+                            ("engine", Value::S(engines[i].name().to_string())),
+                            ("message", Value::S(message.clone())),
+                        ],
+                    );
+                    EngineOutcome::Panicked { message }
+                }
                 Ok(Err(cancelled)) => match cancelled.cause {
                     CancelCause::Explicit => EngineOutcome::Cancelled,
                     CancelCause::Deadline => EngineOutcome::TimedOut,

@@ -102,6 +102,20 @@ impl CliError {
             | CliError::Budget(m) => m,
         }
     }
+
+    /// Short class name, stamped into error-path metrics and used as
+    /// the flight-recorder dump reason.
+    fn class(&self) -> &'static str {
+        match self {
+            CliError::Usage(_) => "usage",
+            CliError::Io(_) => "io",
+            CliError::Data(_) => "data",
+            CliError::Param(_) => "param",
+            CliError::Oracle(_) => "oracle",
+            CliError::Timeout(_) => "timeout",
+            CliError::Budget(_) => "budget",
+        }
+    }
 }
 
 impl From<McError> for CliError {
@@ -136,10 +150,14 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   mcc passive  <data.csv> [--weighted] [--out classifier.csv]
                [--net auto|dense|sparse] [--trace] [--metrics-out metrics.jsonl]
+               [--telemetry ts.jsonl] [--sample-ms MS] [--stall-window-ms MS]
+               [--watch-abort]
                [--portfolio] [--engines e1,e2,...] [--time-limit SECS] [--no-fallback]
                engines: auto-dinic | sparse-dinic | dense-dinic | sparse-pr
                         | dense-pr | panic | hang   (MC_PORTFOLIO env also accepted)
   mcc passive  <data.mcc> [--trace] [--metrics-out metrics.jsonl] [--time-limit SECS]
+               [--telemetry ts.jsonl] [--sample-ms MS] [--stall-window-ms MS]
+               [--watch-abort]
                columnar MCC1 input: streams the matrix-free solve, prints
                error and flip counts (no classifier output at scale)
   mcc active   <data.csv> [--epsilon E] [--seed S] [--out classifier.csv]
@@ -238,31 +256,153 @@ fn parse_data(text: &str) -> Result<monotone_classification::LabeledSet, CliErro
     csv::parse_labeled(text).map_err(|e| CliError::Data(e.to_string()))
 }
 
+/// Parsed `--telemetry` flag family (live `mc-obs/ts1` sampling).
+struct TelemetryCli {
+    path: String,
+    sample_ms: u64,
+    stall_window_ms: u64,
+    watch_abort: bool,
+}
+
 /// Observability surface shared by the solve commands: `--trace` prints
 /// the phase tree to stderr after the run, `--metrics-out <path>.jsonl`
-/// writes the machine-readable stream. Either flag turns collection on
-/// (without lowering an explicit `MC_LOG=debug`/`trace`).
+/// writes the machine-readable stream, and `--telemetry <path>.jsonl`
+/// streams live `mc-obs/ts1` samples while the solve runs (cadence
+/// `--sample-ms`, stall watchdog window `--stall-window-ms`, with
+/// `--watch-abort` letting the watchdog cancel a stalled solve). Any of
+/// the flags turns collection on (without lowering an explicit
+/// `MC_LOG=debug`/`trace`).
+///
+/// The sinks flush on *every* exit: success through
+/// [`finish`](Self::finish), failures through [`fail`](Self::fail) —
+/// which also appends a flight-recorder dump to the telemetry stream,
+/// so a timeout or budget refusal leaves an autopsy record instead of
+/// discarding the run's metrics.
 struct ObsOutput {
     trace: bool,
     metrics_out: Option<String>,
+    telemetry: Option<TelemetryCli>,
+    /// Set once a flush ran, so an error unwinding out of a failed
+    /// `finish` does not flush the sinks a second time via `fail`.
+    finished: std::cell::Cell<bool>,
 }
 
 impl ObsOutput {
-    fn from_cli(values: &[(String, String)], flags: &[String]) -> Self {
+    fn from_cli(values: &[(String, String)], flags: &[String]) -> Result<Self, CliError> {
+        let watch_abort = flags.iter().any(|f| f == "watch-abort");
+        let telemetry = match get_value(values, "telemetry") {
+            Some(path) => {
+                let sample_ms: u64 = parse_num(values, "sample-ms", 100)?;
+                let stall_window_ms: u64 = parse_num(values, "stall-window-ms", 10_000)?;
+                if sample_ms == 0 {
+                    return Err(CliError::Param("--sample-ms must be positive".into()));
+                }
+                if stall_window_ms == 0 {
+                    return Err(CliError::Param("--stall-window-ms must be positive".into()));
+                }
+                Some(TelemetryCli {
+                    path,
+                    sample_ms,
+                    stall_window_ms,
+                    watch_abort,
+                })
+            }
+            None => {
+                for name in ["sample-ms", "stall-window-ms"] {
+                    if get_value(values, name).is_some() {
+                        return Err(CliError::Usage(format!("--{name} requires --telemetry")));
+                    }
+                }
+                if watch_abort {
+                    return Err(CliError::Usage("--watch-abort requires --telemetry".into()));
+                }
+                None
+            }
+        };
         let out = Self {
             trace: flags.iter().any(|f| f == "trace"),
             metrics_out: get_value(values, "metrics-out"),
+            telemetry,
+            finished: std::cell::Cell::new(false),
         };
-        if (out.trace || out.metrics_out.is_some()) && obs::level() < obs::Level::Info {
+        if (out.trace || out.metrics_out.is_some() || out.telemetry.is_some())
+            && obs::level() < obs::Level::Info
+        {
             obs::set_level(obs::Level::Info);
         }
-        out
+        Ok(out)
     }
 
-    /// Emits the configured sinks. `extra_meta` is stamped into the
+    /// Whether `--watch-abort` asked the stall watchdog to cancel the
+    /// solve (implies `--telemetry`).
+    fn watch_abort(&self) -> bool {
+        self.telemetry.as_ref().is_some_and(|t| t.watch_abort)
+    }
+
+    /// Starts the background sampler when `--telemetry` was given.
+    /// `abort` is the token the stall watchdog cancels under
+    /// `--watch-abort` — pass the solve's own token so a detected stall
+    /// unwinds the run cooperatively (exit 7).
+    fn start_telemetry(
+        &self,
+        abort: Option<obs::CancelToken>,
+        meta: &[(&str, Value)],
+    ) -> Result<(), CliError> {
+        let Some(t) = &self.telemetry else {
+            return Ok(());
+        };
+        let mut config = obs::telemetry::SamplerConfig::new(&t.path);
+        config.interval = std::time::Duration::from_millis(t.sample_ms);
+        config.stall_window = Some(std::time::Duration::from_millis(t.stall_window_ms));
+        if t.watch_abort {
+            config.abort = abort;
+        }
+        config.meta = meta
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect();
+        obs::telemetry::start(config)
+            .map_err(|e| CliError::Io(format!("cannot write {}: {e}", t.path)))?;
+        Ok(())
+    }
+
+    /// Success-path flush: stops the sampler (final sample + flush) and
+    /// emits the configured sinks. `extra_meta` is stamped into the
     /// JSONL `meta` line; `extra_lines` (e.g. the solver's
     /// `SolveReport::to_json`) are appended after the snapshot.
     fn finish(&self, extra_meta: &[(&str, Value)], extra_lines: &[String]) -> Result<(), CliError> {
+        self.finished.set(true);
+        obs::telemetry::stop();
+        self.flush_sinks(extra_meta, extra_lines)
+    }
+
+    /// Error-path flush: appends a flight-recorder dump (reason = the
+    /// error class) to the telemetry stream, stops the sampler, and
+    /// best-effort writes the sinks with the error stamped into the
+    /// meta line — so `--trace`/`--metrics-out` survive exits 2–8.
+    /// Returns the error unchanged for `map_err` chaining.
+    fn fail(&self, e: CliError) -> CliError {
+        if self.finished.replace(true) {
+            return e;
+        }
+        obs::telemetry::dump(e.class());
+        obs::telemetry::stop();
+        let _ = self.flush_sinks(
+            &[
+                ("error", Value::S(e.message().to_string())),
+                ("error_class", Value::S(e.class().to_string())),
+                ("exit_code", Value::U(u64::from(e.exit_code()))),
+            ],
+            &[],
+        );
+        e
+    }
+
+    fn flush_sinks(
+        &self,
+        extra_meta: &[(&str, Value)],
+        extra_lines: &[String],
+    ) -> Result<(), CliError> {
         if !self.trace && self.metrics_out.is_none() {
             return Ok(());
         }
@@ -300,22 +440,46 @@ impl ObsOutput {
 fn cmd_passive(args: &[String]) -> Result<(), CliError> {
     let (pos, values, flags) = parse_flags(
         args,
-        &["out", "metrics-out", "net", "engines", "time-limit"],
-        &["weighted", "trace", "portfolio", "no-fallback"],
+        &[
+            "out",
+            "metrics-out",
+            "net",
+            "engines",
+            "time-limit",
+            "telemetry",
+            "sample-ms",
+            "stall-window-ms",
+        ],
+        &[
+            "weighted",
+            "trace",
+            "portfolio",
+            "no-fallback",
+            "watch-abort",
+        ],
     )?;
-    let obs_out = ObsOutput::from_cli(&values, &flags);
+    let obs_out = ObsOutput::from_cli(&values, &flags)?;
+    cmd_passive_impl(&pos, &values, &flags, &obs_out).map_err(|e| obs_out.fail(e))
+}
+
+fn cmd_passive_impl(
+    pos: &[String],
+    values: &[(String, String)],
+    flags: &[String],
+    obs_out: &ObsOutput,
+) -> Result<(), CliError> {
     let path = pos
         .first()
         .ok_or_else(|| CliError::Usage("passive: missing <data.csv>".into()))?;
     // --net overrides the MC_FLOW_NET env toggle; unset defers to it.
-    let network = match get_value(&values, "net") {
+    let network = match get_value(values, "net") {
         Some(v) => NetworkStrategy::parse(&v).ok_or_else(|| {
             CliError::Param(format!("--net: expected auto, dense or sparse, got {v:?}"))
         })?,
         None => NetworkStrategy::Auto,
     };
     if path.ends_with(".mcc") {
-        return cmd_passive_columnar(path, &values, &flags, &obs_out, network);
+        return cmd_passive_columnar(path, values, flags, obs_out, network);
     }
     let text = read_file(path)?;
     let weighted = if flags.contains(&"weighted".to_string()) {
@@ -330,7 +494,7 @@ fn cmd_passive(args: &[String]) -> Result<(), CliError> {
     let env_engines = std::env::var("MC_PORTFOLIO")
         .ok()
         .filter(|v| !v.trim().is_empty());
-    let cli_engines = get_value(&values, "engines");
+    let cli_engines = get_value(values, "engines");
     let portfolio_mode =
         flags.contains(&"portfolio".to_string()) || cli_engines.is_some() || env_engines.is_some();
     let sol = if portfolio_mode {
@@ -340,7 +504,7 @@ fn cmd_passive(args: &[String]) -> Result<(), CliError> {
             None => PortfolioConfig::default().engines,
         };
         let mut config = PortfolioConfig::new(roster);
-        if let Some(v) = get_value(&values, "time-limit") {
+        if let Some(v) = get_value(values, "time-limit") {
             let secs: f64 = v
                 .parse()
                 .ok()
@@ -356,6 +520,22 @@ fn cmd_passive(args: &[String]) -> Result<(), CliError> {
             config = config.without_fallback();
         }
         let engine_list: Vec<&str> = config.engines.iter().map(|e| e.name()).collect();
+        // Stall watchdog: under --watch-abort the sampler cancels this
+        // token, the coordinator force-cancels every engine, and the
+        // race unwinds as Cancelled (exit 7 with --no-fallback).
+        let watchdog = obs::CancelToken::new();
+        if obs_out.watch_abort() {
+            config = config.with_watchdog(watchdog.clone());
+        }
+        obs_out.start_telemetry(
+            Some(watchdog),
+            &[
+                ("tool", Value::S("mcc passive".into())),
+                ("n", Value::U(weighted.len() as u64)),
+                ("d", Value::U(weighted.dim() as u64)),
+                ("engines", Value::S(engine_list.join(","))),
+            ],
+        )?;
         let out = race(&weighted, &config)?;
         match (out.race.winner, out.race.fallback_used) {
             (Some(w), _) => println!("portfolio winner = {}", w.name()),
@@ -384,6 +564,21 @@ fn cmd_passive(args: &[String]) -> Result<(), CliError> {
         )?;
         out.solution
     } else {
+        if obs_out.watch_abort() {
+            return Err(CliError::Usage(
+                "--watch-abort needs a cancellable solve: use --portfolio or a \
+                 columnar .mcc input"
+                    .into(),
+            ));
+        }
+        obs_out.start_telemetry(
+            None,
+            &[
+                ("tool", Value::S("mcc passive".into())),
+                ("n", Value::U(weighted.len() as u64)),
+                ("d", Value::U(weighted.dim() as u64)),
+            ],
+        )?;
         let sol = PassiveSolver::new()
             .with_network(network)
             .try_solve(&weighted)?;
@@ -405,7 +600,7 @@ fn cmd_passive(args: &[String]) -> Result<(), CliError> {
     );
     println!("optimal weighted error = {}", sol.weighted_error);
     println!("classifier anchors = {}", sol.classifier.anchors().len());
-    if let Some(out) = get_value(&values, "out") {
+    if let Some(out) = get_value(values, "out") {
         write_file(&out, &csv::classifier_to_csv(&sol.classifier))?;
         println!("wrote classifier to {out}");
     }
@@ -471,11 +666,23 @@ fn cmd_passive_columnar(
                 std::time::Duration::from_secs_f64(secs),
             )
         }
+        // --watch-abort needs a token the watchdog can actually cancel;
+        // never() has no shared state, so mint a live one.
+        None if obs_out.watch_abort() => monotone_classification::obs::CancelToken::new(),
         None => monotone_classification::obs::CancelToken::never(),
     };
     let start = std::time::Instant::now();
     let mut ds = ColumnarDataset::open(path).map_err(columnar_err)?;
     let (n, d) = (ds.len(), ds.dim());
+    obs_out.start_telemetry(
+        Some(token.clone()),
+        &[
+            ("tool", Value::S("mcc passive".into())),
+            ("format", Value::S("columnar".into())),
+            ("n", Value::U(n as u64)),
+            ("d", Value::U(d as u64)),
+        ],
+    )?;
     let table = ds.rank_table().map_err(columnar_err)?;
     let labels = ds.read_labels().map_err(columnar_err)?;
     let weights = ds.read_weights().map_err(columnar_err)?;
@@ -554,16 +761,24 @@ fn cmd_active(args: &[String]) -> Result<(), CliError> {
         ],
         &["trace"],
     )?;
-    let obs_out = ObsOutput::from_cli(&values, &flags);
+    let obs_out = ObsOutput::from_cli(&values, &flags)?;
+    cmd_active_impl(&pos, &values, &obs_out).map_err(|e| obs_out.fail(e))
+}
+
+fn cmd_active_impl(
+    pos: &[String],
+    values: &[(String, String)],
+    obs_out: &ObsOutput,
+) -> Result<(), CliError> {
     let path = pos
         .first()
         .ok_or_else(|| CliError::Usage("active: missing <data.csv>".into()))?;
-    let epsilon: f64 = parse_num(&values, "epsilon", 0.5)?;
-    let seed: u64 = parse_num(&values, "seed", 0)?;
-    let flaky_rate: f64 = parse_num(&values, "flaky-rate", 0.0)?;
-    let abstain_rate: f64 = parse_num(&values, "abstain-rate", 0.0)?;
-    let retry_attempts: u32 = parse_num(&values, "retry-attempts", 4)?;
-    let fault_seed: u64 = parse_num(&values, "fault-seed", 1)?;
+    let epsilon: f64 = parse_num(values, "epsilon", 0.5)?;
+    let seed: u64 = parse_num(values, "seed", 0)?;
+    let flaky_rate: f64 = parse_num(values, "flaky-rate", 0.0)?;
+    let abstain_rate: f64 = parse_num(values, "abstain-rate", 0.0)?;
+    let retry_attempts: u32 = parse_num(values, "retry-attempts", 4)?;
+    let fault_seed: u64 = parse_num(values, "fault-seed", 1)?;
     if !(epsilon > 0.0 && epsilon <= 1.0) {
         return Err(CliError::Param(format!(
             "--epsilon must lie in (0, 1], got {epsilon}"
@@ -643,7 +858,7 @@ fn cmd_active(args: &[String]) -> Result<(), CliError> {
         "classifier error on probed-truth data = {}",
         sol.classifier.error_on(&data)
     );
-    if let Some(out) = get_value(&values, "out") {
+    if let Some(out) = get_value(values, "out") {
         write_file(&out, &csv::classifier_to_csv(&sol.classifier))?;
         println!("wrote classifier to {out}");
     }

@@ -496,6 +496,202 @@ fn mc_portfolio_env_enables_racing_and_cli_overrides_it() {
     );
 }
 
+/// Extracts a bare numeric `"key":value` field from a JSONL line.
+fn json_f64(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\":");
+    let i = line.find(&tag)? + tag.len();
+    let rest = &line[i..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[test]
+fn metrics_out_flushes_on_timeout_exit() {
+    let data = write_temp("timeout-flush.csv", DEMO);
+    let metrics = write_temp("timeout-flush.jsonl", "");
+    let out = mcc()
+        .args(["passive"])
+        .arg(&data)
+        .args(["--engines", "hang", "--time-limit", "0.05", "--no-fallback"])
+        .args(["--trace", "--metrics-out"])
+        .arg(&metrics)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(7));
+    // The phase tree still prints on the error path.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("phase timings:"), "{stderr}");
+    // The JSONL stream exists and stamps the failure into the meta line.
+    let jsonl = std::fs::read_to_string(&metrics).unwrap();
+    let meta = jsonl.lines().next().expect("meta line");
+    assert!(meta.contains(r#""type":"meta""#), "{meta}");
+    assert!(meta.contains(r#""error_class":"timeout""#), "{meta}");
+    assert!(meta.contains(r#""exit_code":7"#), "{meta}");
+    for line in jsonl.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "malformed JSONL line on error path: {line}"
+        );
+    }
+}
+
+#[test]
+fn telemetry_streams_live_samples_with_monotone_progress() {
+    let dir = std::env::temp_dir().join(format!("mcc-ts-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let data = dir.join("ts.csv");
+    let ts = dir.join("ts.jsonl");
+    let out = mcc()
+        .args(["generate", "planted"])
+        .arg(&data)
+        .args(["--n", "3000", "--seed", "1"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let out = mcc()
+        .args(["passive"])
+        .arg(&data)
+        .args(["--telemetry"])
+        .arg(&ts)
+        .args(["--sample-ms", "5"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&ts).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    // Leading schema-tagged meta line carrying the run's identity.
+    assert!(
+        lines[0].contains(r#""schema":"mc-obs/ts1""#),
+        "{}",
+        lines[0]
+    );
+    assert!(lines[0].contains(r#""tool":"mcc passive""#), "{}", lines[0]);
+    assert!(lines[0].contains(r#""n":3000"#), "{}", lines[0]);
+    // At least two live samples, each well-formed with the core fields.
+    let samples: Vec<&&str> = lines
+        .iter()
+        .filter(|l| l.contains(r#""type":"sample""#))
+        .collect();
+    assert!(samples.len() >= 2, "{text}");
+    for s in &samples {
+        for key in ["seq", "t_ms", "rss_bytes"] {
+            assert!(json_f64(s, key).is_some(), "missing {key}: {s}");
+        }
+        assert!(s.contains(r#""counters":{"#), "{s}");
+        assert!(s.contains(r#""threads":["#), "{s}");
+    }
+    // seq increments and every progress.*.frac gauge is monotone.
+    let mut last_seq = -1.0;
+    let mut last_frac: Vec<(String, f64)> = Vec::new();
+    for s in &samples {
+        let seq = json_f64(s, "seq").unwrap();
+        assert!(seq > last_seq, "seq regressed: {s}");
+        last_seq = seq;
+        let mut rest = **s;
+        while let Some(i) = rest.find("\"progress.") {
+            rest = &rest[i + 1..];
+            let end = rest.find('"').unwrap();
+            let key = rest[..end].to_string();
+            rest = &rest[end + 1..];
+            if !key.ends_with(".frac") {
+                continue;
+            }
+            let tail = rest.strip_prefix(':').unwrap();
+            let vend = tail.find([',', '}']).unwrap_or(tail.len());
+            let frac: f64 = tail[..vend].parse().unwrap();
+            assert!((0.0..=1.0).contains(&frac), "frac out of range: {s}");
+            match last_frac.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, prev)) => {
+                    assert!(frac >= *prev, "{key} regressed {prev} -> {frac}: {s}");
+                    *prev = frac;
+                }
+                None => last_frac.push((key, frac)),
+            }
+        }
+    }
+}
+
+#[test]
+fn stall_watchdog_aborts_hung_race_and_dumps_flight_recorder() {
+    let data = write_temp("stall.csv", DEMO);
+    let ts = write_temp("stall-ts.jsonl", "");
+    // No --time-limit: only the stall watchdog can end this race.
+    let out = mcc()
+        .args(["passive"])
+        .arg(&data)
+        .args(["--engines", "hang", "--no-fallback", "--telemetry"])
+        .arg(&ts)
+        .args([
+            "--sample-ms",
+            "20",
+            "--stall-window-ms",
+            "200",
+            "--watch-abort",
+        ])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(7), "{stderr}");
+    assert!(!stderr.contains("panicked"), "panic leaked: {stderr}");
+
+    let text = std::fs::read_to_string(&ts).unwrap();
+    assert!(
+        text.lines()
+            .next()
+            .unwrap()
+            .contains(r#""watch_abort":true"#),
+        "{text}"
+    );
+    // The watchdog fired and cancelled the race...
+    let stall = text
+        .lines()
+        .find(|l| l.contains(r#""type":"stall""#))
+        .expect("stall line present");
+    assert!(stall.contains(r#""aborted":true"#), "{stall}");
+    // ...while the hang worker's span was still live on some thread.
+    assert!(stall.contains(r#""span":"hang""#), "{stall}");
+    // The error path appended a flight-recorder dump whose embedded
+    // ring retains the pre-abort samples (hang span included).
+    let dump = text
+        .lines()
+        .find(|l| l.contains(r#""type":"dump""#))
+        .expect("dump line present");
+    assert!(dump.contains(r#""reason":"timeout""#), "{dump}");
+    assert!(dump.contains(r#""samples":[{"#), "{dump}");
+    assert!(dump.contains(r#""span":"hang""#), "{dump}");
+}
+
+#[test]
+fn watch_abort_requires_telemetry_and_a_cancellable_path() {
+    let data = write_temp("watch-misuse.csv", DEMO);
+    // --watch-abort without --telemetry is a usage error.
+    let out = mcc()
+        .args(["passive"])
+        .arg(&data)
+        .arg("--watch-abort")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--watch-abort requires --telemetry"));
+    // ...and the plain CSV solve has no token to cancel.
+    let ts = write_temp("watch-misuse-ts.jsonl", "");
+    let out = mcc()
+        .args(["passive"])
+        .arg(&data)
+        .args(["--telemetry"])
+        .arg(&ts)
+        .arg("--watch-abort")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cancellable"));
+}
+
 #[test]
 fn passive_portfolio_rejects_unknown_engines_cleanly() {
     let data = write_temp("portfolio-bad.csv", DEMO);

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Validates the schema of every committed BENCH_*.json record.
+
+CI runs this from the repo root after the bench-smoke steps regenerate
+the records, so a bench that silently drops a section (or emits broken
+JSON) fails the build rather than rotting in the repo. Pass a directory
+to check records somewhere else.
+"""
+import glob
+import json
+import sys
+
+# Top-level sections each record must carry, keyed by its `bench` tag.
+REQUIRED = {
+    "dominance": ["config", "timings_ms", "speedup", "equivalence"],
+    "flow": ["config", "sizes", "timings_ms", "edges", "speedup", "equivalence"],
+    "matching": ["config", "timings_ms", "speedup", "stats", "equivalence"],
+    "scale": ["config", "kernel", "parity", "telemetry", "sizes"],
+}
+
+SCALE_TELEMETRY = [
+    "n",
+    "reps",
+    "interval_ms",
+    "plain_solve_ms",
+    "sampled_solve_ms",
+    "overhead_frac",
+    "samples",
+]
+
+
+def fail(msg):
+    print(f"FAIL: {msg}")
+    sys.exit(1)
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    paths = sorted(glob.glob(f"{root}/BENCH_*.json"))
+    if not paths:
+        fail(f"no BENCH_*.json files found under {root}")
+    for path in paths:
+        with open(path) as f:
+            try:
+                doc = json.load(f)
+            except json.JSONDecodeError as e:
+                fail(f"{path}: not valid JSON: {e}")
+        name = doc.get("bench")
+        expected = path.split("BENCH_")[-1].removesuffix(".json")
+        if name != expected:
+            fail(f"{path}: bench tag {name!r} does not match filename ({expected!r})")
+        if name not in REQUIRED:
+            fail(f"{path}: unknown bench {name!r} — add its schema to {__file__}")
+        missing = [k for k in REQUIRED[name] if k not in doc]
+        if missing:
+            fail(f"{path}: missing sections {missing}")
+        if name == "scale":
+            t = doc["telemetry"]
+            missing = [k for k in SCALE_TELEMETRY if k not in t]
+            if missing:
+                fail(f"{path}: telemetry section missing {missing}")
+            if not (t["plain_solve_ms"] > 0 and t["sampled_solve_ms"] > 0):
+                fail(f"{path}: non-positive telemetry timings: {t}")
+            if t["samples"] < 2:
+                fail(f"{path}: sampler recorded only {t['samples']} samples")
+            # The committed record must honor the documented budget: the
+            # 100 ms sampler costs < 2% end-to-end (docs/OBSERVABILITY.md).
+            if t["overhead_frac"] >= 0.02:
+                fail(
+                    f"{path}: telemetry overhead {t['overhead_frac']:.2%} "
+                    "breaches the 2% budget"
+                )
+        print(f"{path}: OK ({name})")
+    print(f"{len(paths)} bench records valid")
+
+
+if __name__ == "__main__":
+    main()
