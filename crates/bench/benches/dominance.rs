@@ -146,9 +146,11 @@ fn record_comparison(_c: &mut Criterion) {
         dag_equal && con_equal
     );
 
+    let meta = mc_bench::bench_meta_json();
     let json = format!(
         r#"{{
   "bench": "dominance",
+  "meta": {meta},
   "config": {{ "n": {n}, "dim": {dim}, "reps": {reps}, "profile": "bench" }},
   "timings_ms": {{
     "index_build": {:.3},

@@ -201,9 +201,11 @@ fn record_comparison(_c: &mut Criterion) {
         })
         .collect();
 
+    let meta = mc_bench::bench_meta_json();
     let json = format!(
         r#"{{
   "bench": "flow",
+  "meta": {meta},
   "config": {{ "dim": 4, "chain_width": {width}, "noise": {noise}, "reps": {reps}, "profile": "bench" }},
   "sizes": [
 {}

@@ -7,7 +7,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use mc_chains::{ChainDecomposition, MatchingEngine};
-use mc_geom::{DominanceIndex, PointSet};
+use mc_data::columnar::{write_scale_dataset, ColumnarDataset, ScaleConfig};
+use mc_geom::{DominanceIndex, PointSet, RankOracle};
 use mc_matching::{
     BipartiteGraph, BitsetGraph, HopcroftKarp, HopcroftKarpBitset, Kuhn, MatchingAlgorithm,
 };
@@ -112,6 +113,116 @@ fn time_runs<O>(reps: usize, mut f: impl FnMut() -> O) -> Duration {
     times[times.len() / 2]
 }
 
+/// The Lemma-6 instance the pipeline actually hands the matching
+/// engine at scale `n`: the label-1 points of the banded scale
+/// workload, lifted into a [`RankOracle`].
+fn scale_ones_oracle(n: usize) -> (PointSet, RankOracle) {
+    let mut path = std::env::temp_dir();
+    path.push(format!("mc_bench_matching_{}_n{n}.mcc", std::process::id()));
+    write_scale_dataset(&path, &ScaleConfig::new(n, 4, 0x5CA1E)).expect("write scale dataset");
+    let mut ds = ColumnarDataset::open(&path).expect("open scale dataset");
+    let ws = ds.to_weighted_set().expect("weighted set");
+    drop(ds);
+    std::fs::remove_file(&path).ok();
+    let rows: Vec<Vec<f64>> = (0..ws.len())
+        .filter(|&i| ws.label(i).is_one())
+        .map(|i| ws.points().point(i).to_vec())
+        .collect();
+    let ones = PointSet::from_rows(ws.dim(), &rows);
+    let oracle = RankOracle::build(&ones);
+    (ones, oracle)
+}
+
+/// The sharded scaling record: sequential bitset engine vs the banded
+/// shard engine (8 shards) across a 1/2/4/8-requested-thread curve, on
+/// the pipeline's own Lemma-6 instances. `MC_THREADS` is re-set per
+/// point; `effective_workers` records what `mc_geom::max_threads()`
+/// actually granted (the curve is flat on a single-core host — there
+/// the speedup is the band decomposition's K× cut of quadratic row
+/// width, not parallelism, and the record says so honestly).
+fn sharded_section() -> String {
+    let sizes: Vec<usize> = std::env::var("MC_BENCH_MATCHING_SHARD_NS")
+        .unwrap_or_else(|_| "100000,1000000".into())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    let shards = 8usize;
+    let reps = 3;
+    let prev_threads = std::env::var_os("MC_THREADS");
+    let mut entries = Vec::new();
+    for &n in &sizes {
+        let (ones, oracle) = scale_ones_oracle(n);
+        std::env::set_var("MC_THREADS", "1");
+        let sequential = time_runs(reps, || ChainDecomposition::compute_from_oracle(&oracle));
+        let seq_dec = ChainDecomposition::compute_from_oracle(&oracle);
+
+        let mut curve = Vec::new();
+        let mut sharded_8t = sequential;
+        for threads in [1usize, 2, 4, 8] {
+            std::env::set_var("MC_THREADS", threads.to_string());
+            let effective = mc_geom::max_threads().min(shards);
+            let t = time_runs(reps, || {
+                ChainDecomposition::compute_sharded(&oracle, shards)
+            });
+            if threads == 8 {
+                sharded_8t = t;
+            }
+            println!(
+                "matching/sharded: n = {n} ({} ones) | threads {threads} \
+                 (effective {effective}) | sharded {t:?} vs sequential {sequential:?}",
+                oracle.len()
+            );
+            curve.push(format!(
+                r#"{{ "requested_threads": {threads}, "effective_workers": {effective}, "sharded_ms": {:.3} }}"#,
+                t.as_secs_f64() * 1e3
+            ));
+        }
+        let shard_dec = ChainDecomposition::compute_sharded(&oracle, shards);
+        shard_dec.validate(&ones).expect("sharded path invalid");
+        let width_identical = shard_dec.width() == seq_dec.width()
+            && shard_dec.antichain().len() == seq_dec.antichain().len();
+        let speedup = sequential.as_secs_f64() / sharded_8t.as_secs_f64();
+        println!(
+            "matching/sharded: n = {n} | width {} | 8-thread sharded speedup \
+             {speedup:.2}x | width identical: {width_identical}",
+            shard_dec.width()
+        );
+        entries.push(format!(
+            r#"{{
+      "n": {n},
+      "instance": {},
+      "width": {},
+      "sequential_1t_ms": {:.3},
+      "curve": [
+        {}
+      ],
+      "speedup_8t_vs_sequential": {speedup:.2},
+      "width_identical": {width_identical}
+    }}"#,
+            oracle.len(),
+            shard_dec.width(),
+            sequential.as_secs_f64() * 1e3,
+            curve.join(",\n        "),
+        ));
+    }
+    match prev_threads {
+        Some(v) => std::env::set_var("MC_THREADS", v),
+        None => std::env::remove_var("MC_THREADS"),
+    }
+    format!(
+        r#"{{
+    "workload": "scale-ones",
+    "dim": 4,
+    "shards": {shards},
+    "reps": {reps},
+    "sizes": [
+    {}
+    ]
+  }}"#,
+        entries.join(",\n    ")
+    )
+}
+
 /// The acceptance-gate comparison: adjacency-list vs bitset engine for
 /// the end-to-end `ChainDecomposition` off a shared index, with
 /// equivalence checks, saved as JSON for the record.
@@ -166,9 +277,12 @@ fn record_comparison(_c: &mut Criterion) {
         width_identical && antichain_identical
     );
 
+    let sharded = sharded_section();
+    let meta = mc_bench::bench_meta_json();
     let json = format!(
         r#"{{
   "bench": "matching",
+  "meta": {meta},
   "config": {{ "n": {n}, "dim": {dim}, "reps": {reps}, "profile": "bench" }},
   "timings_ms": {{
     "index_build": {:.3},
@@ -189,7 +303,8 @@ fn record_comparison(_c: &mut Criterion) {
   "equivalence": {{
     "width_identical": {width_identical},
     "antichain_size_identical": {antichain_identical}
-  }}
+  }},
+  "sharded": {sharded}
 }}
 "#,
         index_build.as_secs_f64() * 1e3,

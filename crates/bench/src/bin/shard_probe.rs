@@ -1,0 +1,62 @@
+//! Diagnostic probe for the banded shard matching engine: phase-level
+//! timing (band solves / stitch / repair) and deficit accounting at
+//! several shard counts, on the same scale-workload Lemma-6 instances
+//! the benches record. Usage:
+//!
+//! ```text
+//! cargo run --release -p mc-bench --bin shard_probe [n] [shards...]
+//! ```
+
+use mc_chains::ChainDecomposition;
+use mc_data::columnar::{write_scale_dataset, ColumnarDataset, ScaleConfig};
+use mc_geom::{PointSet, RankOracle};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n: usize = args
+        .first()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000_000);
+    let shard_counts: Vec<usize> = if args.len() > 1 {
+        args[1..].iter().filter_map(|v| v.parse().ok()).collect()
+    } else {
+        vec![2, 4, 8, 16]
+    };
+
+    let mut path = std::env::temp_dir();
+    path.push(format!("mc_shard_probe_{}.mcc", std::process::id()));
+    write_scale_dataset(&path, &ScaleConfig::new(n, 4, 0x5CA1E)).expect("write dataset");
+    let mut ds = ColumnarDataset::open(&path).expect("open dataset");
+    let ws = ds.to_weighted_set().expect("weighted set");
+    drop(ds);
+    std::fs::remove_file(&path).ok();
+    let rows: Vec<Vec<f64>> = (0..ws.len())
+        .filter(|&i| ws.label(i).is_one())
+        .map(|i| ws.points().point(i).to_vec())
+        .collect();
+    let ones = PointSet::from_rows(ws.dim(), &rows);
+    let oracle = RankOracle::build(&ones);
+    println!(
+        "instance: n = {n} -> {} ones, d = {}",
+        oracle.len(),
+        ws.dim()
+    );
+
+    let start = Instant::now();
+    let seq = ChainDecomposition::compute_from_oracle(&oracle);
+    let seq_t = start.elapsed();
+    println!("sequential: {seq_t:?} width {}", seq.width());
+
+    for &k in &shard_counts {
+        let start = Instant::now();
+        let dec = ChainDecomposition::compute_sharded(&oracle, k);
+        let t = start.elapsed();
+        println!(
+            "sharded k={k:>3}: {t:?} ({:.2}x) width {} (identical: {})",
+            seq_t.as_secs_f64() / t.as_secs_f64(),
+            dec.width(),
+            dec.width() == seq.width()
+        );
+    }
+}

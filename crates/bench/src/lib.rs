@@ -13,3 +13,27 @@ pub use report::{fmt_duration, fmt_f64, mean_std, Table};
 pub fn quick_from_args() -> bool {
     !std::env::args().any(|a| a == "--full")
 }
+
+/// The provenance block every committed `BENCH_*.json` record carries
+/// (and `tools/validate_bench.py` enforces): the commit the numbers
+/// were measured at, plus the effective and physical thread counts —
+/// so a scaling curve can never silently claim cores the recording
+/// machine did not have.
+pub fn bench_meta_json() -> String {
+    let sha = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".into());
+    let available = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    format!(
+        r#"{{ "git_sha": "{sha}", "threads": {}, "available_parallelism": {available} }}"#,
+        mc_geom::max_threads(),
+    )
+}

@@ -37,26 +37,105 @@ pub enum MatchingEngine {
     /// Pointer-walking Hopcroft–Karp over explicit [`DominanceDag`]
     /// adjacency lists; kept as the tested reference path.
     List,
+    /// Banded shard decomposition: the points are cut into contiguous
+    /// rank bands, matched per band on worker threads, stitched across
+    /// boundaries, and repaired to a global maximum matching (see
+    /// [`crate::shard`]). Width-identical to the bitset engine; the
+    /// chains themselves may differ. Shard count from `MC_SHARDS`
+    /// (default: `max(worker threads, 2)`).
+    Shard,
+}
+
+thread_local! {
+    /// Per-thread engine override (see [`with_matching_override`]):
+    /// `(engine, shard count)`, with `None` deferring the count to
+    /// `MC_SHARDS`.
+    static MATCHING_OVERRIDE: std::cell::Cell<Option<(MatchingEngine, Option<usize>)>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// Runs `f` with the Lemma-6 matching engine (and optionally the shard
+/// count) pinned for the *current thread*, overriding `MC_MATCHING` /
+/// `MC_SHARDS`. This is how callers that race engines in one process —
+/// the portfolio's `shard-hk` roster entry, the CLI's `--shards` flag —
+/// select an engine without mutating process-global environment state
+/// under concurrent readers. Nested overrides restore the outer one on
+/// exit (even on panic).
+pub fn with_matching_override<T>(
+    engine: MatchingEngine,
+    shards: Option<usize>,
+    f: impl FnOnce() -> T,
+) -> T {
+    struct Restore(Option<(MatchingEngine, Option<usize>)>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            MATCHING_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(MATCHING_OVERRIDE.with(|c| c.replace(Some((engine, shards)))));
+    f()
 }
 
 impl MatchingEngine {
-    /// Reads the `MC_MATCHING` env toggle: `bitset` (the default) or
-    /// `list`. Unrecognised values warn once and fall back to the
-    /// default.
+    /// Reads the `MC_MATCHING` env toggle: `bitset` (the default),
+    /// `list`, or `shard`. A thread-local [`with_matching_override`]
+    /// wins over the environment. Unrecognised values warn once and
+    /// fall back to the default.
     pub fn from_env() -> Self {
+        if let Some((engine, _)) = MATCHING_OVERRIDE.with(|c| c.get()) {
+            return engine;
+        }
         match std::env::var("MC_MATCHING") {
             Ok(v) if v.eq_ignore_ascii_case("list") => Self::List,
+            Ok(v) if v.eq_ignore_ascii_case("shard") => Self::Shard,
             Ok(v) if v.eq_ignore_ascii_case("bitset") || v.is_empty() => Self::Bitset,
             Ok(_) => {
                 mc_obs::warn_once(
                     "mc_matching_env",
-                    "unrecognised MC_MATCHING value (expected 'bitset' or 'list'); \
+                    "unrecognised MC_MATCHING value (expected 'bitset', 'list' or 'shard'); \
                      using the bitset engine",
                 );
                 Self::Bitset
             }
             Err(_) => Self::Bitset,
         }
+    }
+}
+
+/// Default shard count when neither an override nor `MC_SHARDS` sets
+/// one: every worker thread gets a band, and even a single-core host
+/// gets two — the band-local matchings run on rows `K×` narrower than
+/// the global graph, so the decomposition usually wins on total work,
+/// not just on parallelism.
+fn default_shards() -> usize {
+    mc_geom::max_threads().max(2)
+}
+
+/// Resolves the shard count for a [`MatchingEngine::Shard`] solve:
+/// thread-local override first, then `MC_SHARDS`, then
+/// [`default_shards`]. Returns `None` — after a one-shot warning — when
+/// `MC_SHARDS` is set but malformed; callers fall back to the bitset
+/// engine, matching the env-parsing discipline of `mc_geom::parallel`.
+pub(crate) fn effective_shards() -> Option<usize> {
+    if let Some((_, Some(k))) = MATCHING_OVERRIDE.with(|c| c.get()) {
+        return Some(k);
+    }
+    match std::env::var_os("MC_SHARDS") {
+        None => Some(default_shards()),
+        Some(raw) => match raw
+            .into_string()
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            Some(v) if v >= 1 => Some(v),
+            _ => {
+                mc_obs::warn_once(
+                    "mc_shards_env",
+                    "MC_SHARDS must be a positive integer; using the bitset engine",
+                );
+                None
+            }
+        },
     }
 }
 
@@ -105,21 +184,44 @@ impl ChainDecomposition {
 
     /// Cancellable twin of [`compute_from_oracle`](Self::compute_from_oracle).
     ///
-    /// Always runs the word-parallel engine: the `MC_MATCHING=list`
-    /// reference path needs materialized adjacency lists, which is
-    /// exactly what this entry point exists to avoid, so the toggle
-    /// warns once and is ignored here (the matching is identical).
+    /// Dispatches on the `MC_MATCHING` toggle (or a thread-local
+    /// [`with_matching_override`]): `shard` routes to
+    /// [`compute_sharded_cancellable`](Self::compute_sharded_cancellable);
+    /// everything else runs the word-parallel bitset engine. The
+    /// `MC_MATCHING=list` reference path needs materialized adjacency
+    /// lists, which is exactly what this entry point exists to avoid,
+    /// so that toggle warns once and is ignored here (the matching is
+    /// identical).
     pub fn compute_from_oracle_cancellable(
         oracle: &RankOracle,
         token: &mc_obs::CancelToken,
     ) -> Result<Self, mc_obs::Cancelled> {
-        if MatchingEngine::from_env() == MatchingEngine::List {
-            mc_obs::warn_once(
-                "mc_matching_oracle_list",
-                "MC_MATCHING=list has no matrix-free variant; the rank-oracle \
-                 path uses the bitset engine (the matching is identical)",
-            );
+        match MatchingEngine::from_env() {
+            MatchingEngine::Shard => {
+                if let Some(k) = effective_shards() {
+                    return Self::compute_sharded_cancellable(oracle, k, token);
+                }
+                // Malformed MC_SHARDS: already warned, bitset below.
+            }
+            MatchingEngine::List => {
+                mc_obs::warn_once(
+                    "mc_matching_oracle_list",
+                    "MC_MATCHING=list has no matrix-free variant; the rank-oracle \
+                     path uses the bitset engine (the matching is identical)",
+                );
+            }
+            MatchingEngine::Bitset => {}
         }
+        Self::oracle_bitset_cancellable(oracle, token)
+    }
+
+    /// The sequential matrix-free path: one bitset Hopcroft–Karp solve
+    /// over the whole oracle. Shared by the env dispatcher above and by
+    /// the sharded engine's certificate-failure fallback.
+    pub(crate) fn oracle_bitset_cancellable(
+        oracle: &RankOracle,
+        token: &mc_obs::CancelToken,
+    ) -> Result<Self, mc_obs::Cancelled> {
         let _span = mc_obs::span("path_cover");
         let n = oracle.len();
         if n == 0 {
@@ -134,6 +236,30 @@ impl ChainDecomposition {
         let chains = Self::chains_from_matching(n, &matching);
         let antichain = Self::antichain_from_cover(n, &g, &matching);
         Ok(Self::finish(chains, antichain))
+    }
+
+    /// Banded shard decomposition (`MC_MATCHING=shard`): cuts the
+    /// points into at most `shards` contiguous rank bands, matches each
+    /// band independently on worker threads, stitches chains across
+    /// band boundaries, and repairs the stitched matching to a global
+    /// maximum with a warm-started Hopcroft–Karp pass — so the width
+    /// (and the König antichain certificate) is identical to the
+    /// sequential engines even though the individual chains may differ.
+    /// See [`crate::shard`] for the algorithm and its invariants.
+    pub fn compute_sharded(oracle: &RankOracle, shards: usize) -> Self {
+        Self::compute_sharded_cancellable(oracle, shards, &mc_obs::CancelToken::never())
+            .expect("a never-token cannot cancel")
+    }
+
+    /// Cancellable twin of [`compute_sharded`](Self::compute_sharded):
+    /// the token is threaded into every band's matching (per-shard
+    /// checkpoints) and into the stitch and repair phases.
+    pub fn compute_sharded_cancellable(
+        oracle: &RankOracle,
+        shards: usize,
+        token: &mc_obs::CancelToken,
+    ) -> Result<Self, mc_obs::Cancelled> {
+        crate::shard::compute_sharded_cancellable(oracle, shards, token)
     }
 
     /// Computes the decomposition from a prebuilt [`DominanceIndex`],
@@ -158,6 +284,13 @@ impl ChainDecomposition {
                 token.poll()?;
                 Ok(Self::from_dag(&DominanceDag::from_index(index)))
             }
+            MatchingEngine::Shard => match effective_shards() {
+                Some(k) => {
+                    Self::compute_sharded_cancellable(&Self::oracle_from_index(index), k, token)
+                }
+                // Malformed MC_SHARDS: already warned, bitset fallback.
+                None => Self::compute_bitset_cancellable(index, token),
+            },
         }
     }
 
@@ -166,7 +299,25 @@ impl ChainDecomposition {
         match engine {
             MatchingEngine::Bitset => Self::compute_bitset(index),
             MatchingEngine::List => Self::from_dag(&DominanceDag::from_index(index)),
+            MatchingEngine::Shard => Self::compute_sharded(
+                &Self::oracle_from_index(index),
+                effective_shards().unwrap_or_else(default_shards),
+            ),
         }
+    }
+
+    /// Lifts a prebuilt index's rank columns into a [`RankOracle`] so
+    /// the sharded engine (which bands and gathers rank columns) can
+    /// serve index-path callers too. `O(d·n)` copy; the ranks are the
+    /// same compressed columns, so dominance answers — and the width —
+    /// are identical.
+    fn oracle_from_index(index: &DominanceIndex) -> RankOracle {
+        let (n, dim) = (index.len(), index.dim());
+        let mut ranks = Vec::with_capacity(dim * n);
+        for k in 0..dim {
+            ranks.extend_from_slice(index.rank_column(k));
+        }
+        RankOracle::from_rank_columns(n, dim, ranks)
     }
 
     /// Computes the decomposition straight off the index's bitset rows:
@@ -227,7 +378,7 @@ impl ChainDecomposition {
 
     /// Shared tail of every construction path: Dilworth duality check
     /// plus the `chains.*` metrics.
-    fn finish(chains: Vec<Vec<usize>>, antichain: Vec<usize>) -> Self {
+    pub(crate) fn finish(chains: Vec<Vec<usize>>, antichain: Vec<usize>) -> Self {
         debug_assert_eq!(chains.len(), antichain.len(), "Dilworth duality violated");
         mc_obs::counter_add("chains.count", chains.len() as u64);
         if mc_obs::enabled() {
@@ -241,7 +392,7 @@ impl ChainDecomposition {
 
     /// Follows matched successors from every chain head (a vertex whose
     /// right copy is unmatched).
-    fn chains_from_matching(n: usize, matching: &Matching) -> Vec<Vec<usize>> {
+    pub(crate) fn chains_from_matching(n: usize, matching: &Matching) -> Vec<Vec<usize>> {
         let mut chains = Vec::new();
         for start in 0..n {
             if matching.right_match[start].is_some() {
@@ -260,7 +411,7 @@ impl ChainDecomposition {
 
     /// Maximum antichain: vertices neither of whose split copies lies in
     /// König's minimum vertex cover.
-    fn antichain_from_cover<G: BipartiteAdjacency>(
+    pub(crate) fn antichain_from_cover<G: BipartiteAdjacency>(
         n: usize,
         g: &G,
         matching: &Matching,

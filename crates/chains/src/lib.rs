@@ -38,11 +38,14 @@ pub mod dag;
 pub mod decomposition;
 pub mod greedy;
 pub mod mirsky;
+pub mod shard;
 pub mod test_support;
 pub mod two_dim;
 
 pub use dag::DominanceDag;
-pub use decomposition::{dominance_width, ChainDecomposition, MatchingEngine};
+pub use decomposition::{
+    dominance_width, with_matching_override, ChainDecomposition, MatchingEngine,
+};
 pub use greedy::GreedyDecomposition;
 pub use mirsky::{longest_chain_len, AntichainPartition};
 pub use two_dim::TwoDimDecomposition;

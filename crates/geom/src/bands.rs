@@ -1,0 +1,178 @@
+//! Contiguous band partitioning along the most-selective rank dimension.
+//!
+//! The sharded Lemma-6 matching (`mc-chains`) cuts the label-1 points
+//! into `K` *bands*: contiguous, non-overlapping rank ranges along one
+//! dimension. Each band is matched independently on a worker thread,
+//! and the per-band chains are then stitched across band boundaries.
+//! Everything downstream leans on one invariant, so it is stated here
+//! once:
+//!
+//! > **Band invariant.** For every pair of points `p ∈ bands[b]`,
+//! > `q ∈ bands[b + j]` with `j ≥ 1`: `rank_dim(p) < rank_dim(q)`.
+//!
+//! Strictness matters: a rank class (a run of points with equal rank on
+//! the cut dimension) is never split across a boundary, which also
+//! means a duplicate group — equal ranks on *every* dimension — always
+//! lands in a single band. Two consequences the stitcher exploits:
+//!
+//! * no edge of the Lemma-6 split graph ever points from a later band
+//!   back into an earlier one (dominance requires `≥` on the cut
+//!   dimension, and later bands are strictly above), so the union of
+//!   per-band matchings is a valid global matching;
+//! * a cross-boundary chain concatenation only needs to check the
+//!   *other* `d − 1` dimensions — the cut dimension is strict by
+//!   construction.
+//!
+//! The cut dimension is the most selective one
+//! ([`RankOracle::most_selective_dim`]): the axis with the most
+//! distinct ranks yields the most (and the most balanced) bands.
+//! Duplicate-heavy or low-cardinality columns would otherwise collapse
+//! many points into one uncuttable rank class.
+
+use crate::oracle::RankOracle;
+
+/// A partition of `0..oracle.len()` into contiguous rank bands; see the
+/// module docs for the invariant.
+#[derive(Debug, Clone)]
+pub struct BandPartition {
+    /// The dimension the bands are cut along.
+    pub dim: usize,
+    /// The bands, in ascending rank order along `dim`. Every band is
+    /// non-empty and sorted ascending by point index; concatenating the
+    /// bands yields a permutation of `0..n`.
+    pub bands: Vec<Vec<usize>>,
+}
+
+/// Partitions the oracle's points into at most `k` bands of
+/// near-equal size along the most-selective rank dimension. Fewer
+/// bands come back when rank classes are too coarse to cut `k` times
+/// (in the extreme — all points equal on the cut dimension — one band
+/// holds everything). `k == 0` is treated as `1`; an empty oracle
+/// yields no bands.
+pub fn band_partition(oracle: &RankOracle, k: usize) -> BandPartition {
+    let n = oracle.len();
+    let dim = oracle.most_selective_dim();
+    if n == 0 {
+        return BandPartition {
+            dim,
+            bands: Vec::new(),
+        };
+    }
+    let k = k.max(1).min(n);
+    let col = oracle.column(dim);
+    // Sort by (rank on the cut dimension, index): bands become
+    // contiguous runs, and the per-band index order needed by the
+    // duplicate tie-breaks falls out of the secondary key below.
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_unstable_by_key(|&i| (col[i as usize], i));
+    let target = n.div_ceil(k);
+    let mut bands: Vec<Vec<usize>> = Vec::with_capacity(k);
+    let mut band: Vec<usize> = Vec::with_capacity(target);
+    for (pos, &i) in order.iter().enumerate() {
+        band.push(i as usize);
+        // Close the band once it reaches target size — but never
+        // between two points of the same rank class (the invariant
+        // requires strict rank growth across every boundary).
+        let at_cut = band.len() >= target
+            && order
+                .get(pos + 1)
+                .is_some_and(|&j| col[j as usize] != col[i as usize]);
+        if at_cut {
+            band.sort_unstable();
+            bands.push(std::mem::take(&mut band));
+            band = Vec::with_capacity(target);
+        }
+    }
+    if !band.is_empty() {
+        band.sort_unstable();
+        bands.push(band);
+    }
+    BandPartition { dim, bands }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::PointSet;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn check_invariant(oracle: &RankOracle, part: &BandPartition, n: usize) {
+        let col = oracle.column(part.dim);
+        let mut seen = vec![false; n];
+        for band in &part.bands {
+            assert!(!band.is_empty(), "empty band");
+            assert!(band.windows(2).all(|w| w[0] < w[1]), "band not sorted");
+            for &i in band {
+                assert!(!seen[i], "index {i} in two bands");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "bands do not cover every point");
+        for pair in part.bands.windows(2) {
+            let lo_max = pair[0].iter().map(|&i| col[i]).max().unwrap();
+            let hi_min = pair[1].iter().map(|&i| col[i]).min().unwrap();
+            assert!(lo_max < hi_min, "band invariant violated at a boundary");
+        }
+    }
+
+    #[test]
+    fn partitions_random_points_with_strict_boundaries() {
+        let mut rng = StdRng::seed_from_u64(0xBA2D);
+        for dim in [1usize, 2, 4] {
+            for &k in &[1usize, 2, 3, 8, 100] {
+                let n = rng.gen_range(1..200);
+                let rows: Vec<Vec<f64>> = (0..n)
+                    .map(|_| {
+                        (0..dim)
+                            .map(|_| rng.gen_range(0.0f64..6.0).round())
+                            .collect()
+                    })
+                    .collect();
+                let oracle = RankOracle::build(&PointSet::from_rows(dim, &rows));
+                let part = band_partition(&oracle, k);
+                assert!(part.bands.len() <= k.max(1));
+                check_invariant(&oracle, &part, n);
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_groups_never_straddle_a_boundary() {
+        // 40 copies of one point plus 40 distinct points: every rank
+        // class (and so every dup group) must stay within one band.
+        let mut rows: Vec<Vec<f64>> = (0..40).map(|_| vec![2.0, 2.0]).collect();
+        rows.extend((0..40).map(|i| vec![i as f64 + 3.0, 1.0]));
+        let oracle = RankOracle::build(&PointSet::from_rows(2, &rows));
+        let part = band_partition(&oracle, 8);
+        check_invariant(&oracle, &part, 80);
+        let dup_band: Vec<usize> = part
+            .bands
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.iter().any(|&i| i < 40))
+            .map(|(bi, _)| bi)
+            .collect();
+        assert_eq!(dup_band.len(), 1, "duplicate group split across bands");
+    }
+
+    #[test]
+    fn all_equal_ranks_collapse_to_one_band() {
+        let rows: Vec<Vec<f64>> = (0..30).map(|_| vec![7.0]).collect();
+        let oracle = RankOracle::build(&PointSet::from_rows(1, &rows));
+        let part = band_partition(&oracle, 4);
+        assert_eq!(part.bands.len(), 1);
+        check_invariant(&oracle, &part, 30);
+    }
+
+    #[test]
+    fn empty_and_oversized_k() {
+        let oracle = RankOracle::build(&PointSet::new(2));
+        assert!(band_partition(&oracle, 4).bands.is_empty());
+        let one = RankOracle::build(&PointSet::from_rows(2, &[vec![1.0, 2.0]]));
+        let part = band_partition(&one, 0);
+        assert_eq!(part.bands, vec![vec![0]]);
+        let part = band_partition(&one, 99);
+        assert_eq!(part.bands.len(), 1);
+    }
+}

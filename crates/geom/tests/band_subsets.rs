@@ -1,0 +1,147 @@
+//! Property tests for the band partitioner and subset oracles: a
+//! sub-oracle gathered from any band (or any index subset at all) must
+//! answer every row query bit-identically to a `DominanceIndex` built
+//! on the same subset — including duplicate groups and `-0.0`/`0.0`
+//! pairs straddling a band boundary.
+
+use mc_geom::{band_partition, DominanceIndex, PointSet, RankOracle};
+use proptest::prelude::*;
+
+/// Palette with signed zeros adjacent and infinite sentinels at the
+/// ends, so dup groups and `-0.0`/`0.0` ties occur constantly.
+const PALETTE: [f64; 8] = [
+    f64::NEG_INFINITY,
+    -0.0,
+    0.0,
+    -1.5,
+    1.0,
+    2.0,
+    3.25,
+    f64::INFINITY,
+];
+
+fn point_sets(max_n: usize, dim: usize) -> impl Strategy<Value = PointSet> {
+    prop::collection::vec(prop::collection::vec(0usize..PALETTE.len(), dim), 1..max_n).prop_map(
+        move |rows| {
+            let mut points = PointSet::new(dim);
+            for row in rows {
+                let coords: Vec<f64> = row.into_iter().map(|i| PALETTE[i]).collect();
+                points.push(&coords);
+            }
+            points
+        },
+    )
+}
+
+/// Builds the subset's points as their own `PointSet` (the reference
+/// object the sub-oracle claims to describe).
+fn gather(points: &PointSet, indices: &[usize]) -> PointSet {
+    let mut out = PointSet::new(points.dim());
+    for &i in indices {
+        out.push(points.point(i));
+    }
+    out
+}
+
+/// Sub-oracle rows vs a fresh `DominanceIndex` on the same points:
+/// dominator and strict-successor rows must be bit-identical, and the
+/// scalar queries must agree on every pair.
+fn check_subset_matches_index(points: &PointSet, oracle: &RankOracle, indices: &[usize]) {
+    let sub = oracle.from_subset(indices);
+    let sub_points = gather(points, indices);
+    let index = DominanceIndex::build(&sub_points);
+    let m = indices.len();
+    assert_eq!(sub.len(), m);
+    let words = sub.words();
+    let mut got = vec![0u64; words];
+    let mut want = vec![0u64; words];
+    for l in 0..m {
+        sub.dominator_row_into(l, &mut got);
+        want.copy_from_slice(index.dominator_row_words(l));
+        assert_eq!(got, want, "dominator row {l} differs");
+        sub.strict_successor_row_into(l, &mut got);
+        index.strict_successor_row_into(l, &mut want);
+        assert_eq!(got, want, "strict successor row {l} differs");
+        for r in 0..m {
+            assert_eq!(
+                sub.dominates(l, r),
+                index.dominates(l, r),
+                "dominates({l}, {r}) differs"
+            );
+            assert_eq!(
+                sub.equal_points(l, r),
+                index.equal_points(l, r),
+                "equal_points({l}, {r}) differs"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every band of every partition is a faithful sub-oracle.
+    #[test]
+    fn band_sub_oracles_match_index_d2(points in point_sets(36, 2), k in 1usize..6) {
+        let oracle = RankOracle::build(&points);
+        let part = band_partition(&oracle, k);
+        for band in &part.bands {
+            check_subset_matches_index(&points, &oracle, band);
+        }
+    }
+
+    #[test]
+    fn band_sub_oracles_match_index_d4(points in point_sets(24, 4), k in 1usize..6) {
+        let oracle = RankOracle::build(&points);
+        let part = band_partition(&oracle, k);
+        for band in &part.bands {
+            check_subset_matches_index(&points, &oracle, band);
+        }
+    }
+
+    /// Arbitrary (non-band) subsets too: `from_subset` must not depend
+    /// on band structure.
+    #[test]
+    fn arbitrary_subsets_match_index(points in point_sets(30, 3), mask in prop::collection::vec(proptest::bool::ANY, 30)) {
+        let oracle = RankOracle::build(&points);
+        let indices: Vec<usize> = (0..points.len()).filter(|&i| mask.get(i).copied().unwrap_or(false)).collect();
+        if !indices.is_empty() {
+            check_subset_matches_index(&points, &oracle, &indices);
+        }
+    }
+}
+
+#[test]
+fn signed_zero_dup_group_straddles_a_boundary_correctly() {
+    // Points 0..8 share rank 0 on dim 0 via -0.0/0.0 mixing (a single
+    // rank class with internal dup groups); the partitioner must keep
+    // the whole class in one band, and the sub-oracle must preserve the
+    // -0.0 == 0.0 equivalence.
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    for i in 0..8 {
+        let z = if i % 2 == 0 { -0.0 } else { 0.0 };
+        rows.push(vec![z, (i % 3) as f64]);
+    }
+    rows.extend((0..16).map(|i| vec![1.0 + i as f64, 0.5]));
+    let points = PointSet::from_rows(2, &rows);
+    let oracle = RankOracle::build(&points);
+    let part = band_partition(&oracle, 6);
+    let zero_bands: Vec<usize> = part
+        .bands
+        .iter()
+        .enumerate()
+        .filter(|(_, b)| b.iter().any(|&i| i < 8))
+        .map(|(bi, _)| bi)
+        .collect();
+    assert_eq!(zero_bands.len(), 1, "signed-zero rank class was split");
+    for band in &part.bands {
+        check_subset_matches_index(&points, &oracle, band);
+    }
+    // Inside the zero band, -0.0 and 0.0 points with equal second
+    // coordinates are genuine duplicates.
+    let band = &part.bands[zero_bands[0]];
+    let sub = oracle.from_subset(band);
+    let a = band.iter().position(|&i| i == 0).unwrap(); // (-0.0, 0.0)
+    let b = band.iter().position(|&i| i == 3).unwrap(); // (0.0, 0.0)
+    assert!(sub.equal_points(a, b), "-0.0 and 0.0 must compare equal");
+}

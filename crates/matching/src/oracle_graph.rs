@@ -16,6 +16,7 @@
 //! engine, the König vertex cover, and the width certification all run
 //! unchanged — same tie-breaks, same matching, same antichain.
 
+use crate::bitset::BitsetGraph;
 use crate::row_source::{ResolvedRow, RowSource};
 use crate::BipartiteAdjacency;
 use mc_geom::RankOracle;
@@ -36,6 +37,46 @@ impl<'a> OracleGraph<'a> {
     /// The underlying oracle.
     pub fn oracle(&self) -> &'a RankOracle {
         self.oracle
+    }
+
+    /// Materializes every strict-successor row once into an owned
+    /// [`BitsetGraph`], fanning the row computations out over
+    /// [`mc_geom::parallel_chunks`]. One `O(d·n/64)` rank-compare pass
+    /// per row — after which every scan of the returned graph is a pure
+    /// word load, `Θ(n²/64)` words resident.
+    ///
+    /// This is the seam the sharded engine's repair pass uses: a
+    /// warm-started Hopcroft–Karp revisits the same rows once per
+    /// BFS/DFS sweep per phase, so recomputing them from rank columns
+    /// every time costs more than the whole matching. Callers are
+    /// responsible for gating the `Θ(n²/64)` residency (the shard
+    /// engine checks `mc_geom::matrix_bytes` against its cache budget
+    /// first). Rows are bit-identical to the on-demand ones, so the
+    /// matching — and everything downstream — is unchanged.
+    pub fn materialize_cancellable(
+        &self,
+        token: &mc_obs::CancelToken,
+    ) -> Result<BitsetGraph<'static>, mc_obs::Cancelled> {
+        let n = self.oracle.len();
+        let words = RowSource::words(self);
+        let parts = mc_geom::parallel_chunks(n, |range| {
+            let mut rows: Vec<Box<[u64]>> = Vec::with_capacity(range.len());
+            let mut cp = mc_obs::cancel::Checkpoint::new(token);
+            for l in range {
+                cp.tick(words as u64)?;
+                let mut row = vec![0u64; words].into_boxed_slice();
+                self.oracle.strict_successor_row_into(l, &mut row);
+                rows.push(row);
+            }
+            Ok(rows)
+        });
+        let mut g = BitsetGraph::new(n);
+        for part in parts {
+            for row in part? {
+                g.push_owned_row(row);
+            }
+        }
+        Ok(g)
     }
 
     /// Counts edges by materializing each row once. `O(n)` row

@@ -707,3 +707,54 @@ fn passive_portfolio_rejects_unknown_engines_cleanly() {
     assert!(stderr.contains("expected one of"), "{stderr}");
     assert!(!stderr.contains("panicked"), "panic leaked: {stderr}");
 }
+
+#[test]
+fn passive_shards_flag_matches_sequential_answer() {
+    let data = write_temp("shards.csv", DEMO);
+    let seq = mcc().args(["passive"]).arg(&data).output().unwrap();
+    assert!(seq.status.success());
+    let out = mcc()
+        .args(["passive"])
+        .arg(&data)
+        .args(["--shards", "3"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Width-identical contract: the reported error is bit-identical to
+    // the sequential engines.
+    let line = |o: &std::process::Output| {
+        String::from_utf8_lossy(&o.stdout)
+            .lines()
+            .find(|l| l.starts_with("optimal weighted error"))
+            .map(str::to_owned)
+            .expect("error line")
+    };
+    assert_eq!(line(&out), line(&seq));
+}
+
+#[test]
+fn passive_shards_flag_rejects_bad_values() {
+    let data = write_temp("shards_bad.csv", DEMO);
+    for bad in ["0", "-2", "lots"] {
+        let out = mcc()
+            .args(["passive"])
+            .arg(&data)
+            .args(["--shards", bad])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(5), "--shards {bad} must exit 5");
+        assert!(String::from_utf8_lossy(&out.stderr).contains("--shards"));
+    }
+    // --shards is a per-solve override; the portfolio reads MC_SHARDS.
+    let out = mcc()
+        .args(["passive"])
+        .arg(&data)
+        .args(["--shards", "2", "--portfolio"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}

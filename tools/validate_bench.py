@@ -5,6 +5,11 @@ CI runs this from the repo root after the bench-smoke steps regenerate
 the records, so a bench that silently drops a section (or emits broken
 JSON) fails the build rather than rotting in the repo. Pass a directory
 to check records somewhere else.
+
+Validation is closed-world: every record must carry a `meta` provenance
+block (`git_sha`, `threads`), all sections its bench tag requires, and
+nothing else — an unknown top-level section fails the build instead of
+riding along unchecked until it rots.
 """
 import glob
 import json
@@ -14,9 +19,15 @@ import sys
 REQUIRED = {
     "dominance": ["config", "timings_ms", "speedup", "equivalence"],
     "flow": ["config", "sizes", "timings_ms", "edges", "speedup", "equivalence"],
-    "matching": ["config", "timings_ms", "speedup", "stats", "equivalence"],
-    "scale": ["config", "kernel", "parity", "telemetry", "sizes"],
+    "matching": ["config", "timings_ms", "speedup", "stats", "equivalence", "sharded"],
+    "scale": ["config", "kernel", "parity", "telemetry", "sizes", "sizes_sharded"],
 }
+
+# Sections every record carries regardless of bench tag.
+COMMON = ["bench", "meta"]
+
+# Provenance keys `meta` must carry (bench_meta_json in mc-bench).
+META_REQUIRED = ["git_sha", "threads"]
 
 SCALE_TELEMETRY = [
     "n",
@@ -32,6 +43,19 @@ SCALE_TELEMETRY = [
 def fail(msg):
     print(f"FAIL: {msg}")
     sys.exit(1)
+
+
+def check_meta(path, doc):
+    meta = doc.get("meta")
+    if not isinstance(meta, dict):
+        fail(f"{path}: missing or non-object `meta` provenance section")
+    missing = [k for k in META_REQUIRED if k not in meta]
+    if missing:
+        fail(f"{path}: meta section missing {missing}")
+    if not isinstance(meta["git_sha"], str) or not meta["git_sha"]:
+        fail(f"{path}: meta.git_sha must be a non-empty string")
+    if not isinstance(meta["threads"], int) or meta["threads"] < 1:
+        fail(f"{path}: meta.threads must be a positive integer")
 
 
 def main():
@@ -51,9 +75,17 @@ def main():
             fail(f"{path}: bench tag {name!r} does not match filename ({expected!r})")
         if name not in REQUIRED:
             fail(f"{path}: unknown bench {name!r} — add its schema to {__file__}")
+        check_meta(path, doc)
         missing = [k for k in REQUIRED[name] if k not in doc]
         if missing:
             fail(f"{path}: missing sections {missing}")
+        allowed = set(REQUIRED[name]) | set(COMMON)
+        unknown = sorted(k for k in doc if k not in allowed)
+        if unknown:
+            fail(
+                f"{path}: unknown top-level sections {unknown} — "
+                f"declare them in REQUIRED[{name!r}] or drop them"
+            )
         if name == "scale":
             t = doc["telemetry"]
             missing = [k for k in SCALE_TELEMETRY if k not in t]
@@ -70,6 +102,33 @@ def main():
                     f"{path}: telemetry overhead {t['overhead_frac']:.2%} "
                     "breaches the 2% budget"
                 )
+        if name == "matching":
+            sharded = doc["sharded"]
+            if not isinstance(sharded, dict):
+                fail(f"{path}: `sharded` must be an object with a `sizes` array")
+            for key in ("workload", "dim", "shards", "reps", "sizes"):
+                if key not in sharded:
+                    fail(f"{path}: sharded section missing {key!r}")
+            rows = sharded["sizes"]
+            if not isinstance(rows, list) or not rows:
+                fail(f"{path}: sharded.sizes must be a non-empty array of per-size rows")
+            for row in rows:
+                for key in (
+                    "n",
+                    "width",
+                    "sequential_1t_ms",
+                    "curve",
+                    "speedup_8t_vs_sequential",
+                    "width_identical",
+                ):
+                    if key not in row:
+                        fail(f"{path}: sharded row missing {key!r}: {row}")
+                if row["width_identical"] is not True:
+                    fail(f"{path}: sharded row n={row['n']} is not width-identical")
+                for pt in row["curve"]:
+                    for key in ("requested_threads", "effective_workers", "sharded_ms"):
+                        if key not in pt:
+                            fail(f"{path}: sharded curve point missing {key!r}: {pt}")
         print(f"{path}: OK ({name})")
     print(f"{len(paths)} bench records valid")
 
