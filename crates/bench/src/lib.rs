@@ -5,6 +5,7 @@
 
 pub mod experiments;
 pub mod report;
+pub mod serve_load;
 
 pub use report::{fmt_duration, fmt_f64, mean_std, Table};
 

@@ -1,0 +1,300 @@
+//! Load generator for the serve protocol (`mcc bench-serve`).
+//!
+//! The generator's job is to saturate a serve endpoint from a single
+//! process and report honest numbers, which on a small machine means
+//! three things:
+//!
+//! * **pipelining** — each connection keeps `pipeline_depth` frames in
+//!   flight (the server answers in order), so throughput is not gated
+//!   on round-trip latency;
+//! * **pre-serialized frames** — every distinct batch size in the mix
+//!   is encoded once up front with [`mc_serve::encode_classify`] (which
+//!   emits the server's fast-parse shape) and then replayed, so the
+//!   generator spends its cycles on I/O, not formatting;
+//! * **exact quantiles** — per-frame latencies are collected raw
+//!   (µs) and merged-sorted at the end; p50/p99 come from the actual
+//!   sample vector, not a sketch.
+//!
+//! Latency here is *frame* latency under pipelining: send-to-receive
+//! including server queueing, which is the number a capacity planner
+//! wants from a load test.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::io;
+use std::time::{Duration, Instant};
+
+/// Configuration for one load run.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Serve endpoint, e.g. `127.0.0.1:9137`.
+    pub addr: String,
+    /// How long to keep offering load (drain of in-flight frames is on
+    /// top of this).
+    pub duration: Duration,
+    /// Concurrent connections, each on its own thread.
+    pub connections: usize,
+    /// Frames kept in flight per connection.
+    pub pipeline_depth: usize,
+    /// Batch sizes cycled through per connection (the "mix").
+    pub batch_mix: Vec<usize>,
+    /// Point dimensionality (must match the served model).
+    pub dim: usize,
+    /// Seed for the query-point generator.
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        Self {
+            addr: String::new(),
+            duration: Duration::from_secs(5),
+            connections: 2,
+            pipeline_depth: 32,
+            batch_mix: vec![1, 16, 256, 1024],
+            dim: 4,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Aggregated results of a load run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Classify frames answered `ok`.
+    pub frames: u64,
+    /// Frames answered with an error payload (protocol-level, not I/O).
+    pub errors: u64,
+    /// Single-point classifications acknowledged (sum of batch sizes of
+    /// ok frames).
+    pub points: u64,
+    /// Wall-clock span from first send to last receive.
+    pub elapsed: Duration,
+    /// All per-frame latencies in microseconds, sorted ascending.
+    pub latencies_us: Vec<u64>,
+}
+
+impl LoadReport {
+    /// Ok-frames per second.
+    pub fn frames_per_sec(&self) -> f64 {
+        self.frames as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Single-point classifications per second — the "qps" a
+    /// single-point client would see from the same service rate.
+    pub fn points_per_sec(&self) -> f64 {
+        self.points as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Exact latency quantile (nearest-rank) in microseconds; `None`
+    /// when no frames completed.
+    pub fn latency_quantile_us(&self, q: f64) -> Option<u64> {
+        if self.latencies_us.is_empty() {
+            return None;
+        }
+        let n = self.latencies_us.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        Some(self.latencies_us[rank - 1])
+    }
+}
+
+/// One pre-serialized classify frame and the batch size it carries.
+struct PreparedFrame {
+    payload: Vec<u8>,
+    points: u64,
+}
+
+/// Pre-encodes one frame per batch size in the mix, with fresh random
+/// coordinates per frame (uniform in `[0, 1)` — the served model's
+/// anchors decide what fraction lands positive; the protocol cost is
+/// identical either way).
+fn prepare_frames(config: &LoadConfig, rng: &mut StdRng) -> Vec<PreparedFrame> {
+    config
+        .batch_mix
+        .iter()
+        .map(|&batch| {
+            let flat: Vec<f64> = (0..batch * config.dim)
+                .map(|_| rng.gen_range(0.0..1.0))
+                .collect();
+            PreparedFrame {
+                payload: mc_serve::encode_classify(&flat, config.dim),
+                points: batch as u64,
+            }
+        })
+        .collect()
+}
+
+/// Per-connection results before merging.
+struct ConnReport {
+    frames: u64,
+    errors: u64,
+    points: u64,
+    latencies_us: Vec<u64>,
+}
+
+/// Drives one connection: keeps the pipeline full until the deadline,
+/// then drains every in-flight frame.
+fn run_connection(
+    config: &LoadConfig,
+    conn_seed: u64,
+    deadline: Instant,
+) -> io::Result<ConnReport> {
+    let mut rng = StdRng::seed_from_u64(conn_seed);
+    let frames = prepare_frames(config, &mut rng);
+    let mut client = mc_serve::Client::connect(config.addr.as_str())?;
+
+    let mut report = ConnReport {
+        frames: 0,
+        errors: 0,
+        points: 0,
+        latencies_us: Vec::new(),
+    };
+    // (send instant, batch points) for each frame in flight, in order.
+    let mut in_flight: VecDeque<(Instant, u64)> = VecDeque::with_capacity(config.pipeline_depth);
+    let mut next = 0usize;
+
+    let receive_one = |client: &mut mc_serve::Client,
+                       in_flight: &mut VecDeque<(Instant, u64)>,
+                       report: &mut ConnReport|
+     -> io::Result<()> {
+        let resp = client.recv_raw()?;
+        let (sent_at, points) = in_flight.pop_front().expect("response without request");
+        let latency = sent_at.elapsed();
+        report.latencies_us.push(latency.as_micros() as u64);
+        if resp.starts_with(b"{\"ok\":true") {
+            report.frames += 1;
+            report.points += points;
+        } else {
+            report.errors += 1;
+        }
+        Ok(())
+    };
+
+    while Instant::now() < deadline {
+        while in_flight.len() < config.pipeline_depth {
+            let frame = &frames[next % frames.len()];
+            next += 1;
+            in_flight.push_back((Instant::now(), frame.points));
+            client.send_raw(&frame.payload)?;
+        }
+        receive_one(&mut client, &mut in_flight, &mut report)?;
+    }
+    while !in_flight.is_empty() {
+        receive_one(&mut client, &mut in_flight, &mut report)?;
+    }
+    Ok(report)
+}
+
+/// Runs the load described by `config` against a live endpoint and
+/// merges the per-connection results.
+///
+/// # Errors
+///
+/// Propagates the first connection or transport failure; partial
+/// results from other connections are discarded (a load run with a
+/// dead connection is not a valid measurement).
+pub fn run(config: &LoadConfig) -> io::Result<LoadReport> {
+    assert!(config.connections > 0, "need at least one connection");
+    assert!(
+        config.pipeline_depth > 0,
+        "need a pipeline depth of at least 1"
+    );
+    assert!(!config.batch_mix.is_empty(), "batch mix must be non-empty");
+    let started = Instant::now();
+    let deadline = started + config.duration;
+
+    let conn_reports: Vec<io::Result<ConnReport>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..config.connections)
+            .map(|i| {
+                let config = &*config;
+                s.spawn(move || {
+                    run_connection(config, config.seed.wrapping_add(i as u64), deadline)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load thread panicked"))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+
+    let mut merged = LoadReport {
+        frames: 0,
+        errors: 0,
+        points: 0,
+        elapsed,
+        latencies_us: Vec::new(),
+    };
+    for r in conn_reports {
+        let r = r?;
+        merged.frames += r.frames;
+        merged.errors += r.errors;
+        merged.points += r.points;
+        merged.latencies_us.extend(r.latencies_us);
+    }
+    merged.latencies_us.sort_unstable();
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_core::MonotoneClassifier;
+    use mc_serve::{spawn, ServeConfig};
+
+    #[test]
+    fn short_burst_against_local_server_reconciles() {
+        let h = MonotoneClassifier::from_anchors(3, vec![vec![0.5, 0.5, 0.5]]);
+        let server = spawn(ServeConfig::default(), h).expect("bind");
+        let config = LoadConfig {
+            addr: server.addr().to_string(),
+            duration: Duration::from_millis(200),
+            connections: 2,
+            pipeline_depth: 8,
+            batch_mix: vec![1, 64],
+            dim: 3,
+            seed: 7,
+        };
+        let report = run(&config).expect("load run");
+        assert!(report.frames > 0, "no frames completed");
+        assert_eq!(report.errors, 0);
+        assert!(report.points >= report.frames, "batches are >= 1 point");
+        assert_eq!(
+            report.latencies_us.len() as u64,
+            report.frames + report.errors
+        );
+        assert!(report.latencies_us.windows(2).all(|w| w[0] <= w[1]));
+        let p50 = report.latency_quantile_us(0.5).unwrap();
+        let p99 = report.latency_quantile_us(0.99).unwrap();
+        assert!(p50 <= p99);
+
+        // The server's own counters must agree with what we got back.
+        let mut probe = mc_serve::Client::connect(server.addr()).expect("connect");
+        let metrics = probe.metrics().expect("metrics");
+        let get = |k: &str| {
+            metrics
+                .get(k)
+                .and_then(mc_serve::JsonValue::as_u64)
+                .unwrap()
+        };
+        assert_eq!(get("requests"), report.frames + report.errors);
+        assert_eq!(get("points"), report.points);
+        server.shutdown_and_join();
+    }
+
+    #[test]
+    fn quantiles_are_nearest_rank() {
+        let report = LoadReport {
+            frames: 4,
+            errors: 0,
+            points: 4,
+            elapsed: Duration::from_secs(1),
+            latencies_us: vec![10, 20, 30, 40],
+        };
+        assert_eq!(report.latency_quantile_us(0.0), Some(10));
+        assert_eq!(report.latency_quantile_us(0.5), Some(20));
+        assert_eq!(report.latency_quantile_us(0.99), Some(40));
+        assert_eq!(report.latency_quantile_us(1.0), Some(40));
+    }
+}

@@ -60,7 +60,22 @@ impl MonotoneClassifier {
     }
 
     /// Builds a classifier from arbitrary anchors; dominated-redundant
-    /// anchors are pruned to restore minimality.
+    /// anchors are pruned to restore minimality, **canonically**: the
+    /// kept anchors are independent of the input order, stored in
+    /// lexicographic order with `-0.0` normalized to `0.0`, and exact
+    /// duplicates collapsed. Two anchor sets describing the same up-set
+    /// of minimal points therefore produce `==` classifiers (and
+    /// byte-identical CSV snapshots).
+    ///
+    /// Anchors containing `NaN` are dropped: no point dominates a `NaN`
+    /// coordinate under IEEE `>=`, so such an anchor can never classify
+    /// anything as 1 and removing it is behavior-identical.
+    ///
+    /// The sweep sorts first (`O(a log a)` comparisons), then scans in
+    /// lexicographic order where an anchor can only be made redundant by
+    /// an already-kept one — so pruning is `O(a·m·d)` for `m` kept
+    /// anchors instead of the former all-pairs `O(a²·d)` with
+    /// input-order-dependent survivors among duplicates.
     ///
     /// # Panics
     ///
@@ -70,22 +85,38 @@ impl MonotoneClassifier {
         for a in &anchors {
             assert_eq!(a.len(), dim, "anchor dimensionality mismatch");
         }
+        let mut canonical: Vec<Vec<f64>> = anchors
+            .into_iter()
+            .filter(|a| a.iter().all(|c| !c.is_nan()))
+            .map(|mut a| {
+                for c in &mut a {
+                    // -0.0 == 0.0 under the IEEE `>=` of `dominates`;
+                    // store the positive representative so total_cmp
+                    // sorting and PartialEq agree with classification.
+                    if *c == 0.0 {
+                        *c = 0.0;
+                    }
+                }
+                a
+            })
+            .collect();
+        canonical.sort_unstable_by(|a, b| {
+            a.iter()
+                .zip(b.iter())
+                .map(|(x, y)| x.total_cmp(y))
+                .find(|o| o.is_ne())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        canonical.dedup();
+        // If `b ⪯ a` (so `a` is redundant) then `b` sorts before `a`
+        // lexicographically; scanning in sorted order means every anchor
+        // that could prune `a` is already in `minimal`, and nothing kept
+        // is ever invalidated later.
         let mut minimal: Vec<Vec<f64>> = Vec::new();
-        'outer: for a in anchors {
-            // Skip `a` if an already-kept anchor is dominated by it
-            // (that anchor's up-set contains `a`'s).
-            let mut i = 0;
-            while i < minimal.len() {
-                if dominates(&a, &minimal[i]) {
-                    continue 'outer; // a is redundant
-                }
-                if dominates(&minimal[i], &a) {
-                    minimal.swap_remove(i); // kept anchor is redundant
-                } else {
-                    i += 1;
-                }
+        for a in canonical {
+            if !minimal.iter().any(|m| dominates(&a, m)) {
+                minimal.push(a);
             }
-            minimal.push(a);
         }
         Self {
             dim,

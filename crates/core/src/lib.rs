@@ -3,6 +3,9 @@
 //!
 //! * [`classifier`] — monotone classifiers in anchor (minimal-up-set)
 //!   representation; monotone by construction.
+//! * [`anchor_index`] — the rank-compressed query fast path
+//!   ([`AnchorIndex`]): `O(d log a + d·a/64)` word work per point,
+//!   bit-identical to the naive anchor scan.
 //! * [`passive`] — Problem 2: optimal weighted classification in
 //!   `O(d·n²) + T_maxflow(n)` via min-cut (Theorem 4), plus exponential
 //!   and 1D baselines.
@@ -19,6 +22,7 @@
 //!   comparators used in the experiments.
 
 pub mod active;
+pub mod anchor_index;
 pub mod baselines;
 pub mod classifier;
 pub mod decompose;
@@ -30,6 +34,7 @@ pub mod report;
 pub mod sampling;
 
 pub use active::{ActiveParams, ActiveSolution, ActiveSolver};
+pub use anchor_index::{AnchorIndex, QueryScratch};
 pub use classifier::{find_monotonicity_violation, MonotoneClassifier};
 pub use decompose::minimum_chains;
 pub use error::McError;

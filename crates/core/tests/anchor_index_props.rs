@@ -1,0 +1,271 @@
+//! Property tests for the anchor-index query fast path and the
+//! canonical anchor pruning behind it.
+//!
+//! Two families of invariants:
+//!
+//! * **Bit-identical queries**: [`AnchorIndex`] must answer every point
+//!   exactly like the naive anchor scan it replaces — across duplicate
+//!   anchors, per-dimension ties, signed zeros, infinities, `NaN`
+//!   queries, and the empty anchor set.
+//! * **Canonical pruning**: [`MonotoneClassifier::from_anchors`] must
+//!   classify identically to the raw, unpruned anchor list (including
+//!   `NaN`-poisoned anchors, which can never fire), keep an antichain,
+//!   and produce the *same* classifier regardless of input order or
+//!   duplication.
+
+use mc_core::{AnchorIndex, MonotoneClassifier, QueryScratch};
+use mc_geom::{dominates, Label};
+use proptest::prelude::*;
+
+/// Coordinate palette forcing duplicates, ties, signed zeros, and
+/// infinite sentinels (same spirit as the geom index props).
+const PALETTE: [f64; 8] = [
+    f64::NEG_INFINITY,
+    -0.0,
+    0.0,
+    -1.5,
+    1.0,
+    2.0,
+    3.25,
+    f64::INFINITY,
+];
+
+/// Query palette: everything an anchor can hold, plus `NaN` (queries
+/// may be `NaN`; canonical anchors never are).
+const QUERY_PALETTE: [f64; 9] = [
+    f64::NEG_INFINITY,
+    -0.0,
+    0.0,
+    -1.5,
+    1.0,
+    2.0,
+    3.25,
+    f64::INFINITY,
+    f64::NAN,
+];
+
+fn anchor_lists(max_n: usize, dim: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(0usize..PALETTE.len(), dim), 0..max_n).prop_map(
+        |rows| {
+            rows.into_iter()
+                .map(|row| row.into_iter().map(|i| PALETTE[i]).collect())
+                .collect()
+        },
+    )
+}
+
+/// Anchor lists that may also contain `NaN` coordinates (index 8 of the
+/// query palette), exercising the `from_anchors` drop path.
+fn raw_anchor_lists(max_n: usize, dim: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(
+        prop::collection::vec(0usize..QUERY_PALETTE.len(), dim),
+        0..max_n,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .map(|row| row.into_iter().map(|i| QUERY_PALETTE[i]).collect())
+            .collect()
+    })
+}
+
+fn query_points(max_n: usize, dim: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(
+        prop::collection::vec(0usize..QUERY_PALETTE.len(), dim),
+        0..max_n,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .map(|row| row.into_iter().map(|i| QUERY_PALETTE[i]).collect())
+            .collect()
+    })
+}
+
+/// The ground truth every fast path must reproduce: a raw scan over the
+/// *unpruned* anchor list.
+fn naive_scan(raw_anchors: &[Vec<f64>], p: &[f64]) -> Label {
+    Label::from_bool(raw_anchors.iter().any(|a| dominates(p, a)))
+}
+
+fn check_index_matches_naive(raw_anchors: Vec<Vec<f64>>, queries: &[Vec<f64>], dim: usize) {
+    let h = MonotoneClassifier::from_anchors(dim, raw_anchors.clone());
+    let idx = AnchorIndex::build(&h);
+    let mut scratch = QueryScratch::default();
+    for p in queries {
+        let expected = naive_scan(&raw_anchors, p);
+        assert_eq!(
+            h.classify(p),
+            expected,
+            "pruned classifier diverges on {p:?}"
+        );
+        assert_eq!(
+            idx.classify_with(p, &mut scratch),
+            expected,
+            "index diverges on {p:?} with anchors {:?}",
+            h.anchors()
+        );
+    }
+    // The flat batch kernel must agree point-for-point with the
+    // single-point path (and therefore with the naive scan).
+    let flat: Vec<f64> = queries.iter().flatten().copied().collect();
+    let batch = idx.classify_batch(&flat);
+    let singles: Vec<Label> = queries
+        .iter()
+        .map(|p| naive_scan(&raw_anchors, p))
+        .collect();
+    assert_eq!(batch, singles);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Index ≡ naive scan, across the dimensionalities the serving path
+    /// dispatches on, including NaN queries and NaN-poisoned anchors.
+    #[test]
+    fn index_matches_naive_scan_d1(
+        anchors in raw_anchor_lists(24, 1),
+        queries in query_points(32, 1),
+    ) {
+        check_index_matches_naive(anchors, &queries, 1);
+    }
+
+    #[test]
+    fn index_matches_naive_scan_d2(
+        anchors in raw_anchor_lists(24, 2),
+        queries in query_points(32, 2),
+    ) {
+        check_index_matches_naive(anchors, &queries, 2);
+    }
+
+    #[test]
+    fn index_matches_naive_scan_d3(
+        anchors in raw_anchor_lists(20, 3),
+        queries in query_points(24, 3),
+    ) {
+        check_index_matches_naive(anchors, &queries, 3);
+    }
+
+    #[test]
+    fn index_matches_naive_scan_d5(
+        anchors in raw_anchor_lists(16, 5),
+        queries in query_points(20, 5),
+    ) {
+        check_index_matches_naive(anchors, &queries, 5);
+    }
+
+    /// Pruning keeps a strict antichain of canonical representatives:
+    /// no kept anchor dominates another, no `NaN` survives, `-0.0` is
+    /// stored as `+0.0`, and the list is duplicate-free.
+    #[test]
+    fn pruned_anchors_form_canonical_antichain(anchors in raw_anchor_lists(24, 3)) {
+        let h = MonotoneClassifier::from_anchors(3, anchors);
+        let kept = h.anchors();
+        for (i, a) in kept.iter().enumerate() {
+            prop_assert!(a.iter().all(|c| !c.is_nan()));
+            prop_assert!(a.iter().all(|c| !(*c == 0.0 && c.is_sign_negative())));
+            for (j, b) in kept.iter().enumerate() {
+                if i != j {
+                    prop_assert!(
+                        !dominates(a, b),
+                        "kept anchor {a:?} dominates kept anchor {b:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Canonicality: reordering, reversing, and duplicating the input
+    /// anchors must produce the *same* classifier (`==`, not merely
+    /// equivalent), so snapshots are byte-stable across training runs.
+    #[test]
+    fn pruning_is_input_order_independent(
+        anchors in anchor_lists(20, 2),
+        mask in prop::collection::vec(prop::bool::ANY, 20),
+    ) {
+        let h = MonotoneClassifier::from_anchors(2, anchors.clone());
+
+        let mut reversed_doubled: Vec<Vec<f64>> = anchors.iter().rev().cloned().collect();
+        reversed_doubled.extend(anchors.iter().cloned());
+        prop_assert_eq!(
+            &MonotoneClassifier::from_anchors(2, reversed_doubled),
+            &h
+        );
+
+        // Mask-driven partition: kept-first/dropped-last is a different
+        // permutation for almost every mask.
+        let mut partitioned: Vec<Vec<f64>> = Vec::new();
+        for (i, a) in anchors.iter().enumerate() {
+            if mask.get(i).copied().unwrap_or(false) {
+                partitioned.push(a.clone());
+            }
+        }
+        for (i, a) in anchors.iter().enumerate() {
+            if !mask.get(i).copied().unwrap_or(false) {
+                partitioned.push(a.clone());
+            }
+        }
+        prop_assert_eq!(&MonotoneClassifier::from_anchors(2, partitioned), &h);
+    }
+
+    /// Signed-zero anchors and queries: `-0.0` and `0.0` must be fully
+    /// interchangeable on both sides of the comparison.
+    #[test]
+    fn signed_zeros_are_interchangeable(queries in query_points(24, 2)) {
+        let pos = MonotoneClassifier::from_anchors(2, vec![vec![0.0, 1.0]]);
+        let neg = MonotoneClassifier::from_anchors(2, vec![vec![-0.0, 1.0]]);
+        prop_assert_eq!(pos.anchors(), neg.anchors());
+        let idx = AnchorIndex::build(&pos);
+        let mut scratch = QueryScratch::default();
+        for p in &queries {
+            let flipped: Vec<f64> = p.iter().map(|&c| if c == 0.0 { -c } else { c }).collect();
+            prop_assert_eq!(
+                idx.classify_with(p, &mut scratch),
+                idx.classify_with(&flipped, &mut scratch)
+            );
+        }
+    }
+}
+
+/// Deterministic edges the palette cannot force reliably.
+mod edges {
+    use super::*;
+
+    #[test]
+    fn empty_anchor_set_classifies_everything_zero() {
+        let h = MonotoneClassifier::all_zero(4);
+        let idx = AnchorIndex::build(&h);
+        assert_eq!(idx.classify(&[f64::INFINITY; 4]), Label::Zero);
+        assert!(idx.classify_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn nan_only_anchor_list_is_all_zero() {
+        let h = MonotoneClassifier::from_anchors(2, vec![vec![f64::NAN, 0.0]]);
+        assert!(h.anchors().is_empty());
+        let idx = AnchorIndex::build(&h);
+        assert_eq!(idx.classify(&[f64::INFINITY, f64::INFINITY]), Label::Zero);
+    }
+
+    #[test]
+    fn duplicate_anchors_collapse_to_one() {
+        let h = MonotoneClassifier::from_anchors(
+            2,
+            vec![vec![1.0, 2.0], vec![1.0, 2.0], vec![1.0, 2.0]],
+        );
+        assert_eq!(h.anchors().len(), 1);
+    }
+
+    #[test]
+    fn many_anchors_cross_block_boundary() {
+        // > 256 anchors so the u64×4 kernel runs its blocked body.
+        let anchors: Vec<Vec<f64>> = (0..520).map(|i| vec![i as f64, (520 - i) as f64]).collect();
+        let raw = anchors.clone();
+        let h = MonotoneClassifier::from_anchors(2, anchors);
+        assert_eq!(h.anchors().len(), 520);
+        let idx = AnchorIndex::build(&h);
+        let mut scratch = QueryScratch::default();
+        for i in 0..200 {
+            let p = vec![(i * 5) as f64 - 2.0, (i * 3) as f64 + 0.5];
+            assert_eq!(idx.classify_with(&p, &mut scratch), naive_scan(&raw, &p));
+        }
+    }
+}

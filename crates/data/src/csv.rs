@@ -200,6 +200,38 @@ pub fn classifier_to_csv(classifier: &MonotoneClassifier) -> String {
     out
 }
 
+/// Parses feature-only rows (`d` columns, no label/weight) into a
+/// [`mc_geom::PointSet`] — the input format of `mcc classify` and the serve load
+/// generator. Features must be finite, matching [`parse_labeled`].
+pub fn parse_points(text: &str) -> Result<mc_geom::PointSet, CsvError> {
+    let rows = parse_rows(text)?;
+    let dim = rows[0].1.len();
+    let mut out = mc_geom::PointSet::new(dim);
+    for (line, row) in rows {
+        check_finite_features(&row, line)?;
+        out.push(&row);
+    }
+    Ok(out)
+}
+
+/// Like [`classifier_from_csv`], but infers the dimensionality from the
+/// first anchor row instead of requiring it up front — the natural entry
+/// point for standalone model files (serve snapshots, `mcc classify`).
+///
+/// An empty file is rejected with [`CsvError::Empty`]: with no rows
+/// there is nothing to infer the dimensionality from (callers that know
+/// the dimensionality can still get the all-zero classifier from
+/// [`classifier_from_csv`]).
+pub fn classifier_from_csv_auto(text: &str) -> Result<MonotoneClassifier, CsvError> {
+    let rows = parse_rows(text)?;
+    let dim = rows[0].1.len();
+    let mut anchors = Vec::with_capacity(rows.len());
+    for (_, row) in rows {
+        anchors.push(row);
+    }
+    Ok(MonotoneClassifier::from_anchors(dim, anchors))
+}
+
 /// Parses a classifier from anchor rows (`d` columns each).
 pub fn classifier_from_csv(text: &str, dim: usize) -> Result<MonotoneClassifier, CsvError> {
     if text.trim().is_empty() {
@@ -313,5 +345,37 @@ mod tests {
     fn empty_classifier_is_all_zero() {
         let h = classifier_from_csv("", 2).unwrap();
         assert_eq!(h, MonotoneClassifier::all_zero(2));
+    }
+
+    #[test]
+    fn auto_dim_matches_explicit() {
+        let h = MonotoneClassifier::from_anchors(3, vec![vec![1.0, 2.0, -1.0]]);
+        let csv = classifier_to_csv(&h);
+        assert_eq!(classifier_from_csv_auto(&csv).unwrap(), h);
+        assert_eq!(classifier_from_csv_auto(&csv).unwrap().dim(), 3);
+    }
+
+    #[test]
+    fn auto_dim_rejects_empty() {
+        assert_eq!(classifier_from_csv_auto("").unwrap_err(), CsvError::Empty);
+        assert_eq!(
+            classifier_from_csv_auto("# only comments\n").unwrap_err(),
+            CsvError::Empty
+        );
+    }
+
+    #[test]
+    fn parse_points_feature_only_rows() {
+        let ps = parse_points("x,y\n1.0,2.0\n3.5,-1.0\n").unwrap();
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps.dim(), 2);
+        assert_eq!(ps.point(1), &[3.5, -1.0]);
+    }
+
+    #[test]
+    fn parse_points_rejects_non_finite() {
+        let err = parse_points("1.0,2.0\ninf,0.0\n").unwrap_err();
+        assert_eq!(err, CsvError::NonFinite { line: 2 });
+        assert_eq!(parse_points("").unwrap_err(), CsvError::Empty);
     }
 }

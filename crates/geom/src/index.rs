@@ -540,6 +540,23 @@ pub fn compress_column_ranks(values: &[f64]) -> Vec<u32> {
     out
 }
 
+/// Like [`compress_column_ranks`], but also returns the sorted distinct
+/// canonical values backing the ranks: `values[r]` is the coordinate
+/// every rank-`r` entry shares (`-0.0` stored as `0.0`). The pair lets a
+/// consumer translate an arbitrary query coordinate `q` into the rank
+/// domain with one binary search: `values.partition_point(|v| *v <= q)`
+/// counts the ranks at or below `q` under the same IEEE `<=` the naive
+/// dominance scan uses (`NaN` queries count zero, matching `dominates`).
+pub fn compress_column_ranks_with_values(values: &[f64]) -> (Vec<u32>, Vec<f64>) {
+    let ranks = compress_column_ranks(values);
+    let num_ranks = ranks.iter().map(|&r| r as usize + 1).max().unwrap_or(0);
+    let mut distinct = vec![0.0f64; num_ranks];
+    for (&r, &v) in ranks.iter().zip(values) {
+        distinct[r as usize] = canon(v);
+    }
+    (ranks, distinct)
+}
+
 /// Dense per-dimension rank compression, column-major.
 fn compress_ranks(points: &PointSet) -> Vec<u32> {
     try_compress_ranks(points, &CancelToken::never()).expect("a never-token cannot cancel")

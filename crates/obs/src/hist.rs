@@ -109,6 +109,31 @@ impl Histogram {
             .collect()
     }
 
+    /// Approximate `q`-quantile (`0.0 ≤ q ≤ 1.0`) read off the log
+    /// buckets: finds the bucket containing the observation of rank
+    /// `⌈q·count⌉` and returns its upper bound, clamped to the observed
+    /// maximum — exact for bucket 0 (the value 0) and for the top rank,
+    /// otherwise an at-most-2× overestimate (the bucket width). `None`
+    /// when the histogram is empty or `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let count = self.count();
+        if count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for k in 0..NUM_BUCKETS {
+            seen += self.bucket(k);
+            if seen >= rank {
+                let (_, hi) = bucket_bounds(k);
+                // The global max lives in some bucket ≥ k, so clamping
+                // never drops below this bucket's lower bound.
+                return Some(hi.min(self.max.load(Relaxed)));
+            }
+        }
+        Some(self.max.load(Relaxed))
+    }
+
     /// Resets every statistic to the empty state.
     pub fn reset(&self) {
         for b in &self.buckets {
@@ -180,6 +205,41 @@ mod tests {
         assert_eq!(h.min(), None);
         assert_eq!(h.max(), None);
         assert!(h.nonzero_buckets().is_empty());
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantiles_walk_the_buckets() {
+        let h = Histogram::new();
+        // 90 observations of 1, 10 of 1000: p50 sits in bucket [1,1],
+        // p99 in 1000's bucket, clamped to the observed max.
+        for _ in 0..90 {
+            h.record(1);
+        }
+        for _ in 0..10 {
+            h.record(1000);
+        }
+        assert_eq!(h.quantile(0.5), Some(1));
+        assert_eq!(h.quantile(0.9), Some(1));
+        assert_eq!(h.quantile(0.99), Some(1000));
+        assert_eq!(h.quantile(1.0), Some(1000));
+        // q = 0 is the rank-1 observation.
+        assert_eq!(h.quantile(0.0), Some(1));
+        // Out-of-range q is rejected, not clamped.
+        assert_eq!(h.quantile(1.5), None);
+        assert_eq!(h.quantile(-0.1), None);
+    }
+
+    #[test]
+    fn quantile_never_exceeds_max() {
+        let h = Histogram::new();
+        for v in [3u64, 5, 9, 900, 1_000_000] {
+            h.record(v);
+        }
+        for q in [0.0, 0.25, 0.5, 0.75, 0.99, 1.0] {
+            let est = h.quantile(q).expect("non-empty");
+            assert!(est <= h.max().expect("non-empty"), "q {q} est {est}");
+        }
     }
 
     #[test]

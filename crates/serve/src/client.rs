@@ -1,0 +1,182 @@
+//! Blocking client for the serve protocol, with explicit pipelining.
+//!
+//! [`Client`] wraps one TCP connection. The request/response helpers
+//! ([`Client::classify`], [`Client::metrics`], …) are strictly
+//! synchronous; the raw [`Client::send_raw`] / [`Client::recv_raw`]
+//! pair lets a load generator keep many frames in flight on one
+//! connection (the server answers in order), which is what makes a
+//! single connection saturate the query path without async machinery.
+
+use crate::json_in::{self, JsonValue};
+use crate::protocol::{
+    check_ok, encode_classify, parse_classify_response, write_frame, FrameReader, MAX_FRAME_BYTES,
+};
+use std::io::{self, Write as _};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Client-side errors.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server sent something the protocol does not allow, or
+    /// answered `{"ok":false,…}` (the message is the server's).
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<String> for ClientError {
+    fn from(m: String) -> Self {
+        ClientError::Protocol(m)
+    }
+}
+
+/// A reply to a classify request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassifyReply {
+    /// Snapshot generation that produced the labels.
+    pub generation: u64,
+    /// One 0/1 label per input row, in order.
+    pub labels: Vec<u8>,
+}
+
+/// One connection to a serve endpoint.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    reader: FrameReader,
+    max_frame_bytes: usize,
+}
+
+impl Client {
+    /// Connects (Nagle disabled — frames are already batched).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            reader: FrameReader::new(),
+            max_frame_bytes: MAX_FRAME_BYTES,
+        })
+    }
+
+    /// Sets a receive timeout for subsequent reads (`None` blocks
+    /// forever, the default).
+    pub fn set_recv_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Sends one already-encoded request frame without waiting for the
+    /// response (pipelining).
+    pub fn send_raw(&mut self, payload: &[u8]) -> io::Result<()> {
+        write_frame(&mut self.stream, payload)?;
+        self.stream.flush()
+    }
+
+    /// Receives the next response frame (blocks; respects
+    /// [`Self::set_recv_timeout`]).
+    pub fn recv_raw(&mut self) -> io::Result<Vec<u8>> {
+        self.reader
+            .read_frame(&mut self.stream, self.max_frame_bytes, None)?
+            .ok_or_else(|| {
+                io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+            })
+    }
+
+    /// One synchronous request/response round trip.
+    pub fn request(&mut self, payload: &[u8]) -> io::Result<Vec<u8>> {
+        self.send_raw(payload)?;
+        self.recv_raw()
+    }
+
+    fn request_tree(&mut self, payload: &[u8]) -> Result<JsonValue, ClientError> {
+        let resp = self.request(payload)?;
+        let tree = json_in::parse(&resp)?;
+        check_ok(&tree)?;
+        Ok(tree)
+    }
+
+    /// Classifies a batch given as flat row-major coordinates.
+    pub fn classify_flat(
+        &mut self,
+        data: &[f64],
+        dim: usize,
+    ) -> Result<ClassifyReply, ClientError> {
+        let frame = encode_classify(data, dim);
+        let resp = self.request(&frame)?;
+        let (generation, labels) = parse_classify_response(&resp)?;
+        Ok(ClassifyReply { generation, labels })
+    }
+
+    /// Classifies a batch of coordinate rows.
+    pub fn classify(&mut self, rows: &[Vec<f64>]) -> Result<ClassifyReply, ClientError> {
+        let dim = rows.first().map_or(0, Vec::len);
+        let mut flat = Vec::with_capacity(rows.len() * dim);
+        for row in rows {
+            if row.len() != dim {
+                return Err(ClientError::Protocol(format!(
+                    "ragged batch: row has {} coordinates, expected {dim}",
+                    row.len()
+                )));
+            }
+            flat.extend_from_slice(row);
+        }
+        self.classify_flat(&flat, dim)
+    }
+
+    /// Asks the server to swap in a new snapshot; returns the new
+    /// generation.
+    pub fn reload(&mut self, path: Option<&str>) -> Result<u64, ClientError> {
+        let frame = match path {
+            Some(p) => format!(
+                "{{\"op\":\"reload\",\"path\":\"{}\"}}",
+                mc_obs::json::escape(p)
+            )
+            .into_bytes(),
+            None => b"{\"op\":\"reload\"}".to_vec(),
+        };
+        let tree = self.request_tree(&frame)?;
+        tree.get("generation")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| ClientError::Protocol("reload reply missing generation".into()))
+    }
+
+    /// Fetches the server's metrics object.
+    pub fn metrics(&mut self) -> Result<JsonValue, ClientError> {
+        let tree = self.request_tree(b"{\"op\":\"metrics\"}")?;
+        tree.get("metrics")
+            .cloned()
+            .ok_or_else(|| ClientError::Protocol("metrics reply missing body".into()))
+    }
+
+    /// Liveness probe; returns the current generation.
+    pub fn ping(&mut self) -> Result<u64, ClientError> {
+        let tree = self.request_tree(b"{\"op\":\"ping\"}")?;
+        tree.get("generation")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| ClientError::Protocol("ping reply missing generation".into()))
+    }
+
+    /// Asks the server to drain and exit.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.request_tree(b"{\"op\":\"shutdown\"}")?;
+        Ok(())
+    }
+}

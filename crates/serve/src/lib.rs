@@ -1,0 +1,57 @@
+//! Serving layer for monotone classifiers.
+//!
+//! The paper's output is a classifier; this crate is how one is put in
+//! front of traffic. Design constraints, in order:
+//!
+//! 1. **Zero dependencies** — std TCP, hand-rolled JSON (inbound:
+//!    [`json_in`]; outbound: `mc_obs::json`). No async runtime: one
+//!    thread per connection with frame pipelining is plenty for a
+//!    single-host million-QPS target when the per-point work is the
+//!    `O(d log a + d·a/64)` [`mc_core::AnchorIndex`] path.
+//! 2. **Snapshot semantics** — the model is immutable while serving;
+//!    `reload` atomically swaps an `Arc` ([`SnapshotStore`]), every
+//!    classify batch is answered from exactly one generation, and
+//!    responses say which. No request is ever dropped or served torn
+//!    across a swap.
+//! 3. **Observable** — always-on server counters and latency
+//!    histograms ([`ServeStats`]), mirrored into the `serve.*` mc-obs
+//!    namespace for `--telemetry`/`--obs`, and exposed to clients via
+//!    the `metrics` control frame.
+//!
+//! Wire format: length-prefixed JSON frames (see [`protocol`]).
+//! Entry points: [`spawn`] (server), [`Client`] (blocking client with
+//! raw pipelining hooks), `mcc serve` / `mcc bench-serve` (CLI).
+
+pub mod client;
+pub mod json_in;
+pub mod protocol;
+pub mod server;
+pub mod snapshot;
+pub mod stats;
+
+pub use client::{ClassifyReply, Client, ClientError};
+pub use json_in::JsonValue;
+pub use protocol::{encode_classify, FrameReader, Request, MAX_FRAME_BYTES};
+pub use server::{spawn, ServeConfig, ServerHandle};
+pub use snapshot::{ModelSnapshot, SnapshotStore};
+pub use stats::ServeStats;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_core::MonotoneClassifier;
+
+    #[test]
+    fn end_to_end_classify_roundtrip() {
+        let h = MonotoneClassifier::from_anchors(2, vec![vec![1.0, 1.0]]);
+        let server = spawn(ServeConfig::default(), h).expect("bind");
+        let mut client = Client::connect(server.addr()).expect("connect");
+        assert_eq!(client.ping().unwrap(), 1);
+        let reply = client
+            .classify(&[vec![2.0, 2.0], vec![0.0, 0.0], vec![1.0, 1.0]])
+            .unwrap();
+        assert_eq!(reply.generation, 1);
+        assert_eq!(reply.labels, vec![1, 0, 1]);
+        server.shutdown_and_join();
+    }
+}

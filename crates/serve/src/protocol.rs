@@ -1,0 +1,610 @@
+//! Wire protocol: length-prefixed JSON frames.
+//!
+//! Every message — request or response — is one *frame*: a `u32`
+//! little-endian payload length followed by that many bytes of UTF-8
+//! JSON. Requests are objects dispatched on their `"op"` field:
+//!
+//! | op         | request fields                | response |
+//! |------------|-------------------------------|----------|
+//! | `classify` | `points`: array of coordinate rows | `{"ok":true,"generation":G,"labels":[0,1,…]}` |
+//! | `reload`   | `path` (optional): CSV snapshot to load | `{"ok":true,"generation":G,"anchors":N,"dim":D}` |
+//! | `metrics`  | —                             | `{"ok":true,"metrics":{…}}` |
+//! | `ping`     | —                             | `{"ok":true,"generation":G}` |
+//! | `shutdown` | —                             | `{"ok":true,"draining":true}` |
+//!
+//! Failures are `{"ok":false,"error":"…"}` with the connection left
+//! open (a malformed *frame header* closes the connection; a malformed
+//! *request* inside a well-formed frame does not).
+//!
+//! Framing keeps the transport trivially pipelineable: a client may
+//! write any number of request frames before reading responses, and the
+//! server answers strictly in order on each connection.
+
+use crate::json_in::{self, JsonValue};
+use std::io::{self, Read, Write};
+use std::time::Duration;
+
+/// Default cap on a single frame's payload (requests and responses).
+/// 64 MiB admits multi-million-point batches while bounding what one
+/// connection can make the server buffer.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// Length of the frame header (little-endian `u32` payload length).
+pub const FRAME_HEADER_BYTES: usize = 4;
+
+/// A parsed request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Classify a batch: flat row-major coordinates, `dim` per row.
+    /// `n == 0` means the empty batch (then `dim` is 0 too).
+    Classify {
+        /// Flat coordinate buffer, `n * dim` values.
+        data: Vec<f64>,
+        /// Row width.
+        dim: usize,
+        /// Row count.
+        n: usize,
+    },
+    /// Swap in a new model snapshot, optionally from an explicit path
+    /// (otherwise the server's configured model path).
+    Reload {
+        /// CSV snapshot path; `None` re-reads the serve-time path.
+        path: Option<String>,
+    },
+    /// Report server-side counters and latency quantiles.
+    Metrics,
+    /// Liveness check.
+    Ping,
+    /// Ask the server to drain and exit.
+    Shutdown,
+}
+
+/// Parses one request payload. The classify fast path is tried first;
+/// everything else goes through the generic JSON parser.
+pub fn parse_request(payload: &[u8]) -> Result<Request, String> {
+    if let Some((data, dim, n)) = json_in::fast_classify_frame(payload) {
+        return Ok(Request::Classify { data, dim, n });
+    }
+    let tree = json_in::parse(payload)?;
+    let op = tree
+        .get("op")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing \"op\" field")?;
+    match op {
+        "classify" => {
+            let rows = tree
+                .get("points")
+                .and_then(JsonValue::as_arr)
+                .ok_or("classify: missing \"points\" array")?;
+            let mut data = Vec::new();
+            let mut dim = 0usize;
+            for (i, row) in rows.iter().enumerate() {
+                let row = row
+                    .as_arr()
+                    .ok_or_else(|| format!("classify: row {i} is not an array"))?;
+                if i == 0 {
+                    dim = row.len();
+                } else if row.len() != dim {
+                    return Err(format!(
+                        "classify: row {i} has {} coordinates, expected {dim}",
+                        row.len()
+                    ));
+                }
+                for (k, v) in row.iter().enumerate() {
+                    data.push(
+                        v.as_f64().ok_or_else(|| {
+                            format!("classify: row {i} column {k} is not a number")
+                        })?,
+                    );
+                }
+            }
+            Ok(Request::Classify {
+                data,
+                dim,
+                n: rows.len(),
+            })
+        }
+        "reload" => {
+            let path = match tree.get("path") {
+                None | Some(JsonValue::Null) => None,
+                Some(v) => Some(
+                    v.as_str()
+                        .ok_or("reload: \"path\" must be a string")?
+                        .to_string(),
+                ),
+            };
+            Ok(Request::Reload { path })
+        }
+        "metrics" => Ok(Request::Metrics),
+        "ping" => Ok(Request::Ping),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+/// Serializes a classify request in the canonical (fast-path) shape
+/// from a flat row-major buffer.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a multiple of `dim` (for `dim > 0`),
+/// or if any coordinate is non-finite — JSON has no encoding for those
+/// and the server would reject the row anyway.
+pub fn encode_classify(data: &[f64], dim: usize) -> Vec<u8> {
+    assert!(
+        dim > 0 || data.is_empty(),
+        "dim 0 admits only the empty batch"
+    );
+    if dim > 0 {
+        assert_eq!(data.len() % dim, 0, "flat buffer must be n*dim values");
+    }
+    let mut out = Vec::with_capacity(32 + data.len() * 8);
+    out.extend_from_slice(b"{\"op\":\"classify\",\"points\":[");
+    let n = data.len().checked_div(dim).unwrap_or(0);
+    let mut scratch = String::with_capacity(24);
+    for i in 0..n {
+        if i > 0 {
+            out.push(b',');
+        }
+        out.push(b'[');
+        for (k, &v) in data[i * dim..(i + 1) * dim].iter().enumerate() {
+            assert!(v.is_finite(), "JSON cannot carry non-finite coordinates");
+            if k > 0 {
+                out.push(b',');
+            }
+            scratch.clear();
+            {
+                use std::fmt::Write as _;
+                let _ = write!(scratch, "{v}");
+            }
+            out.extend_from_slice(scratch.as_bytes());
+        }
+        out.push(b']');
+    }
+    out.extend_from_slice(b"]}");
+    out
+}
+
+/// Builds the classify success response: generation plus one 0/1 digit
+/// per label.
+pub fn encode_classify_response(generation: u64, labels: &[mc_geom::Label]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(40 + labels.len() * 2);
+    out.extend_from_slice(b"{\"ok\":true,\"generation\":");
+    out.extend_from_slice(generation.to_string().as_bytes());
+    out.extend_from_slice(b",\"labels\":[");
+    for (i, l) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(b',');
+        }
+        out.push(b'0' + l.as_u8());
+    }
+    out.extend_from_slice(b"]}");
+    out
+}
+
+/// Builds the error response for a well-framed but unservable request.
+pub fn encode_error(msg: &str) -> Vec<u8> {
+    format!(
+        "{{\"ok\":false,\"error\":\"{}\"}}",
+        mc_obs::json::escape(msg)
+    )
+    .into_bytes()
+}
+
+/// Parses a classify response; returns `(generation, labels)`.
+pub fn parse_classify_response(payload: &[u8]) -> Result<(u64, Vec<u8>), String> {
+    // Fast path mirroring `encode_classify_response` byte-for-byte.
+    const PREFIX: &[u8] = b"{\"ok\":true,\"generation\":";
+    if let Some(rest) = payload.strip_prefix(PREFIX) {
+        if let Some(comma) = rest.iter().position(|&b| b == b',') {
+            let generation = std::str::from_utf8(&rest[..comma])
+                .ok()
+                .and_then(|s| s.parse::<u64>().ok());
+            if let (Some(generation), Some(body)) = (
+                generation,
+                rest[comma..]
+                    .strip_prefix(b",\"labels\":[")
+                    .and_then(|b| b.strip_suffix(b"]}")),
+            ) {
+                let mut labels = Vec::with_capacity(body.len() / 2 + 1);
+                let mut ok = true;
+                for (i, &b) in body.iter().enumerate() {
+                    if i % 2 == 0 {
+                        match b {
+                            b'0' => labels.push(0u8),
+                            b'1' => labels.push(1u8),
+                            _ => {
+                                ok = false;
+                                break;
+                            }
+                        }
+                    } else if b != b',' {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok && (body.is_empty() || body.len() == 2 * labels.len() - 1) {
+                    return Ok((generation, labels));
+                }
+            }
+        }
+    }
+    // Generic fallback (also the path that surfaces server errors).
+    let tree = json_in::parse(payload)?;
+    check_ok(&tree)?;
+    let generation = tree
+        .get("generation")
+        .and_then(JsonValue::as_u64)
+        .ok_or("response missing generation")?;
+    let labels = tree
+        .get("labels")
+        .and_then(JsonValue::as_arr)
+        .ok_or("response missing labels")?
+        .iter()
+        .map(|v| match v.as_u64() {
+            Some(0) => Ok(0u8),
+            Some(1) => Ok(1u8),
+            _ => Err("label is not 0/1".to_string()),
+        })
+        .collect::<Result<Vec<u8>, String>>()?;
+    Ok((generation, labels))
+}
+
+/// Surfaces `{"ok":false,"error":…}` responses as `Err`.
+pub fn check_ok(tree: &JsonValue) -> Result<(), String> {
+    match tree.get("ok").and_then(JsonValue::as_bool) {
+        Some(true) => Ok(()),
+        Some(false) => Err(tree
+            .get("error")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("unspecified server error")
+            .to_string()),
+        None => Err("response missing \"ok\" field".to_string()),
+    }
+}
+
+/// Writes one frame (header + payload).
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Incremental frame reader: buffers raw socket reads and yields whole
+/// payloads. Safe across read timeouts — a `WouldBlock`/`TimedOut`
+/// error never loses buffered bytes (unlike `read_exact`, which has no
+/// resumable state), which is what lets the server poll a shutdown flag
+/// between reads while frames trickle in.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    /// Bytes of `buf` that hold real data (the rest is spare capacity).
+    filled: usize,
+    /// Consumed prefix of the filled region.
+    consumed: usize,
+}
+
+/// One step of [`FrameReader::poll_frame`].
+#[derive(Debug)]
+pub enum FrameEvent {
+    /// A complete payload.
+    Frame(Vec<u8>),
+    /// The peer closed cleanly at a frame boundary.
+    Eof,
+    /// The read timed out; `partial` says whether a frame is mid-flight.
+    TimedOut {
+        /// `true` when buffered bytes form an incomplete frame.
+        partial: bool,
+    },
+}
+
+impl FrameReader {
+    /// A reader with an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn pending(&self) -> &[u8] {
+        &self.buf[self.consumed..self.filled]
+    }
+
+    /// Tries to pop one complete frame from the buffer.
+    fn take_buffered(&mut self, max_payload: usize) -> io::Result<Option<Vec<u8>>> {
+        let pending = self.pending();
+        if pending.len() < FRAME_HEADER_BYTES {
+            return Ok(None);
+        }
+        let len =
+            u32::from_le_bytes(pending[..FRAME_HEADER_BYTES].try_into().expect("4 bytes")) as usize;
+        if len > max_payload {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame of {len} bytes exceeds the {max_payload}-byte limit"),
+            ));
+        }
+        if pending.len() < FRAME_HEADER_BYTES + len {
+            return Ok(None);
+        }
+        let payload = pending[FRAME_HEADER_BYTES..FRAME_HEADER_BYTES + len].to_vec();
+        self.consumed += FRAME_HEADER_BYTES + len;
+        if self.consumed == self.filled {
+            self.consumed = 0;
+            self.filled = 0;
+        } else if self.consumed >= 4096 {
+            self.buf.copy_within(self.consumed..self.filled, 0);
+            self.filled -= self.consumed;
+            self.consumed = 0;
+        }
+        Ok(Some(payload))
+    }
+
+    /// Reads until one frame completes, EOF, or a read timeout.
+    ///
+    /// Timeouts (`WouldBlock`/`TimedOut`) surface as
+    /// [`FrameEvent::TimedOut`] so the caller can decide whether to keep
+    /// waiting (e.g. drain mode with a frame mid-flight) or stop; every
+    /// other I/O error propagates. EOF with a partial frame buffered is
+    /// an `UnexpectedEof` error, not a clean close.
+    pub fn poll_frame(&mut self, r: &mut impl Read, max_payload: usize) -> io::Result<FrameEvent> {
+        loop {
+            if let Some(payload) = self.take_buffered(max_payload)? {
+                return Ok(FrameEvent::Frame(payload));
+            }
+            if self.buf.len() < self.filled + 64 * 1024 {
+                self.buf.resize(self.filled + 64 * 1024, 0);
+            }
+            match r.read(&mut self.buf[self.filled..]) {
+                Ok(0) => {
+                    return if self.pending().is_empty() {
+                        Ok(FrameEvent::Eof)
+                    } else {
+                        Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "connection closed mid-frame",
+                        ))
+                    };
+                }
+                Ok(got) => self.filled += got,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Ok(FrameEvent::TimedOut {
+                        partial: !self.pending().is_empty(),
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Blocking convenience: reads one frame, treating timeouts as
+    /// "keep waiting" up to `deadline_polls` timeout events (`None` =
+    /// wait forever). Returns `Ok(None)` on clean EOF.
+    pub fn read_frame(
+        &mut self,
+        r: &mut impl Read,
+        max_payload: usize,
+        deadline_polls: Option<u32>,
+    ) -> io::Result<Option<Vec<u8>>> {
+        let mut polls = 0u32;
+        loop {
+            match self.poll_frame(r, max_payload)? {
+                FrameEvent::Frame(p) => return Ok(Some(p)),
+                FrameEvent::Eof => return Ok(None),
+                FrameEvent::TimedOut { .. } => {
+                    polls += 1;
+                    if let Some(limit) = deadline_polls {
+                        if polls >= limit {
+                            return Err(io::Error::new(
+                                io::ErrorKind::TimedOut,
+                                "timed out waiting for a frame",
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The read timeout worker connections poll at; bounds how long a drain
+/// waits past the last buffered byte.
+pub const READ_POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_geom::Label;
+
+    fn frame_bytes(payload: &[u8]) -> Vec<u8> {
+        let mut out = (payload.len() as u32).to_le_bytes().to_vec();
+        out.extend_from_slice(payload);
+        out
+    }
+
+    #[test]
+    fn frames_round_trip_through_reader() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"abc").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        write_frame(&mut wire, b"defg").unwrap();
+        let mut cursor = io::Cursor::new(wire);
+        let mut reader = FrameReader::new();
+        assert_eq!(
+            reader.read_frame(&mut cursor, 1024, None).unwrap(),
+            Some(b"abc".to_vec())
+        );
+        assert_eq!(
+            reader.read_frame(&mut cursor, 1024, None).unwrap(),
+            Some(b"".to_vec())
+        );
+        assert_eq!(
+            reader.read_frame(&mut cursor, 1024, None).unwrap(),
+            Some(b"defg".to_vec())
+        );
+        assert_eq!(reader.read_frame(&mut cursor, 1024, None).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected() {
+        let wire = frame_bytes(&[0u8; 100]);
+        let mut cursor = io::Cursor::new(wire);
+        let mut reader = FrameReader::new();
+        let err = reader.read_frame(&mut cursor, 10, None).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn eof_mid_frame_is_an_error() {
+        let mut wire = frame_bytes(b"hello");
+        wire.truncate(6); // header + 2 payload bytes
+        let mut cursor = io::Cursor::new(wire);
+        let mut reader = FrameReader::new();
+        let err = reader.read_frame(&mut cursor, 1024, None).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    /// A reader that yields `WouldBlock` between each byte — the worst
+    /// case a read timeout can produce.
+    struct Trickle {
+        data: Vec<u8>,
+        pos: usize,
+        ready: bool,
+    }
+
+    impl Read for Trickle {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.pos >= self.data.len() {
+                return Ok(0);
+            }
+            if !self.ready {
+                self.ready = true;
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "not yet"));
+            }
+            self.ready = false;
+            buf[0] = self.data[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn reader_survives_interleaved_timeouts() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"slow frame").unwrap();
+        let mut trickle = Trickle {
+            data: wire,
+            pos: 0,
+            ready: false,
+        };
+        let mut reader = FrameReader::new();
+        let mut frames = Vec::new();
+        let mut timeouts = 0;
+        loop {
+            match reader.poll_frame(&mut trickle, 1024).unwrap() {
+                FrameEvent::Frame(f) => {
+                    frames.push(f);
+                    break;
+                }
+                FrameEvent::TimedOut { partial } => {
+                    timeouts += 1;
+                    // Once any byte is in, the frame must be flagged
+                    // as mid-flight so drain logic keeps waiting.
+                    if timeouts > 1 {
+                        assert!(partial);
+                    }
+                }
+                FrameEvent::Eof => panic!("premature EOF"),
+            }
+        }
+        assert_eq!(frames, vec![b"slow frame".to_vec()]);
+        assert!(timeouts >= 10);
+    }
+
+    #[test]
+    fn request_parsing_dispatches_ops() {
+        assert_eq!(parse_request(b"{\"op\":\"ping\"}").unwrap(), Request::Ping);
+        assert_eq!(
+            parse_request(b"{\"op\":\"metrics\"}").unwrap(),
+            Request::Metrics
+        );
+        assert_eq!(
+            parse_request(b"{\"op\":\"shutdown\"}").unwrap(),
+            Request::Shutdown
+        );
+        assert_eq!(
+            parse_request(b"{\"op\":\"reload\"}").unwrap(),
+            Request::Reload { path: None }
+        );
+        assert_eq!(
+            parse_request(br#"{"op":"reload","path":"m.csv"}"#).unwrap(),
+            Request::Reload {
+                path: Some("m.csv".into())
+            }
+        );
+        assert!(parse_request(b"{\"op\":\"nope\"}").is_err());
+        assert!(parse_request(b"{}").is_err());
+        assert!(parse_request(b"garbage").is_err());
+    }
+
+    #[test]
+    fn classify_roundtrip_fast_and_generic() {
+        let data = [1.5f64, -2.0, 0.0, 3.25];
+        let frame = encode_classify(&data, 2);
+        // The canonical encoding must hit the fast path.
+        assert!(json_in::fast_classify_frame(&frame).is_some());
+        match parse_request(&frame).unwrap() {
+            Request::Classify { data: d, dim, n } => {
+                assert_eq!(d, data);
+                assert_eq!(dim, 2);
+                assert_eq!(n, 2);
+            }
+            other => panic!("unexpected request {other:?}"),
+        }
+        // A whitespace-formatted equivalent takes the generic path and
+        // parses identically.
+        let spaced = br#"{ "op": "classify", "points": [[1.5, -2], [0, 3.25]] }"#;
+        assert!(json_in::fast_classify_frame(spaced).is_none());
+        assert_eq!(
+            parse_request(spaced).unwrap(),
+            parse_request(&frame).unwrap()
+        );
+    }
+
+    #[test]
+    fn ragged_classify_is_rejected_by_both_paths() {
+        let ragged = br#"{"op":"classify","points":[[1,2],[3]]}"#;
+        assert!(json_in::fast_classify_frame(ragged).is_none());
+        assert!(parse_request(ragged).is_err());
+    }
+
+    #[test]
+    fn classify_response_roundtrip() {
+        let labels = vec![Label::Zero, Label::One, Label::One, Label::Zero];
+        let payload = encode_classify_response(7, &labels);
+        let (generation, parsed) = parse_classify_response(&payload).unwrap();
+        assert_eq!(generation, 7);
+        assert_eq!(parsed, vec![0, 1, 1, 0]);
+
+        let empty = encode_classify_response(1, &[]);
+        assert_eq!(parse_classify_response(&empty).unwrap(), (1, vec![]));
+    }
+
+    #[test]
+    fn error_response_surfaces_message() {
+        let payload = encode_error("dim mismatch: got 3, serving 2");
+        let err = parse_classify_response(&payload).unwrap_err();
+        assert!(err.contains("dim mismatch"), "{err}");
+    }
+
+    #[test]
+    fn encode_classify_rejects_non_finite() {
+        let bad = [f64::NAN, 1.0];
+        assert!(std::panic::catch_unwind(|| encode_classify(&bad, 2)).is_err());
+    }
+}

@@ -1,0 +1,147 @@
+//! Server-side counters and latency histograms.
+//!
+//! [`ServeStats`] is always on — the `metrics` control frame must
+//! reconcile with client-side counts even when the process-global
+//! `mc-obs` registry is at its default (disabled) level. Every update
+//! is therefore applied to these local atomics unconditionally and
+//! *mirrored* into the `mc-obs` registry (`serve.*` names) when that is
+//! enabled, so `--telemetry` sampling and `--obs` summaries see the
+//! same numbers.
+//!
+//! Inventory (matching OBSERVABILITY.md):
+//!
+//! * `serve.connections` — connections accepted (counter)
+//! * `serve.requests` — frames served, including errors (counter)
+//! * `serve.errors` — error responses sent (counter)
+//! * `serve.points` — single-point classifications performed (counter)
+//! * `serve.swaps` — snapshot hot-swaps (counter)
+//! * `serve.batch_points` — classify batch sizes (histogram)
+//! * `serve.latency_us` — per-request service time, µs (histogram)
+
+use mc_obs::Histogram;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Always-on serving statistics (one per server).
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Request frames served (including ones answered with an error).
+    pub requests: AtomicU64,
+    /// Error responses sent.
+    pub errors: AtomicU64,
+    /// Total single-point classifications.
+    pub points: AtomicU64,
+    /// Snapshot swaps performed.
+    pub swaps: AtomicU64,
+    /// Classify batch sizes.
+    pub batch_points: Histogram,
+    /// Per-request service latency in microseconds (time from frame
+    /// decode start to response encode end).
+    pub latency_us: Histogram,
+}
+
+impl ServeStats {
+    /// Fresh, zeroed stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Notes an accepted connection.
+    pub fn note_connection(&self) {
+        self.connections.fetch_add(1, Relaxed);
+        mc_obs::counter_add("serve.connections", 1);
+    }
+
+    /// Notes one served request: its batch size (for classify frames),
+    /// service latency, and whether it was answered with an error.
+    pub fn note_request(&self, batch_points: Option<u64>, latency_us: u64, errored: bool) {
+        self.requests.fetch_add(1, Relaxed);
+        mc_obs::counter_add("serve.requests", 1);
+        if let Some(n) = batch_points {
+            self.points.fetch_add(n, Relaxed);
+            self.batch_points.record(n);
+            mc_obs::counter_add("serve.points", n);
+            mc_obs::record("serve.batch_points", n);
+        }
+        self.latency_us.record(latency_us);
+        mc_obs::record("serve.latency_us", latency_us);
+        if errored {
+            self.errors.fetch_add(1, Relaxed);
+            mc_obs::counter_add("serve.errors", 1);
+        }
+    }
+
+    /// Notes a snapshot swap.
+    pub fn note_swap(&self) {
+        self.swaps.fetch_add(1, Relaxed);
+        mc_obs::counter_add("serve.swaps", 1);
+    }
+
+    /// Renders the metrics-frame payload body (the `"metrics"` object).
+    pub fn to_json(&self, generation: u64) -> String {
+        let q = |h: &Histogram, p: f64| h.quantile(p).unwrap_or(0);
+        mc_obs::json::Obj::new()
+            .u64("generation", generation)
+            .u64("connections", self.connections.load(Relaxed))
+            .u64("requests", self.requests.load(Relaxed))
+            .u64("errors", self.errors.load(Relaxed))
+            .u64("points", self.points.load(Relaxed))
+            .u64("swaps", self.swaps.load(Relaxed))
+            .u64("batch_p50", q(&self.batch_points, 0.50))
+            .u64("batch_p99", q(&self.batch_points, 0.99))
+            .u64("latency_us_p50", q(&self.latency_us, 0.50))
+            .u64("latency_us_p99", q(&self.latency_us, 0.99))
+            .u64("latency_us_max", self.latency_us.max().unwrap_or(0))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json_in;
+
+    #[test]
+    fn counters_accumulate_without_obs() {
+        // mc-obs stays at its default level here; the local stats must
+        // still count.
+        let s = ServeStats::new();
+        s.note_connection();
+        s.note_request(Some(100), 250, false);
+        s.note_request(None, 10, true);
+        s.note_swap();
+        assert_eq!(s.connections.load(Relaxed), 1);
+        assert_eq!(s.requests.load(Relaxed), 2);
+        assert_eq!(s.errors.load(Relaxed), 1);
+        assert_eq!(s.points.load(Relaxed), 100);
+        assert_eq!(s.swaps.load(Relaxed), 1);
+        assert_eq!(s.batch_points.count(), 1);
+        assert_eq!(s.latency_us.count(), 2);
+    }
+
+    #[test]
+    fn metrics_json_is_parseable_and_complete() {
+        let s = ServeStats::new();
+        s.note_request(Some(7), 123, false);
+        let json = s.to_json(3);
+        let tree = json_in::parse(json.as_bytes()).expect("valid JSON");
+        for key in [
+            "generation",
+            "connections",
+            "requests",
+            "errors",
+            "points",
+            "swaps",
+            "batch_p50",
+            "batch_p99",
+            "latency_us_p50",
+            "latency_us_p99",
+            "latency_us_max",
+        ] {
+            assert!(tree.get(key).is_some(), "missing {key}");
+        }
+        assert_eq!(tree.get("points").unwrap().as_u64(), Some(7));
+        assert_eq!(tree.get("generation").unwrap().as_u64(), Some(3));
+    }
+}

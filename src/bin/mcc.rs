@@ -39,6 +39,7 @@
 //! classifier file (the coordinates are never all resident, so there is
 //! nothing to anchor one on).
 
+use monotone_classification::bench::serve_load;
 use monotone_classification::chains::{
     with_matching_override, AntichainPartition, ChainDecomposition, MatchingEngine,
 };
@@ -51,9 +52,10 @@ use monotone_classification::data::csv;
 use monotone_classification::obs;
 use monotone_classification::obs::json::Value;
 use monotone_classification::portfolio::{race, EngineOutcome, EngineSpec, PortfolioConfig};
+use monotone_classification::serve::{self, ServeConfig};
 use monotone_classification::{
-    AbstainingOracle, FallibleOracle, FlakyOracle, InfallibleAdapter, Label, McError, OracleError,
-    RetryOracle, RetryPolicy,
+    AbstainingOracle, AnchorIndex, FallibleOracle, FlakyOracle, InfallibleAdapter, Label, McError,
+    MonotoneClassifier, OracleError, RetryOracle, RetryPolicy,
 };
 use std::process::ExitCode;
 
@@ -175,7 +177,21 @@ const USAGE: &str = "usage:
   mcc generate <family> <out.csv> [--n N] [--noise P] [--seed S]
                families: planted | entity-matching | hard-family | width-W
   mcc generate scale <out.mcc> [--n N] [--dim D] [--seed S]
-               columnar MCC1 banded scale workload (streamed; any N)";
+               columnar MCC1 banded scale workload (streamed; any N)
+  mcc classify <model.csv> <points.csv> [--out labels.csv]
+               batch-classifies through the anchor index; one 0/1 label
+               per row on stdout (or --out)
+  mcc serve    <model.csv> [--addr HOST:PORT] [--trace]
+               [--metrics-out metrics.jsonl]
+               [--telemetry ts.jsonl] [--sample-ms MS] [--stall-window-ms MS]
+               TCP server, length-prefixed JSON frames; ops: classify |
+               reload (atomic hot-swap) | metrics | ping | shutdown
+  mcc bench-serve [--addr HOST:PORT | --model model.csv] [--duration SECS]
+               [--connections N] [--pipeline DEPTH] [--batches 1,16,256]
+               [--dim D] [--anchors A] [--seed S]
+               [--json-out BENCH_serve.json]
+               load-generates against a serve endpoint (default:
+               self-hosts a synthetic model) and reports qps + latency";
 
 fn run(args: &[String]) -> Result<(), CliError> {
     let command = args
@@ -189,6 +205,9 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "crossval" => cmd_crossval(&args[1..]),
         "certify" => cmd_certify(&args[1..]),
         "generate" => cmd_generate(&args[1..]),
+        "classify" => cmd_classify(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
+        "bench-serve" => cmd_bench_serve(&args[1..]),
         other => Err(CliError::Usage(format!("unknown command {other:?}"))),
     }
 }
@@ -1102,6 +1121,338 @@ fn cmd_certify(args: &[String]) -> Result<(), CliError> {
     );
     println!("audit: every charge is a real inversion, no weight double-charged —");
     println!("       no monotone classifier can do better. VERIFIED.");
+    Ok(())
+}
+
+fn cmd_classify(args: &[String]) -> Result<(), CliError> {
+    let (pos, values, _) = parse_flags(args, &["out"], &[])?;
+    let [model_path, points_path] = pos.as_slice() else {
+        return Err(CliError::Usage(
+            "classify: need <model.csv> <points.csv>".into(),
+        ));
+    };
+    let classifier = csv::classifier_from_csv_auto(&read_file(model_path)?)
+        .map_err(|e| CliError::Data(e.to_string()))?;
+    let points =
+        csv::parse_points(&read_file(points_path)?).map_err(|e| CliError::Data(e.to_string()))?;
+    if points.dim() != classifier.dim() {
+        return Err(CliError::Data(format!(
+            "dimension mismatch: model is {}-d, points are {}-d",
+            classifier.dim(),
+            points.dim()
+        )));
+    }
+    let index = AnchorIndex::build(&classifier);
+    let labels = index.classify_set(&points);
+    let mut out = String::with_capacity(labels.len() * 2);
+    let mut positives = 0usize;
+    for label in &labels {
+        positives += usize::from(label.is_one());
+        out.push(if label.is_one() { '1' } else { '0' });
+        out.push('\n');
+    }
+    match get_value(&values, "out") {
+        Some(path) => write_file(&path, &out)?,
+        None => print!("{out}"),
+    }
+    eprintln!(
+        "classified {} points through a {}-anchor index: {} positive, {} negative",
+        labels.len(),
+        index.num_anchors(),
+        positives,
+        labels.len() - positives
+    );
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    let (pos, values, flags) = parse_flags(
+        args,
+        &[
+            "addr",
+            "metrics-out",
+            "telemetry",
+            "sample-ms",
+            "stall-window-ms",
+        ],
+        &["trace", "watch-abort"],
+    )?;
+    let obs_out = ObsOutput::from_cli(&values, &flags)?;
+    cmd_serve_impl(&pos, &values, &obs_out).map_err(|e| obs_out.fail(e))
+}
+
+fn cmd_serve_impl(
+    pos: &[String],
+    values: &[(String, String)],
+    obs_out: &ObsOutput,
+) -> Result<(), CliError> {
+    let model_path = pos
+        .first()
+        .ok_or_else(|| CliError::Usage("serve: missing <model.csv>".into()))?;
+    let classifier = csv::classifier_from_csv_auto(&read_file(model_path)?)
+        .map_err(|e| CliError::Data(e.to_string()))?;
+    let (dim, anchors) = (classifier.dim(), classifier.anchors().len());
+    let config = ServeConfig {
+        addr: get_value(values, "addr").unwrap_or_else(|| "127.0.0.1:0".into()),
+        model_path: Some(std::path::PathBuf::from(model_path)),
+        ..ServeConfig::default()
+    };
+    let server = serve::spawn(config, classifier)
+        .map_err(|e| CliError::Io(format!("cannot bind server: {e}")))?;
+    obs_out.start_telemetry(
+        None,
+        &[
+            ("command", Value::S("serve".into())),
+            ("model", Value::S(model_path.clone())),
+        ],
+    )?;
+    // The bound address goes to stdout (and is flushed) so scripts can
+    // read it even when `--addr` asked for an ephemeral port.
+    println!(
+        "serving {dim}-d model ({anchors} anchors) on {}",
+        server.addr()
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let stats = server.stats();
+    server.join();
+    use std::sync::atomic::Ordering::Relaxed;
+    println!(
+        "drained: {} requests ({} points), {} errors, {} swaps",
+        stats.requests.load(Relaxed),
+        stats.points.load(Relaxed),
+        stats.errors.load(Relaxed),
+        stats.swaps.load(Relaxed)
+    );
+    obs_out.finish(
+        &[
+            ("command", Value::S("serve".into())),
+            ("requests", Value::U(stats.requests.load(Relaxed))),
+            ("points", Value::U(stats.points.load(Relaxed))),
+        ],
+        &[],
+    )
+}
+
+/// Parses the `--batches 1,16,256` mix (positive sizes, comma-separated).
+fn parse_batch_mix(values: &[(String, String)]) -> Result<Vec<usize>, CliError> {
+    let spec = get_value(values, "batches").unwrap_or_else(|| "1,16,256,1024".into());
+    let mix: Vec<usize> = spec
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<usize>()
+                .ok()
+                .filter(|&b| b > 0)
+                .ok_or_else(|| CliError::Param(format!("bad --batches entry {s:?}")))
+        })
+        .collect::<Result<_, _>>()?;
+    if mix.is_empty() {
+        return Err(CliError::Param(
+            "--batches must list at least one size".into(),
+        ));
+    }
+    Ok(mix)
+}
+
+fn cmd_bench_serve(args: &[String]) -> Result<(), CliError> {
+    let (pos, values, _) = parse_flags(
+        args,
+        &[
+            "addr",
+            "model",
+            "duration",
+            "connections",
+            "pipeline",
+            "batches",
+            "dim",
+            "anchors",
+            "seed",
+            "json-out",
+        ],
+        &[],
+    )?;
+    if !pos.is_empty() {
+        return Err(CliError::Usage(format!(
+            "bench-serve: unexpected argument {:?}",
+            pos[0]
+        )));
+    }
+    let duration_s: f64 = parse_num(&values, "duration", 5.0)?;
+    if !(duration_s > 0.0 && duration_s.is_finite()) {
+        return Err(CliError::Param("--duration must be positive".into()));
+    }
+    let connections: usize = parse_num(&values, "connections", 2)?;
+    let pipeline: usize = parse_num(&values, "pipeline", 32)?;
+    if connections == 0 || pipeline == 0 {
+        return Err(CliError::Param(
+            "--connections and --pipeline must be positive".into(),
+        ));
+    }
+    let seed: u64 = parse_num(&values, "seed", 0x5eed)?;
+    let batch_mix = parse_batch_mix(&values)?;
+
+    // Target: an external endpoint (`--addr`, with `--dim` describing
+    // its model), or a self-hosted server over `--model` / a synthetic
+    // antichain of `--anchors` random anchors.
+    let external = get_value(&values, "addr");
+    let (server, addr, dim, anchors) = match external {
+        Some(addr) => {
+            for flag in ["model", "anchors"] {
+                if get_value(&values, flag).is_some() {
+                    return Err(CliError::Usage(format!(
+                        "--{flag} only applies when self-hosting (omit --addr)"
+                    )));
+                }
+            }
+            let dim: usize = parse_num(&values, "dim", 4)?;
+            (None, addr, dim, 0usize)
+        }
+        None => {
+            let classifier = match get_value(&values, "model") {
+                Some(path) => {
+                    if get_value(&values, "dim").is_some()
+                        || get_value(&values, "anchors").is_some()
+                    {
+                        return Err(CliError::Usage(
+                            "--dim/--anchors conflict with --model (the file decides)".into(),
+                        ));
+                    }
+                    csv::classifier_from_csv_auto(&read_file(&path)?)
+                        .map_err(|e| CliError::Data(e.to_string()))?
+                }
+                None => {
+                    use rand::{rngs::StdRng, Rng, SeedableRng};
+                    let dim: usize = parse_num(&values, "dim", 4)?;
+                    let num_anchors: usize = parse_num(&values, "anchors", 1024)?;
+                    if dim == 0 || num_anchors == 0 {
+                        return Err(CliError::Param(
+                            "--dim and --anchors must be positive".into(),
+                        ));
+                    }
+                    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+                    let anchors: Vec<Vec<f64>> = (0..num_anchors)
+                        .map(|_| (0..dim).map(|_| rng.gen_range(0.25..1.0)).collect())
+                        .collect();
+                    MonotoneClassifier::from_anchors(dim, anchors)
+                }
+            };
+            let (dim, anchors) = (classifier.dim(), classifier.anchors().len());
+            let server = serve::spawn(ServeConfig::default(), classifier)
+                .map_err(|e| CliError::Io(format!("cannot bind server: {e}")))?;
+            let addr = server.addr().to_string();
+            (Some(server), addr, dim, anchors)
+        }
+    };
+
+    let self_hosted = server.is_some();
+    eprintln!(
+        "offering load to {addr}: {connections} connection(s) x pipeline {pipeline}, \
+         batches {batch_mix:?}, {duration_s}s"
+    );
+    let load = serve_load::LoadConfig {
+        addr: addr.clone(),
+        duration: std::time::Duration::from_secs_f64(duration_s),
+        connections,
+        pipeline_depth: pipeline,
+        batch_mix: batch_mix.clone(),
+        dim,
+        seed,
+    };
+    let report = serve_load::run(&load).map_err(|e| CliError::Io(format!("load run: {e}")))?;
+    // Server-side view, fetched over the wire so it works for external
+    // endpoints too; best-effort (the run already has its own numbers).
+    let server_metrics = serve::Client::connect(addr.as_str())
+        .ok()
+        .and_then(|mut c| c.metrics().ok());
+
+    let lat_ms = |q: f64| report.latency_quantile_us(q).unwrap_or(0) as f64 / 1000.0;
+    let max_ms = report.latencies_us.last().copied().unwrap_or(0) as f64 / 1000.0;
+    println!(
+        "frames: {} ok, {} errors in {:.2}s",
+        report.frames,
+        report.errors,
+        report.elapsed.as_secs_f64()
+    );
+    println!(
+        "throughput: {:.0} frames/s, {:.0} single-point qps",
+        report.frames_per_sec(),
+        report.points_per_sec()
+    );
+    println!(
+        "latency: p50 {:.3} ms, p90 {:.3} ms, p99 {:.3} ms, max {max_ms:.3} ms",
+        lat_ms(0.50),
+        lat_ms(0.90),
+        lat_ms(0.99)
+    );
+    if report.errors > 0 {
+        return Err(CliError::Data(format!(
+            "{} of {} frames were answered with errors",
+            report.errors,
+            report.frames + report.errors
+        )));
+    }
+
+    if let Some(path) = get_value(&values, "json-out") {
+        use monotone_classification::obs::json::Obj;
+        let batches_json = format!(
+            "[{}]",
+            batch_mix
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let config_json = Obj::new()
+            .f64("duration_s", duration_s)
+            .u64("connections", connections as u64)
+            .u64("pipeline_depth", pipeline as u64)
+            .raw("batch_mix", &batches_json)
+            .u64("dim", dim as u64)
+            .u64("anchors", anchors as u64)
+            .bool("self_hosted", self_hosted)
+            .finish();
+        let throughput_json = Obj::new()
+            .u64("frames", report.frames)
+            .u64("errors", report.errors)
+            .u64("points", report.points)
+            .f64("elapsed_s", report.elapsed.as_secs_f64())
+            .f64("frames_per_sec", report.frames_per_sec())
+            .f64("single_point_qps", report.points_per_sec())
+            .finish();
+        let latency_json = Obj::new()
+            .f64("p50", lat_ms(0.50))
+            .f64("p90", lat_ms(0.90))
+            .f64("p99", lat_ms(0.99))
+            .f64("max", max_ms)
+            .finish();
+        let server_json = match &server_metrics {
+            Some(m) => {
+                let get = |k: &str| m.get(k).and_then(serve::JsonValue::as_u64).unwrap_or(0);
+                Obj::new()
+                    .u64("generation", get("generation"))
+                    .u64("requests", get("requests"))
+                    .u64("points", get("points"))
+                    .u64("swaps", get("swaps"))
+                    .finish()
+            }
+            None => "null".into(),
+        };
+        let record = Obj::new()
+            .str("bench", "serve")
+            .raw("meta", &monotone_classification::bench::bench_meta_json())
+            .raw("config", &config_json)
+            .raw("throughput", &throughput_json)
+            .raw("latency_ms", &latency_json)
+            .raw("server", &server_json)
+            .finish();
+        write_file(&path, &format!("{record}\n"))?;
+        eprintln!("wrote {path}");
+    }
+
+    if let Some(server) = server {
+        server.shutdown_and_join();
+    }
     Ok(())
 }
 

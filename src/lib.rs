@@ -38,6 +38,7 @@
 //! assert!(sol.probes_used <= 100);
 //! ```
 
+pub use mc_bench as bench;
 pub use mc_chains as chains;
 pub use mc_core as core;
 pub use mc_data as data;
@@ -46,11 +47,12 @@ pub use mc_geom as geom;
 pub use mc_matching as matching;
 pub use mc_obs as obs;
 pub use mc_portfolio as portfolio;
+pub use mc_serve as serve;
 
 pub use mc_core::passive::solve_passive;
 pub use mc_core::{
-    ActiveParams, ActiveSolver, ConfusionMatrix, InMemoryOracle, LabelOracle, MonotoneClassifier,
-    PassiveSolver,
+    ActiveParams, ActiveSolver, AnchorIndex, ConfusionMatrix, InMemoryOracle, LabelOracle,
+    MonotoneClassifier, PassiveSolver,
 };
 pub use mc_geom::{Label, LabeledSet, Point, PointSet, WeightedSet};
 

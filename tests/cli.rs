@@ -758,3 +758,171 @@ fn passive_shards_flag_rejects_bad_values() {
         .unwrap();
     assert_eq!(out.status.code(), Some(2));
 }
+
+#[test]
+fn classify_labels_points_through_the_index() {
+    // Train on DEMO (k* = 0, so the model reproduces the labels), then
+    // batch-classify the same feature rows through `mcc classify`.
+    let data = write_temp("classify_train.csv", DEMO);
+    let model = write_temp("classify_model.csv", "");
+    let out = mcc()
+        .args(["passive"])
+        .arg(&data)
+        .args(["--out"])
+        .arg(&model)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let points = write_temp(
+        "classify_points.csv",
+        "x,y\n0.1,0.2\n0.9,0.8\n0.7,0.9\n0.3,0.1\n0.8,0.2\n0.2,0.9\n",
+    );
+    let out = mcc()
+        .arg("classify")
+        .arg(&model)
+        .arg(&points)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let labels: Vec<&str> = std::str::from_utf8(&out.stdout).unwrap().lines().collect();
+    assert_eq!(labels, vec!["0", "1", "1", "0", "0", "1"]);
+    assert!(String::from_utf8_lossy(&out.stderr).contains("classified 6 points"));
+
+    // --out writes the same labels to a file instead of stdout.
+    let labels_out = write_temp("classify_labels.csv", "");
+    let out = mcc()
+        .arg("classify")
+        .arg(&model)
+        .arg(&points)
+        .args(["--out"])
+        .arg(&labels_out)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(out.stdout.is_empty());
+    assert_eq!(
+        std::fs::read_to_string(&labels_out).unwrap(),
+        "0\n1\n1\n0\n0\n1\n"
+    );
+
+    // Dimension mismatch is a data error (exit 4), not a crash.
+    let bad = write_temp("classify_bad.csv", "0.1,0.2,0.3\n");
+    let out = mcc()
+        .arg("classify")
+        .arg(&model)
+        .arg(&bad)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(4));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("dimension mismatch"));
+}
+
+#[test]
+fn serve_subcommand_serves_reloads_and_drains() {
+    use monotone_classification::serve::Client;
+    use std::io::{BufRead, BufReader, Read as _};
+
+    let model = write_temp("serve_model.csv", "0.5,0.5\n");
+    let mut child = mcc()
+        .arg("serve")
+        .arg(&model)
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+
+    // The first stdout line announces the bound (ephemeral) address.
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut banner = String::new();
+    stdout.read_line(&mut banner).unwrap();
+    let addr = banner
+        .rsplit(" on ")
+        .next()
+        .map(str::trim)
+        .expect("address in banner");
+    assert!(banner.contains("serving 2-d model (1 anchors)"), "{banner}");
+
+    let mut client = Client::connect(addr).expect("connect");
+    assert_eq!(client.ping().unwrap(), 1);
+    let reply = client.classify(&[vec![0.6, 0.6], vec![0.6, 0.4]]).unwrap();
+    assert_eq!(reply.labels, vec![1, 0]);
+
+    // Rewrite the model file; a path-less reload hot-swaps it.
+    std::fs::write(&model, "0.1,0.1\n").unwrap();
+    assert_eq!(client.reload(None).unwrap(), 2);
+    let reply = client.classify(&[vec![0.6, 0.6], vec![0.6, 0.4]]).unwrap();
+    assert_eq!(reply.generation, 2);
+    assert_eq!(reply.labels, vec![1, 1]);
+
+    client.shutdown().expect("shutdown");
+    let status = child.wait().unwrap();
+    assert!(status.success());
+    let mut rest = String::new();
+    stdout.read_to_string(&mut rest).unwrap();
+    assert!(rest.contains("drained:"), "{rest}");
+}
+
+#[test]
+fn bench_serve_self_hosts_and_writes_schema_stable_json() {
+    use monotone_classification::serve::json_in;
+
+    let json_out = write_temp("BENCH_serve_test.json", "");
+    let out = mcc()
+        .args([
+            "bench-serve",
+            "--duration",
+            "0.3",
+            "--connections",
+            "1",
+            "--pipeline",
+            "8",
+            "--batches",
+            "1,64",
+            "--dim",
+            "3",
+            "--anchors",
+            "32",
+        ])
+        .args(["--json-out"])
+        .arg(&json_out)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("single-point qps"), "{stdout}");
+
+    let text = std::fs::read_to_string(&json_out).unwrap();
+    let tree = json_in::parse(text.trim().as_bytes()).expect("valid JSON record");
+    assert_eq!(tree.get("bench").and_then(|v| v.as_str()), Some("serve"));
+    for section in ["meta", "config", "throughput", "latency_ms", "server"] {
+        assert!(tree.get(section).is_some(), "missing {section}");
+    }
+    let meta = tree.get("meta").unwrap();
+    assert!(meta.get("git_sha").is_some());
+    assert!(meta.get("threads").is_some());
+    let throughput = tree.get("throughput").unwrap();
+    let qps = throughput
+        .get("single_point_qps")
+        .and_then(|v| v.as_f64())
+        .expect("qps");
+    assert!(qps > 0.0);
+    assert_eq!(throughput.get("errors").and_then(|v| v.as_u64()), Some(0));
+    let latency = tree.get("latency_ms").unwrap();
+    for key in ["p50", "p90", "p99", "max"] {
+        assert!(latency.get(key).and_then(|v| v.as_f64()).is_some(), "{key}");
+    }
+    // Self-hosted runs capture the server-side reconciliation block.
+    let server = tree.get("server").unwrap();
+    assert_eq!(
+        server.get("points").and_then(|v| v.as_u64()),
+        throughput.get("points").and_then(|v| v.as_u64())
+    );
+}

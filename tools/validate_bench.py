@@ -21,6 +21,7 @@ REQUIRED = {
     "flow": ["config", "sizes", "timings_ms", "edges", "speedup", "equivalence"],
     "matching": ["config", "timings_ms", "speedup", "stats", "equivalence", "sharded"],
     "scale": ["config", "kernel", "parity", "telemetry", "sizes", "sizes_sharded"],
+    "serve": ["config", "throughput", "latency_ms", "server"],
 }
 
 # Sections every record carries regardless of bench tag.
@@ -102,6 +103,32 @@ def main():
                     f"{path}: telemetry overhead {t['overhead_frac']:.2%} "
                     "breaches the 2% budget"
                 )
+        if name == "serve":
+            t = doc["throughput"]
+            for key in ("frames", "errors", "points", "elapsed_s",
+                        "frames_per_sec", "single_point_qps"):
+                if key not in t:
+                    fail(f"{path}: throughput section missing {key!r}")
+            if not t["single_point_qps"] > 0:
+                fail(f"{path}: non-positive qps: {t}")
+            if t["errors"] != 0:
+                fail(f"{path}: load run recorded {t['errors']} error frames")
+            lat = doc["latency_ms"]
+            for key in ("p50", "p90", "p99", "max"):
+                if key not in lat:
+                    fail(f"{path}: latency_ms section missing {key!r}")
+            if not (0 < lat["p50"] <= lat["p99"] <= lat["max"]):
+                fail(f"{path}: latency quantiles out of order: {lat}")
+            server = doc["server"]
+            if server is not None:
+                # Server-side counters must cover everything the load
+                # generator got acknowledged (>=: the probe connection
+                # and any other client also count server-side).
+                if server.get("points", 0) < t["points"]:
+                    fail(
+                        f"{path}: server acknowledged {server.get('points')} points "
+                        f"but the generator recorded {t['points']}"
+                    )
         if name == "matching":
             sharded = doc["sharded"]
             if not isinstance(sharded, dict):
